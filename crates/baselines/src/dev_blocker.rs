@@ -1,0 +1,123 @@
+//! Hand-written per-dataset blocking rules (paper §9.2's developer
+//! comparator).
+//!
+//! These are the rules a developer "well versed in EM" would write after
+//! inspecting each dataset: cheap token-overlap predicates on the most
+//! identifying attribute. They play the same role as in the paper —
+//! a human expert baseline for the crowdsourced Blocker's recall and
+//! reduction.
+
+use corleone::MatchTask;
+use crowd::PairKey;
+use similarity::jaccard::jaccard_words;
+use similarity::Record;
+
+/// A developer blocking predicate: `true` keeps the pair.
+pub type KeepRule = fn(&Record, &Record) -> bool;
+
+fn text(r: &Record, idx: usize) -> &str {
+    r.value(idx).as_text().unwrap_or("")
+}
+
+/// Restaurants: the Cartesian product is small; a developer would not
+/// block at all (paper Table 3 shows Restaurants untouched). Provided for
+/// completeness: keep pairs whose names share any word.
+pub fn restaurants_keep(a: &Record, b: &Record) -> bool {
+    jaccard_words(text(a, 0), text(b, 0)) > 0.0
+}
+
+/// Citations: keep pairs whose titles overlap substantially — the classic
+/// title-token blocker for bibliographic data.
+pub fn citations_keep(a: &Record, b: &Record) -> bool {
+    jaccard_words(text(a, 0), text(b, 0)) >= 0.25
+}
+
+/// Products: keep pairs that agree on brand (attribute 0) or whose names
+/// (attribute 1) overlap. Brand can be missing, so name overlap is the
+/// fallback.
+pub fn products_keep(a: &Record, b: &Record) -> bool {
+    let brand_a = text(a, 0);
+    let brand_b = text(b, 0);
+    if !brand_a.is_empty()
+        && !brand_b.is_empty()
+        && brand_a.eq_ignore_ascii_case(brand_b)
+    {
+        return jaccard_words(text(a, 1), text(b, 1)) >= 0.2;
+    }
+    jaccard_words(text(a, 1), text(b, 1)) >= 0.4
+}
+
+/// The developer blocking rule for a dataset name, if the developer would
+/// block it at all.
+pub fn rule_for(dataset: &str) -> Option<KeepRule> {
+    match dataset {
+        "restaurants" => None, // small enough — no blocking
+        "citations" => Some(citations_keep),
+        "products" => Some(products_keep),
+        _ => None,
+    }
+}
+
+/// Apply a developer blocking rule over `A × B`, returning the kept pairs.
+/// With no rule, everything is kept.
+pub fn apply(task: &MatchTask, rule: Option<KeepRule>) -> Vec<PairKey> {
+    let mut kept = Vec::new();
+    for a in &task.table_a.records {
+        for b in &task.table_b.records {
+            let keep = rule.map_or(true, |r| r(a, b));
+            if keep {
+                kept.push(PairKey::new(a.id, b.id));
+            }
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use similarity::Value;
+
+    fn rec(id: u32, vals: Vec<Value>) -> Record {
+        Record::new(id, vals)
+    }
+
+    #[test]
+    fn citations_rule_keeps_similar_titles() {
+        let a = rec(0, vec!["active learning for entity matching".into()]);
+        let b = rec(1, vec!["entity matching with active learning".into()]);
+        let c = rec(2, vec!["streaming graph compression".into()]);
+        assert!(citations_keep(&a, &b));
+        assert!(!citations_keep(&a, &c));
+    }
+
+    #[test]
+    fn products_rule_uses_brand_then_name() {
+        let a = rec(
+            0,
+            vec!["Kingston".into(), "Kingston HyperX 4GB Kit".into()],
+        );
+        let same_brand = rec(
+            1,
+            vec!["Kingston".into(), "Kingston HyperX 8GB Kit".into()],
+        );
+        let other = rec(2, vec!["Sony".into(), "Sony Bravia Remote".into()]);
+        assert!(products_keep(&a, &same_brand));
+        assert!(!products_keep(&a, &other));
+    }
+
+    #[test]
+    fn products_rule_survives_missing_brand() {
+        let a = rec(0, vec![Value::Null, "Kingston HyperX 4GB Kit".into()]);
+        let b = rec(1, vec!["Kingston".into(), "Kingston HyperX 4GB Kit memory".into()]);
+        assert!(products_keep(&a, &b));
+    }
+
+    #[test]
+    fn rule_for_maps_names() {
+        assert!(rule_for("restaurants").is_none());
+        assert!(rule_for("citations").is_some());
+        assert!(rule_for("products").is_some());
+        assert!(rule_for("unknown").is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the learning substrate: forest training,
+//! prediction/entropy throughput (the per-AL-iteration scan of `C`), and
+//! rule extraction + application (the blocking hot path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use forest::{extract_rules, Dataset, ForestConfig, RandomForest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(n: usize, f: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(f);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..f).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let label = row[0] + row[1] > 1.0;
+        ds.push(&row, label);
+    }
+    ds
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let train = synthetic(1000, 40, 1);
+    let mut g = c.benchmark_group("forest");
+    g.bench_function("train_1000x40", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            RandomForest::train_all(black_box(&train), &ForestConfig::default(), &mut rng)
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let forest = RandomForest::train_all(&train, &ForestConfig::default(), &mut rng);
+    let probe = synthetic(10_000, 40, 2);
+    g.throughput(Throughput::Elements(probe.len() as u64));
+    g.bench_function("entropy_scan_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..probe.len() {
+                acc += forest.entropy(black_box(probe.row(i)));
+            }
+            acc
+        })
+    });
+
+    g.bench_function("extract_rules", |b| b.iter(|| extract_rules(black_box(&forest))));
+
+    let rules = extract_rules(&forest);
+    let negatives: Vec<_> = rules.into_iter().filter(|r| !r.label).take(3).collect();
+    g.throughput(Throughput::Elements(probe.len() as u64));
+    g.bench_function("apply_3_rules_10k", |b| {
+        b.iter(|| {
+            let mut blocked = 0usize;
+            for i in 0..probe.len() {
+                if negatives.iter().any(|r| r.matches(probe.row(i))) {
+                    blocked += 1;
+                }
+            }
+            blocked
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

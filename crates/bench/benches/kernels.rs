@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for the similarity kernels — the per-pair
+//! cost model behind the Blocker's rule ranking (§4.3) assumes these
+//! relative costs; this bench validates the ordering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use similarity::cosine::TfIdfModel;
+use similarity::{edit, exact, jaccard, jaro, monge_elkan};
+
+const A: &str = "Kingston HyperX 4GB Kit 2 x 2GB DDR3 Memory";
+const B: &str = "Kingston HyperX 12GB Kit 3 x 4GB DDR3 Memory Module";
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("exact_match", |b| {
+        b.iter(|| exact::exact_match(black_box(A), black_box(B)))
+    });
+    g.bench_function("jaccard_words", |b| {
+        b.iter(|| jaccard::jaccard_words(black_box(A), black_box(B)))
+    });
+    g.bench_function("jaccard_3grams", |b| {
+        b.iter(|| jaccard::jaccard_qgrams(black_box(A), black_box(B), 3))
+    });
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| jaro::jaro_winkler(black_box(A), black_box(B)))
+    });
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| edit::levenshtein_similarity(black_box(A), black_box(B)))
+    });
+    g.bench_function("monge_elkan", |b| {
+        b.iter(|| monge_elkan::monge_elkan_sym(black_box(A), black_box(B)))
+    });
+    let model = TfIdfModel::fit([A, B, "Corsair Vengeance 8GB", "Samsung EVO SSD 1TB"]);
+    g.bench_function("cosine_tfidf", |b| {
+        b.iter(|| model.cosine(black_box(A), black_box(B)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

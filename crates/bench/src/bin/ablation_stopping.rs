@@ -1,0 +1,123 @@
+//! Ablation of the §5.3 stopping-rule design choice: compare the
+//! confidence-pattern stopper against fixed-iteration training (too few /
+//! far too many iterations).
+//!
+//! The paper's claim: stopping at the confidence plateau gets peak
+//! accuracy; training longer wastes money and — under a noisy crowd —
+//! can *decrease* accuracy.
+
+use bench::{dataset, dollars, make_platform, make_task, mean, parse_args, pct, render_table};
+use corleone::{run_active_learning, CandidateSet, CorleoneConfig, StoppingConfig};
+use crowd::TruthOracle;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let mut opts = parse_args();
+    if opts.error_rate < 0.12 {
+        opts.error_rate = 0.15; // over-training hurts most under noise
+    }
+    let name = opts.datasets.first().cloned().unwrap_or_else(|| "products".into());
+    println!(
+        "Stopping-rule ablation on {name} (scale {}, {} runs, {:.0}% crowd error)\n",
+        opts.scale,
+        opts.runs,
+        opts.error_rate * 100.0
+    );
+
+    // never_stop pushes min_iterations past max_iterations so only the
+    // hard cap ends the loop.
+    let variants: Vec<(&str, Box<dyn Fn(&mut corleone::MatcherConfig)>)> = vec![
+        ("paper stopping rules", Box::new(|_m| {})),
+        (
+            "fixed 5 iterations",
+            Box::new(|m| {
+                m.max_iterations = 5;
+                m.stopping.min_iterations = 99;
+            }),
+        ),
+        (
+            "fixed 80 iterations",
+            Box::new(|m| {
+                m.max_iterations = 80;
+                m.stopping = StoppingConfig { min_iterations: 99, ..m.stopping };
+                m.stopping.n_converged = 999;
+                m.stopping.n_high = 999;
+                m.stopping.n_degrade = 999;
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, tweak) in &variants {
+        let mut f1s = vec![];
+        let mut costs = vec![];
+        let mut iters = vec![];
+        for run in 0..opts.runs {
+            let ds = dataset(&name, &opts, run);
+            let (task, gold) = make_task(&ds);
+            let mut platform = make_platform(&ds, opts.error_rate, opts.seed + run as u64);
+            let mut rng = StdRng::seed_from_u64(opts.seed + run as u64);
+            let mut pairs = Vec::new();
+            for a in 0..task.table_a.len() as u32 {
+                for b in 0..task.table_b.len() as u32 {
+                    pairs.push(crowd::PairKey::new(a, b));
+                }
+            }
+            pairs.shuffle(&mut rng);
+            pairs.truncate(15_000);
+            for &(s, _) in &task.seeds {
+                if !pairs.contains(&s) {
+                    pairs.push(s);
+                }
+            }
+            let cand = CandidateSet::build(&task, pairs);
+            let seeds: Vec<(Vec<f64>, bool)> = task
+                .seeds
+                .iter()
+                .map(|&(k, l)| (task.vectorize(k), l))
+                .collect();
+            let mut mcfg = CorleoneConfig::default().matcher;
+            tweak(&mut mcfg);
+            let cents_before = platform.ledger().total_cents;
+            let learn =
+                run_active_learning(&cand, &seeds, &mut platform, &gold, &mcfg, &mut rng);
+            costs.push(platform.ledger().total_cents - cents_before);
+            iters.push(learn.iterations as f64);
+
+            let mut tp = 0;
+            let mut pp = 0;
+            let mut ap = 0;
+            for i in 0..cand.len() {
+                let a = gold.true_label(cand.pair(i));
+                let p = learn.forest.predict(cand.row(i));
+                if p {
+                    pp += 1;
+                    if a {
+                        tp += 1;
+                    }
+                }
+                if a {
+                    ap += 1;
+                }
+            }
+            let prec = if pp > 0 { tp as f64 / pp as f64 } else { 0.0 };
+            let rec = if ap > 0 { tp as f64 / ap as f64 } else { 0.0 };
+            f1s.push(corleone::metrics::Prf::new(prec, rec).f1);
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", mean(&iters)),
+            pct(mean(&f1s)),
+            dollars(mean(&costs)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Variant", "AL iters", "F1", "Training cost"], &rows)
+    );
+    println!("\nExpected shape (§5.3): the pattern stopper lands near the 80-iteration");
+    println!("F1 at a fraction of the cost; 5 iterations undertrains; under heavy");
+    println!("noise the long run can even fall below the stopper (degrading pattern).");
+}

@@ -1,0 +1,74 @@
+//! Reproduces the **§9.3 "Estimating Matching Accuracy"** experiment:
+//! how many labeled examples the naive method of §6.1 would need to
+//! estimate P and R within the target margin, vs. what Corleone's
+//! probe-eval-reduce estimator actually used.
+//!
+//! Paper: "For Restaurants, the baseline method needs 100,000+ examples
+//! ... while ours uses just 170"; 50% / 92% fewer for Citations /
+//! Products.
+
+use bench::{mean, parse_args, render_table, run_corleone};
+use crowd::stats::{required_sample_size, z_for_confidence};
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "Estimator cost vs naive sampling (scale {}, {} runs, eps = 0.05)\n",
+        opts.scale, opts.runs
+    );
+    let z = z_for_confidence(0.95);
+    let eps = 0.05;
+    let mut rows = Vec::new();
+    for name in &opts.datasets {
+        let mut ours = vec![];
+        let mut naive = vec![];
+        let mut densities = vec![];
+        for run in 0..opts.runs {
+            let (report, _ds) = run_corleone(name, &opts, run);
+            let last = report.iterations.last().expect("at least one iteration");
+            ours.push(last.estimate.pairs_labeled as f64);
+
+            // Naive method (§6.1) on the same population: the sample must
+            // contain enough actual positives for the recall margin and
+            // enough predicted positives for the precision margin, drawn
+            // uniformly from the post-blocking candidate set.
+            let population = report.blocker.umbrella_size.max(1);
+            // Actual positives surviving blocking: recall × |gold|.
+            let n_matches = (report.blocking_recall.unwrap_or(1.0)
+                * _ds.gold.len() as f64)
+                .max(1.0);
+            let density = n_matches / population as f64;
+            densities.push(density);
+            let r_est = last.true_prf.map(|t| t.recall).unwrap_or(0.8).clamp(0.05, 0.95);
+            let p_est = last
+                .true_prf
+                .map(|t| t.precision)
+                .unwrap_or(0.9)
+                .clamp(0.05, 0.95);
+            let n_ap_needed = required_sample_size(r_est, n_matches as usize, z, eps);
+            let labels_recall = (n_ap_needed as f64 / density).ceil();
+            let pp = report.predicted_matches.len().max(1);
+            let pp_density = pp as f64 / population as f64;
+            let n_pp_needed = required_sample_size(p_est, pp, z, eps);
+            let labels_precision = (n_pp_needed as f64 / pp_density).ceil();
+            naive.push(labels_recall.max(labels_precision).min(population as f64));
+        }
+        let saving = 1.0 - mean(&ours) / mean(&naive).max(1.0);
+        rows.push(vec![
+            name.clone(),
+            format!("{:.4}%", mean(&densities) * 100.0),
+            format!("{:.0}", mean(&naive)),
+            format!("{:.0}", mean(&ours)),
+            format!("{:.0}%", saving * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Dataset", "Pos density", "Naive #labels", "Corleone #labels", "Saved"],
+            &rows
+        )
+    );
+    println!("\nPaper: Restaurants 100,000+ → 170; Citations 50% fewer; Products 92% fewer.");
+    println!("Shape: the skewier the dataset, the bigger the saving from reduction rules.");
+}

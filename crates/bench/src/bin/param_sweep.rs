@@ -1,0 +1,66 @@
+//! Reproduces the **§9.4 "Evaluating and Setting System Parameters"**
+//! analysis: Corleone should be robust to the number of candidate rules
+//! `k` (down to 5), the rule-precision threshold `P_min` (0.9–0.99), and
+//! the active-learning batch size `q`.
+
+use bench::{dataset, dollars, make_platform, make_task, mean, parse_args, pct, render_table};
+use corleone::{CorleoneConfig, Engine};
+
+fn run_with(
+    name: &str,
+    opts: &bench::ExpOptions,
+    cfg: CorleoneConfig,
+) -> (f64, f64) {
+    let mut f1s = vec![];
+    let mut costs = vec![];
+    for run in 0..opts.runs {
+        let ds = dataset(name, opts, run);
+        let (task, gold) = make_task(&ds);
+        let mut platform = make_platform(&ds, opts.error_rate, opts.seed + run as u64);
+        let engine = Engine::new(cfg).with_seed(opts.seed + 1000 * run as u64);
+        let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+        f1s.push(report.final_true.expect("gold").f1);
+        costs.push(report.total_cost_cents);
+    }
+    (mean(&f1s), mean(&costs))
+}
+
+fn main() {
+    let opts = parse_args();
+    // Parameter sweeps multiply runtime; default to one dataset unless
+    // the user asked for specific ones.
+    let name = opts.datasets.first().cloned().unwrap_or_else(|| "citations".into());
+    println!(
+        "Parameter robustness (§9.4) on {name} (scale {}, {} runs, {}% error)\n",
+        opts.scale,
+        opts.runs,
+        opts.error_rate * 100.0
+    );
+    let base = bench::experiment_config();
+
+    let mut rows = Vec::new();
+    for k in [5usize, 10, 20] {
+        let mut cfg = base;
+        cfg.blocker.k_rules = k;
+        cfg.estimator.k_rules = k;
+        cfg.locator.k_rules = k;
+        let (f1, cost) = run_with(&name, &opts, cfg);
+        rows.push(vec![format!("k_rules = {k}"), pct(f1), dollars(cost)]);
+    }
+    for p_min in [0.90, 0.95, 0.99] {
+        let mut cfg = base;
+        cfg.blocker.p_min = p_min;
+        let (f1, cost) = run_with(&name, &opts, cfg);
+        rows.push(vec![format!("P_min = {p_min}"), pct(f1), dollars(cost)]);
+    }
+    for q in [10usize, 20, 40] {
+        let mut cfg = base;
+        cfg.matcher.batch_size = q;
+        let (f1, cost) = run_with(&name, &opts, cfg);
+        rows.push(vec![format!("q = {q}"), pct(f1), dollars(cost)]);
+    }
+    println!("{}", render_table(&["Setting", "F1", "Cost"], &rows));
+    println!("\nPaper: k can drop to 5 without hurting accuracy; P_min can vary over");
+    println!("0.9-0.99 with no noticeable effect (rules are either very precise or");
+    println!("clearly bad); q = 20 balances crowd overhead and informativeness.");
+}

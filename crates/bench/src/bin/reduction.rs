@@ -1,0 +1,156 @@
+//! Reproduces the **§9.3 "Effectiveness of Reduction"** experiment: the
+//! iterative process (locate difficult pairs → train a dedicated matcher)
+//! should improve F1 overall and substantially improve recall *on the
+//! difficult-to-match subset*.
+//!
+//! This binary drives the components directly: it trains the iteration-1
+//! matcher, locates the difficult pairs, trains the iteration-2 matcher on
+//! them, and compares accuracy on the difficult subset before and after.
+
+use bench::{dataset, make_platform, make_task, parse_args, pct, render_table};
+use corleone::ruleeval::RuleEvalConfig;
+use corleone::{
+    locate_difficult_pairs, run_active_learning, CandidateSet, CorleoneConfig,
+};
+use crowd::TruthOracle;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn prf(
+    cand: &CandidateSet,
+    idx: &[usize],
+    preds: &dyn Fn(usize) -> bool,
+    gold: &dyn TruthOracle,
+) -> (f64, f64, f64) {
+    let mut tp = 0;
+    let mut pp = 0;
+    let mut ap = 0;
+    for &i in idx {
+        let p = preds(i);
+        let a = gold.true_label(cand.pair(i));
+        if p {
+            pp += 1;
+        }
+        if a {
+            ap += 1;
+        }
+        if p && a {
+            tp += 1;
+        }
+    }
+    let precision = if pp > 0 { tp as f64 / pp as f64 } else { 0.0 };
+    let recall = if ap > 0 { tp as f64 / ap as f64 } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    (precision, recall, f1)
+}
+
+fn main() {
+    let mut opts = parse_args();
+    // A near-perfect crowd lets iteration 1 learn everything, leaving no
+    // difficult region to measure; the paper's real crowds were noisier.
+    if opts.error_rate < 0.12 {
+        opts.error_rate = 0.12;
+    }
+    println!(
+        "Effectiveness of reduction (§9.3) — accuracy on the difficult subset\n(scale {}, {}% crowd error)\n",
+        opts.scale,
+        opts.error_rate * 100.0
+    );
+    let cfg = CorleoneConfig::default();
+    let mut rows = Vec::new();
+    for name in &opts.datasets {
+        let ds = dataset(name, &opts, 0);
+        let (task, gold) = make_task(&ds);
+        let mut platform = make_platform(&ds, opts.error_rate, opts.seed);
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+
+        // Work over a bounded random slice of A×B so the experiment runs
+        // in seconds at any scale (difficult-pair dynamics are unchanged).
+        let mut pairs = Vec::new();
+        for a in 0..task.table_a.len() as u32 {
+            for b in 0..task.table_b.len() as u32 {
+                pairs.push(crowd::PairKey::new(a, b));
+            }
+        }
+        pairs.shuffle(&mut rng);
+        pairs.truncate(30_000);
+        for &(s, _) in &task.seeds {
+            if !pairs.contains(&s) {
+                pairs.push(s);
+            }
+        }
+        let cand = CandidateSet::build(&task, pairs);
+        let seeds: Vec<(Vec<f64>, bool)> = task
+            .seeds
+            .iter()
+            .map(|&(k, l)| (task.vectorize(k), l))
+            .collect();
+
+        // Iteration 1.
+        let m1 = run_active_learning(&cand, &seeds, &mut platform, &gold, &cfg.matcher, &mut rng);
+        let known: HashMap<usize, bool> = m1.crowd_labels().collect();
+        let within: Vec<usize> = (0..cand.len()).collect();
+        let located = locate_difficult_pairs(
+            &cand,
+            &within,
+            &m1.forest,
+            &known,
+            &mut platform,
+            &gold,
+            &corleone::LocatorConfig { min_difficult: 20, ..Default::default() },
+            &RuleEvalConfig::default(),
+            &mut rng,
+        );
+        let Some(difficult) = located.difficult else {
+            println!(
+                "{name}: locator terminated ({}); nothing to measure\n",
+                located.report.termination.unwrap_or_default()
+            );
+            continue;
+        };
+
+        // Accuracy of M1 on the difficult subset.
+        let before = prf(&cand, &difficult, &|i| m1.forest.predict(cand.row(i)), &gold);
+
+        // Iteration 2: dedicated matcher on the difficult pairs.
+        let sub = cand.subset(&difficult);
+        let m2 = run_active_learning(&sub, &seeds, &mut platform, &gold, &cfg.matcher, &mut rng);
+        let sub_pred: Vec<bool> = (0..sub.len()).map(|j| m2.forest.predict(sub.row(j))).collect();
+        let pos_in_sub: HashMap<usize, bool> = difficult
+            .iter()
+            .enumerate()
+            .map(|(j, &g)| (g, sub_pred[j]))
+            .collect();
+        let after = prf(&cand, &difficult, &|i| pos_in_sub[&i], &gold);
+
+        rows.push(vec![
+            name.clone(),
+            difficult.len().to_string(),
+            pct(before.0),
+            pct(before.1),
+            pct(before.2),
+            pct(after.0),
+            pct(after.1),
+            pct(after.2),
+            format!("{:+.1}", (after.2 - before.2) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Dataset", "#Difficult", "P(M1)", "R(M1)", "F1(M1)", "P(M2)", "R(M2)", "F1(M2)",
+                "ΔF1",
+            ],
+            &rows
+        )
+    );
+    println!("\nPaper: on the difficult subset recall improves 3.3% (Citations) and");
+    println!("11.8% (Products), for F1 gains of 2.1% and 9.2%; overall F1 +0.4-3.3%.");
+}

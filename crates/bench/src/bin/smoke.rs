@@ -1,0 +1,39 @@
+//! Quick end-to-end smoke run: one Corleone run per dataset at the given
+//! scale, printing headline numbers. Not a paper table — a sanity tool.
+
+use bench::{dollars, parse_args, pct, run_corleone};
+
+fn main() {
+    let opts = parse_args();
+    for name in &opts.datasets {
+        let t0 = std::time::Instant::now();
+        let (report, ds) = run_corleone(name, &opts, 0);
+        let stats = ds.stats();
+        let t = report.final_true.expect("gold supplied");
+        let e = report.final_estimate.as_ref().expect("estimate present");
+        println!(
+            "{name}: |A|={} |B|={} gold={} | blocked={} umbrella={} recall={} | \
+             iters={} | true P/R/F1 = {}/{}/{} | est F1 = {} (±p {:.3} ±r {:.3}) | \
+             cost {} labels {} | {:.1}s",
+            stats.n_a,
+            stats.n_b,
+            stats.n_matches,
+            report.blocker.triggered,
+            report.blocker.umbrella_size,
+            report
+                .blocking_recall
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
+            report.iterations.len(),
+            pct(t.precision),
+            pct(t.recall),
+            pct(t.f1),
+            pct(e.f1),
+            e.eps_p,
+            e.eps_r,
+            dollars(report.total_cost_cents),
+            report.total_pairs_labeled,
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+}

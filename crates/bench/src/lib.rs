@@ -1,0 +1,235 @@
+//! # bench — the experiment harness that regenerates the paper's tables
+//! and figures
+//!
+//! Each binary under `src/bin/` reproduces one table or figure of the
+//! paper's evaluation (§9); this library holds the shared glue: dataset →
+//! task conversion, simulated-crowd construction, multi-run averaging, and
+//! plain-text table rendering.
+//!
+//! All binaries accept the same flags:
+//!
+//! ```text
+//! --scale <f>    dataset scale factor (default 0.1; 1.0 = paper sizes)
+//! --runs <n>     independent runs to average (default 3, like the paper)
+//! --error <f>    mean worker error rate (default 0.05)
+//! --seed <n>     base RNG seed (default 42)
+//! --datasets a,b comma-separated subset of restaurants,citations,products
+//! ```
+
+use corleone::task::task_from_parts;
+use corleone::{BlockerConfig, CorleoneConfig, Engine, MatchTask, RunReport};
+use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
+use datagen::{EmDataset, GenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Dataset scale factor (1.0 = the paper's table sizes).
+    pub scale: f64,
+    /// Independent runs to average.
+    pub runs: usize,
+    /// Mean worker error rate for the simulated crowd.
+    pub error_rate: f64,
+    /// Base seed.
+    pub seed: u64,
+    /// Datasets to run.
+    pub datasets: Vec<String>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: 0.1,
+            runs: 3,
+            error_rate: 0.05,
+            seed: 42,
+            datasets: datagen::DATASET_NAMES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Parse the common flags from `std::env::args`. Unknown flags abort with
+/// a usage message.
+pub fn parse_args() -> ExpOptions {
+    let mut opts = ExpOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => opts.scale = need_value(i).parse().expect("bad --scale"),
+            "--runs" => opts.runs = need_value(i).parse().expect("bad --runs"),
+            "--error" => opts.error_rate = need_value(i).parse().expect("bad --error"),
+            "--seed" => opts.seed = need_value(i).parse().expect("bad --seed"),
+            "--datasets" => {
+                opts.datasets = need_value(i).split(',').map(|s| s.to_string()).collect()
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --scale <f> --runs <n> --error <f> --seed <n> --datasets a,b,c"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    opts
+}
+
+/// Generate a dataset by name at the options' scale and seed.
+pub fn dataset(name: &str, opts: &ExpOptions, run: usize) -> EmDataset {
+    datagen::by_name(
+        name,
+        GenConfig { scale: opts.scale, seed: opts.seed + run as u64 },
+    )
+    .unwrap_or_else(|| panic!("unknown dataset {name}"))
+}
+
+/// Convert a generated dataset into a `MatchTask` + gold oracle.
+pub fn make_task(ds: &EmDataset) -> (MatchTask, GoldOracle) {
+    let task = task_from_parts(
+        ds.table_a.clone(),
+        ds.table_b.clone(),
+        &ds.instruction,
+        ds.seeds.positive,
+        ds.seeds.negative,
+    );
+    let gold = GoldOracle::from_pairs(ds.gold.iter().copied());
+    (task, gold)
+}
+
+/// Build the simulated crowd for a dataset: a heterogeneous worker pool
+/// around the requested mean error rate, paid the dataset's per-question
+/// price.
+pub fn make_platform(ds: &EmDataset, error_rate: f64, seed: u64) -> CrowdPlatform {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let pool = if error_rate == 0.0 {
+        WorkerPool::perfect(50)
+    } else {
+        WorkerPool::heterogeneous(50, error_rate, error_rate / 2.0, &mut rng)
+    };
+    CrowdPlatform::new(pool, CrowdConfig { price_cents: ds.price_cents, seed, ..Default::default() })
+}
+
+/// The Corleone configuration used by the experiments: paper parameters
+/// with a laptop-scale blocking threshold.
+pub fn experiment_config() -> CorleoneConfig {
+    CorleoneConfig {
+        blocker: BlockerConfig { t_b: 100_000, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Run Corleone once on a dataset and return the report.
+pub fn run_corleone(name: &str, opts: &ExpOptions, run: usize) -> (RunReport, EmDataset) {
+    let ds = dataset(name, opts, run);
+    let (task, gold) = make_task(&ds);
+    let mut platform = make_platform(&ds, opts.error_rate, opts.seed + run as u64);
+    let engine = Engine::new(experiment_config()).with_seed(opts.seed + 1000 * run as u64);
+    let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+    (report, ds)
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Render a plain-text table: header row + aligned columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let sep = widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("  ");
+    let mut out = String::new();
+    out.push_str(&fmt_row(&header));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Format cents as dollars.
+pub fn dollars(cents: f64) -> String {
+    format!("${:.1}", cents / 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["name", "f1"],
+            &[
+                vec!["restaurants".into(), "96.5".into()],
+                vec!["x".into(), "7".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("96.5"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(pct(0.965), "96.5");
+        assert_eq!(dollars(920.0), "$9.2");
+    }
+
+    #[test]
+    fn task_and_platform_glue() {
+        let opts = ExpOptions { scale: 0.05, runs: 1, ..Default::default() };
+        let ds = dataset("restaurants", &opts, 0);
+        let (task, gold) = make_task(&ds);
+        assert_eq!(task.table_a.len(), ds.table_a.len());
+        assert_eq!(gold.n_matches(), ds.gold.len());
+        let platform = make_platform(&ds, 0.05, 1);
+        assert_eq!(platform.ledger().total_cents, 0.0);
+    }
+}

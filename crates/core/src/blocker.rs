@@ -1,0 +1,466 @@
+//! The Blocker (paper §4): crowdsourced generation, evaluation, and
+//! application of blocking rules.
+//!
+//! Pipeline: decide whether `|A × B|` exceeds `t_B` → sample `S` (random
+//! `t_B/|A|` B-tuples × all of A, plus the four seeds) → crowdsourced
+//! active learning on `S` → extract negative rules from the learned forest
+//! → select the top `k` by precision upper bound → evaluate them jointly
+//! with the crowd → greedily pick a subset to execute (by precision,
+//! coverage, and feature cost) → apply the subset to the full Cartesian
+//! product in parallel, computing only the features each rule mentions.
+
+use crate::candidates::CandidateSet;
+use crate::config::{BlockerConfig, MatcherConfig};
+use crate::learner::{run_active_learning, LearnOutcome};
+use crate::ruleeval::{
+    coverage_of, evaluate_rules_jointly, select_top_rules, EvaluatedRule, RuleEvalConfig,
+};
+use crate::task::MatchTask;
+use crowd::{CrowdPlatform, PairKey, TruthOracle};
+use forest::{negative_rules, Rule};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// What the Blocker did, for reporting (paper Table 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockerReport {
+    /// Whether blocking was triggered (`|A × B| > t_B`).
+    pub triggered: bool,
+    /// `|A × B|`.
+    pub cartesian: u64,
+    /// Size of the sample `S` (0 when not triggered).
+    pub sample_size: usize,
+    /// Active-learning iterations on `S`.
+    pub al_iterations: usize,
+    /// Negative rules extracted from the learned forest.
+    pub rules_extracted: usize,
+    /// Rules sent to crowd evaluation (top `k`).
+    pub rules_evaluated: usize,
+    /// Rules that passed evaluation.
+    pub rules_kept: usize,
+    /// Rules actually executed against `A × B`, rendered with feature
+    /// names, with their estimated precisions.
+    pub rules_applied: Vec<(String, f64)>,
+    /// Size of the umbrella set (pairs surviving blocking).
+    pub umbrella_size: usize,
+    /// Pairs labeled by the crowd during blocking.
+    pub pairs_labeled: u64,
+    /// Crowd spend during blocking, in cents.
+    pub cost_cents: f64,
+}
+
+/// Outcome: the candidate set `C` passed to the Matcher, plus the report.
+pub struct BlockerOutcome {
+    /// The umbrella set with materialized feature vectors.
+    pub candidates: CandidateSet,
+    /// Reporting data.
+    pub report: BlockerReport,
+    /// The rule objects that were executed (for audits; empty when
+    /// blocking was not triggered).
+    pub applied_rules: Vec<Rule>,
+}
+
+/// Run the Blocker.
+pub fn run_blocker(
+    task: &MatchTask,
+    platform: &mut CrowdPlatform,
+    oracle: &dyn TruthOracle,
+    cfg: &BlockerConfig,
+    matcher_cfg: &MatcherConfig,
+    rng: &mut StdRng,
+) -> BlockerOutcome {
+    let cartesian = task.cartesian_size();
+    let ledger_start = *platform.ledger();
+
+    // 1. Decide whether to block (§4.1 step 1).
+    if cartesian <= cfg.t_b {
+        let candidates = CandidateSet::full_cartesian(task);
+        let umbrella_size = candidates.len();
+        return BlockerOutcome {
+            candidates,
+            applied_rules: Vec::new(),
+            report: BlockerReport {
+                triggered: false,
+                cartesian,
+                sample_size: 0,
+                al_iterations: 0,
+                rules_extracted: 0,
+                rules_evaluated: 0,
+                rules_kept: 0,
+                rules_applied: Vec::new(),
+                umbrella_size,
+                pairs_labeled: 0,
+                cost_cents: 0.0,
+            },
+        };
+    }
+
+    // 2. Sample S: t_B/|A| random B-tuples × all of A, plus seeds (§4.1
+    //    step 2). A is the smaller table by convention.
+    let n_a = task.table_a.len();
+    let n_b_sample = ((cfg.t_b as usize).div_ceil(n_a)).min(task.table_b.len());
+    let mut b_ids: Vec<u32> = (0..task.table_b.len() as u32).collect();
+    b_ids.shuffle(rng);
+    b_ids.truncate(n_b_sample);
+    let mut sample_pairs: Vec<PairKey> = Vec::with_capacity(n_a * n_b_sample + 4);
+    for a in 0..n_a as u32 {
+        for &b in &b_ids {
+            sample_pairs.push(PairKey::new(a, b));
+        }
+    }
+    for &(seed, _) in &task.seeds {
+        if !sample_pairs.contains(&seed) {
+            sample_pairs.push(seed);
+        }
+    }
+    let sample = CandidateSet::build(task, sample_pairs);
+
+    // 3. Crowdsourced active learning on S (§4.1 step 3).
+    let seed_vectors: Vec<(Vec<f64>, bool)> = task
+        .seeds
+        .iter()
+        .map(|&(k, l)| (task.vectorize(k), l))
+        .collect();
+    let learn: LearnOutcome =
+        run_active_learning(&sample, &seed_vectors, platform, oracle, matcher_cfg, rng);
+
+    // 4. Extract candidate blocking rules (§4.1 step 4) and select top k
+    //    by the precision upper bound (§4.2 step 1), with T = examples the
+    //    crowd labeled positive during active learning.
+    let candidates_rules = negative_rules(&learn.forest);
+    let rules_extracted = candidates_rules.len();
+    let known_pos: HashSet<usize> = learn.crowd_positives.iter().copied().collect();
+    let scored = select_top_rules(candidates_rules, &sample, None, &known_pos, cfg.k_rules);
+    let rules_evaluated = scored.len();
+
+    // 5. Crowd evaluation (§4.2 step 2), seeded with the labels gathered
+    //    during active learning so they are reused for free.
+    let mut label_pool: HashMap<usize, bool> = learn.crowd_labels().collect();
+    let eval_cfg = RuleEvalConfig {
+        batch: cfg.eval_batch,
+        p_min: cfg.p_min,
+        eps_max: cfg.eps_max,
+        confidence: cfg.confidence,
+        ..Default::default()
+    };
+    let evaluated = evaluate_rules_jointly(
+        scored,
+        &sample,
+        platform,
+        oracle,
+        &eval_cfg,
+        rng,
+        &mut label_pool,
+    );
+    let mut kept: Vec<EvaluatedRule> = evaluated.iter().filter(|e| e.kept).cloned().collect();
+    let rules_kept = kept.len();
+    if kept.is_empty() {
+        // Fallback: without any passing rule blocking would be impossible
+        // and the Cartesian product may not fit in memory; execute the
+        // single most precise evaluated rule instead.
+        if let Some(best) = evaluated
+            .iter()
+            .max_by(|a, b| a.est_precision.partial_cmp(&b.est_precision).expect("finite"))
+        {
+            kept.push(best.clone());
+        }
+    }
+
+    // 6. Greedy rule-subset selection on S (§4.3): repeatedly pick the
+    //    best remaining rule by precision × coverage / cost, apply it to
+    //    shrink S, and re-rank, until S is reduced proportionally to t_B.
+    //
+    //    One guard on top of the paper's ranking: under extreme skew the
+    //    sampled precision of a rule covering *everything* (matches
+    //    included) is still ≥ 99.9%, so precision alone cannot veto
+    //    match-destroying rules. We do know something stronger: the pairs
+    //    the crowd already labeled positive. A rule covering a witnessed
+    //    positive provably blocks a real match, so such rules are only
+    //    applied when no clean rule remains.
+    let known_pos_set: HashSet<usize> = label_pool
+        .iter()
+        .filter_map(|(&i, &l)| l.then_some(i))
+        .collect();
+    let costs = task.feature_costs();
+    let target = sample.len() as f64 * (cfg.t_b as f64 / cartesian as f64);
+    let mut current: Vec<usize> = (0..sample.len()).collect();
+    let mut remaining = kept;
+    let mut applied: Vec<EvaluatedRule> = Vec::new();
+    while current.len() as f64 > target && !remaining.is_empty() {
+        // Score every remaining rule on the current residue of S.
+        let mut scored: Vec<(usize, f64, Vec<usize>)> = Vec::new();
+        for (i, er) in remaining.iter().enumerate() {
+            let cov = coverage_of(&er.rule, &sample, Some(&current));
+            if cov.is_empty() {
+                continue;
+            }
+            let cov_frac = cov.len() as f64 / current.len() as f64;
+            let cost = er.rule.eval_cost(&costs);
+            let score = er.est_precision * cov_frac / (1.0 + cost / 10.0);
+            scored.push((i, score, cov));
+        }
+        if scored.is_empty() {
+            break;
+        }
+        // §4.3's greedy: take the best-ranked rule outright, re-estimate
+        // on the residue, repeat until the sample is reduced to the
+        // target. Each blocking rule has large coverage, so this selects
+        // the 1–3 rules the paper reports rather than piling up many
+        // small rules whose recall losses would compound. Rules covering
+        // a crowd-witnessed positive are only used as a last resort.
+        let pick_best = |rs: &[&(usize, f64, Vec<usize>)]| {
+            rs.iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite score"))
+                .map(|r| (*r).clone())
+        };
+        let clean: Vec<&(usize, f64, Vec<usize>)> = scored
+            .iter()
+            .filter(|(_, _, cov)| !cov.iter().any(|i| known_pos_set.contains(i)))
+            .collect();
+        let all: Vec<&(usize, f64, Vec<usize>)> = scored.iter().collect();
+        let (i, _, cov) = pick_best(&clean)
+            .or_else(|| pick_best(&all))
+            .expect("non-empty");
+        let covered: HashSet<usize> = cov.into_iter().collect();
+        current.retain(|idx| !covered.contains(idx));
+        applied.push(remaining.swap_remove(i));
+    }
+
+    // 7. Apply the selected rules to A × B in parallel (§4.3). A pair is
+    //    blocked as soon as any selected rule fires; features are computed
+    //    lazily and memoized per pair.
+    let rules: Vec<Rule> = applied.iter().map(|e| e.rule.clone()).collect();
+    if std::env::var("CORLEONE_DEBUG_BLOCKER").is_ok() {
+        eprintln!(
+            "[blocker] |S|={} target={:.0} |S'|={} rules_applied={} kept={}",
+            sample.len(), target, current.len(), applied.len(), rules_kept
+        );
+        let names = task.feature_names();
+        for er in &applied {
+            eprintln!("[blocker]   prec={:.3} cov_on_S={} rule={}",
+                er.est_precision, er.coverage.len(), er.rule.display_with(&names));
+        }
+    }
+    let survivors = apply_rules_parallel(task, &rules);
+    let _ = &survivors;
+    let umbrella_size = survivors.len();
+    let candidates = CandidateSet::build(task, survivors);
+
+    let names = task.feature_names();
+    let ledger_end = *platform.ledger();
+    BlockerOutcome {
+        candidates,
+        applied_rules: rules,
+        report: BlockerReport {
+            triggered: true,
+            cartesian,
+            sample_size: sample.len(),
+            al_iterations: learn.iterations,
+            rules_extracted,
+            rules_evaluated,
+            rules_kept,
+            rules_applied: applied
+                .iter()
+                .map(|e| (e.rule.display_with(&names), e.est_precision))
+                .collect(),
+            umbrella_size,
+            pairs_labeled: ledger_end.pairs_labeled - ledger_start.pairs_labeled,
+            cost_cents: ledger_end.total_cents - ledger_start.total_cents,
+        },
+    }
+}
+
+/// Apply blocking rules over the full Cartesian product, in parallel,
+/// computing only the features the rules mention (lazy + memoized per
+/// pair). Returns the surviving pairs.
+pub fn apply_rules_parallel(task: &MatchTask, rules: &[Rule]) -> Vec<PairKey> {
+    let n_a = task.table_a.len() as u32;
+    let n_b = task.table_b.len() as u32;
+    if rules.is_empty() {
+        let mut all = Vec::with_capacity(n_a as usize * n_b as usize);
+        for a in 0..n_a {
+            for b in 0..n_b {
+                all.push(PairKey::new(a, b));
+            }
+        }
+        return all;
+    }
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let chunk = (n_a as usize).div_ceil(n_threads).max(1);
+    let a_ids: Vec<u32> = (0..n_a).collect();
+    let mut partials: Vec<Vec<PairKey>> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = a_ids
+            .chunks(chunk)
+            .map(|as_chunk| {
+                s.spawn(move |_| {
+                    let n_features = task.n_features();
+                    let mut memo: Vec<f64> = vec![f64::NAN; n_features];
+                    let mut computed: Vec<bool> = vec![false; n_features];
+                    let mut out = Vec::new();
+                    for &a in as_chunk {
+                        for b in 0..n_b {
+                            let pair = PairKey::new(a, b);
+                            computed.iter_mut().for_each(|c| *c = false);
+                            let mut blocked = false;
+                            'rules: for rule in rules {
+                                for p in &rule.predicates {
+                                    if !computed[p.feature] {
+                                        memo[p.feature] = task.feature(p.feature, pair);
+                                        computed[p.feature] = true;
+                                    }
+                                }
+                                if rule.matches(&memo) {
+                                    blocked = true;
+                                    break 'rules;
+                                }
+                            }
+                            if !blocked {
+                                out.push(pair);
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("blocking thread must not panic"));
+        }
+    })
+    .expect("blocking scope");
+    partials.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StoppingConfig;
+    use crate::task::task_from_parts;
+    use crowd::{CrowdConfig, GoldOracle, WorkerPool};
+    use forest::{Op, Predicate};
+    use rand::SeedableRng;
+    use similarity::{Attribute, Schema, Table, Value};
+    use std::sync::Arc;
+
+    fn toy_task(n: usize) -> (MatchTask, GoldOracle) {
+        let schema = Arc::new(Schema::new(vec![Attribute::text("name")]));
+        let a_rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Text(format!("product item {i}"))])
+            .collect();
+        let b_rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Text(format!("product item {i}"))])
+            .collect();
+        let a = Table::new("a", schema.clone(), a_rows);
+        let b = Table::new("b", schema, b_rows);
+        let task = task_from_parts(
+            a,
+            b,
+            "same?",
+            [(0, 0), (1, 1)],
+            [(0, (n - 1) as u32), (2, (n - 3) as u32)],
+        );
+        let gold = GoldOracle::from_pairs((0..n as u32).map(|i| (i, i)));
+        (task, gold)
+    }
+
+    fn small_matcher_cfg() -> MatcherConfig {
+        MatcherConfig {
+            max_iterations: 25,
+            stopping: StoppingConfig { n_converged: 8, n_degrade: 6, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_cartesian_skips_blocking() {
+        let (task, gold) = toy_task(10);
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = BlockerConfig { t_b: 1000, ..Default::default() };
+        let out = run_blocker(&task, &mut platform, &gold, &cfg, &small_matcher_cfg(), &mut rng);
+        assert!(!out.report.triggered);
+        assert_eq!(out.candidates.len(), 100);
+        assert_eq!(out.report.cost_cents, 0.0);
+    }
+
+    #[test]
+    fn large_cartesian_triggers_blocking_and_keeps_matches() {
+        let (task, gold) = toy_task(40); // cartesian 1600
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = BlockerConfig { t_b: 400, ..Default::default() };
+        let out = run_blocker(&task, &mut platform, &gold, &cfg, &small_matcher_cfg(), &mut rng);
+        assert!(out.report.triggered);
+        assert!(out.report.sample_size >= 400);
+        assert!(out.report.rules_extracted > 0);
+        assert!(
+            out.candidates.len() < 1600,
+            "blocking must reduce the Cartesian product"
+        );
+        // Recall of the umbrella set should be high: the diagonal pairs
+        // are trivially similar.
+        let umbrella: HashSet<PairKey> = out.candidates.pairs().iter().copied().collect();
+        let kept_gold = gold
+            .matches()
+            .iter()
+            .filter(|p| umbrella.contains(p))
+            .count();
+        assert!(
+            kept_gold as f64 / gold.n_matches() as f64 > 0.85,
+            "blocking recall too low: {kept_gold}/40"
+        );
+        assert!(out.report.cost_cents > 0.0);
+        assert!(out.report.pairs_labeled > 0);
+    }
+
+    #[test]
+    fn apply_rules_parallel_no_rules_returns_all() {
+        let (task, _) = toy_task(6);
+        let all = apply_rules_parallel(&task, &[]);
+        assert_eq!(all.len(), 36);
+    }
+
+    #[test]
+    fn apply_rules_parallel_matches_sequential_semantics() {
+        let (task, _) = toy_task(8);
+        let f = task
+            .feature_names()
+            .iter()
+            .position(|n| n == "name_exact")
+            .unwrap();
+        let rule = Rule {
+            predicates: vec![Predicate {
+                feature: f,
+                op: Op::Le,
+                threshold: 0.5,
+                nan_satisfies: true,
+            }],
+            label: false,
+            tree: 0,
+            n_pos: 0,
+            n_neg: 0,
+        };
+        let survivors = apply_rules_parallel(&task, &[rule.clone()]);
+        // Sequential reference.
+        let mut expected = Vec::new();
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let pair = PairKey::new(a, b);
+                let x = task.vectorize(pair);
+                if !rule.matches(&x) {
+                    expected.push(pair);
+                }
+            }
+        }
+        let mut got = survivors.clone();
+        got.sort();
+        expected.sort();
+        assert_eq!(got, expected);
+        assert_eq!(got.len(), 8, "only the diagonal survives an exact-match block");
+    }
+}

@@ -1,0 +1,111 @@
+//! Budget allocation across workflow phases — the §10 future-work
+//! direction: "given a monetary budget constraint, how to best allocate
+//! it among the blocking, matching, and accuracy estimation step?"
+//!
+//! A [`BudgetSplit`] divides the engine budget into per-phase shares. The
+//! engine enforces them as *cumulative* ledger caps, so money a phase
+//! does not spend rolls over to the next phase instead of being wasted —
+//! the natural semantics when phases execute in sequence.
+
+use serde::{Deserialize, Serialize};
+
+/// Fractional budget shares per phase. They must sum to 1 (±1e-6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSplit {
+    /// Share for the Blocker (sample labeling + rule evaluation).
+    pub blocking: f64,
+    /// Share for matcher active learning (across all iterations).
+    pub matching: f64,
+    /// Share for accuracy estimation.
+    pub estimation: f64,
+    /// Share for locating difficult pairs.
+    pub locating: f64,
+}
+
+impl Default for BudgetSplit {
+    /// Shares mirroring the paper's observed cost structure (Table 3/4:
+    /// blocking is cheap, matching dominates, estimation is substantial,
+    /// reduction is "a modest fraction (3-10%) of the overall cost").
+    fn default() -> Self {
+        BudgetSplit { blocking: 0.15, matching: 0.50, estimation: 0.25, locating: 0.10 }
+    }
+}
+
+/// Cumulative ledger caps (cents relative to the run's starting ledger).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetPlan {
+    /// Ledger cap while blocking.
+    pub after_blocking: f64,
+    /// Ledger cap while training matchers.
+    pub after_matching: f64,
+    /// Ledger cap while estimating.
+    pub after_estimation: f64,
+    /// Total budget (cap while locating).
+    pub total: f64,
+}
+
+impl BudgetSplit {
+    /// Validate and turn the split into cumulative caps for a budget.
+    ///
+    /// # Panics
+    /// Panics if any share is negative or the shares do not sum to 1.
+    pub fn plan(&self, total_cents: f64) -> BudgetPlan {
+        assert!(
+            self.blocking >= 0.0
+                && self.matching >= 0.0
+                && self.estimation >= 0.0
+                && self.locating >= 0.0,
+            "budget shares must be non-negative"
+        );
+        let sum = self.blocking + self.matching + self.estimation + self.locating;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "budget shares must sum to 1, got {sum}"
+        );
+        assert!(total_cents >= 0.0, "budget must be non-negative");
+        BudgetPlan {
+            after_blocking: total_cents * self.blocking,
+            after_matching: total_cents * (self.blocking + self.matching),
+            after_estimation: total_cents * (self.blocking + self.matching + self.estimation),
+            total: total_cents,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_split_sums_to_one() {
+        let s = BudgetSplit::default();
+        let sum = s.blocking + s.matching + s.estimation + s.locating;
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_is_cumulative_and_monotone() {
+        let p = BudgetSplit::default().plan(1000.0);
+        assert_eq!(p.after_blocking, 150.0);
+        assert_eq!(p.after_matching, 650.0);
+        assert_eq!(p.after_estimation, 900.0);
+        assert_eq!(p.total, 1000.0);
+        assert!(p.after_blocking <= p.after_matching);
+        assert!(p.after_matching <= p.after_estimation);
+        assert!(p.after_estimation <= p.total);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_split_rejected() {
+        BudgetSplit { blocking: 0.5, matching: 0.5, estimation: 0.5, locating: 0.0 }
+            .plan(100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_share_rejected() {
+        BudgetSplit { blocking: -0.1, matching: 0.6, estimation: 0.3, locating: 0.2 }
+            .plan(100.0);
+    }
+}

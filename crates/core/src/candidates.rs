@@ -1,0 +1,175 @@
+//! The candidate set `C`: surviving pairs with materialized feature
+//! vectors.
+//!
+//! The blocking threshold `t_B` is chosen so that "we can fit the feature
+//! vectors of all these pairs in memory" (§4.1) — this type is that
+//! in-memory materialization: a dense row-major matrix parallel to the
+//! pair list. Vectorization is parallelized across a crossbeam scope since
+//! it is the dominant cost when `C` is large.
+
+use crate::task::MatchTask;
+use crowd::PairKey;
+
+/// Pairs plus their feature vectors.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    pairs: Vec<PairKey>,
+    n_features: usize,
+    matrix: Vec<f64>,
+}
+
+impl CandidateSet {
+    /// Materialize feature vectors for `pairs` using the task's
+    /// vectorizer, in parallel.
+    pub fn build(task: &MatchTask, pairs: Vec<PairKey>) -> Self {
+        let n_features = task.n_features();
+        let mut matrix = vec![0.0f64; pairs.len() * n_features];
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(pairs.len().max(1));
+        let chunk = pairs.len().div_ceil(n_threads).max(1);
+        crossbeam::scope(|s| {
+            for (rows, keys) in matrix
+                .chunks_mut(chunk * n_features)
+                .zip(pairs.chunks(chunk))
+            {
+                s.spawn(move |_| {
+                    for (row, &key) in rows.chunks_mut(n_features).zip(keys) {
+                        let v = task.vectorize(key);
+                        row.copy_from_slice(&v);
+                    }
+                });
+            }
+        })
+        .expect("vectorization threads must not panic");
+        CandidateSet { pairs, n_features, matrix }
+    }
+
+    /// All `|A| × |B|` pairs, vectorized. Only sensible when the Cartesian
+    /// product is at most `t_B` (the no-blocking path).
+    pub fn full_cartesian(task: &MatchTask) -> Self {
+        let mut pairs = Vec::with_capacity(task.table_a.len() * task.table_b.len());
+        for a in 0..task.table_a.len() as u32 {
+            for b in 0..task.table_b.len() as u32 {
+                pairs.push(PairKey::new(a, b));
+            }
+        }
+        Self::build(task, pairs)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Features per pair.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The feature row of pair `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.matrix[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The key of pair `i`.
+    pub fn pair(&self, i: usize) -> PairKey {
+        self.pairs[i]
+    }
+
+    /// All pair keys.
+    pub fn pairs(&self) -> &[PairKey] {
+        &self.pairs
+    }
+
+    /// Index of a pair key, if present (linear scan — used only in tests
+    /// and small paths).
+    pub fn index_of(&self, key: PairKey) -> Option<usize> {
+        self.pairs.iter().position(|&p| p == key)
+    }
+
+    /// Restrict to a subset of indices, keeping their order.
+    pub fn subset(&self, indices: &[usize]) -> CandidateSet {
+        let mut pairs = Vec::with_capacity(indices.len());
+        let mut matrix = Vec::with_capacity(indices.len() * self.n_features);
+        for &i in indices {
+            pairs.push(self.pairs[i]);
+            matrix.extend_from_slice(self.row(i));
+        }
+        CandidateSet { pairs, n_features: self.n_features, matrix }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::task_from_parts;
+    use similarity::{Attribute, Schema, Table, Value};
+    use std::sync::Arc;
+
+    fn task() -> MatchTask {
+        let schema = Arc::new(Schema::new(vec![Attribute::text("name")]));
+        let rows = |n: usize, tag: &str| -> Vec<Vec<Value>> {
+            (0..n)
+                .map(|i| vec![Value::Text(format!("{tag} {i}"))])
+                .collect()
+        };
+        let a = Table::new("a", schema.clone(), rows(5, "alpha"));
+        let b = Table::new("b", schema, rows(7, "alpha"));
+        task_from_parts(a, b, "same?", [(0, 0), (1, 1)], [(0, 6), (2, 5)])
+    }
+
+    #[test]
+    fn full_cartesian_has_all_pairs() {
+        let t = task();
+        let c = CandidateSet::full_cartesian(&t);
+        assert_eq!(c.len(), 35);
+        assert_eq!(c.n_features(), t.n_features());
+        assert_eq!(c.pair(0), PairKey::new(0, 0));
+        assert_eq!(c.pair(34), PairKey::new(4, 6));
+    }
+
+    #[test]
+    fn rows_match_direct_vectorization() {
+        let t = task();
+        let c = CandidateSet::full_cartesian(&t);
+        for i in [0usize, 7, 34] {
+            let direct = t.vectorize(c.pair(i));
+            let row = c.row(i);
+            for (x, y) in direct.iter().zip(row) {
+                assert!((x == y) || (x.is_nan() && y.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let t = task();
+        let c = CandidateSet::full_cartesian(&t);
+        let s = c.subset(&[3, 10, 20]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pair(1), c.pair(10));
+        assert_eq!(s.row(2), c.row(20));
+    }
+
+    #[test]
+    fn index_of_finds_pairs() {
+        let t = task();
+        let c = CandidateSet::full_cartesian(&t);
+        assert_eq!(c.index_of(PairKey::new(2, 3)), Some(2 * 7 + 3));
+        assert_eq!(c.index_of(PairKey::new(9, 9)), None);
+    }
+
+    #[test]
+    fn build_empty_is_fine() {
+        let t = task();
+        let c = CandidateSet::build(&t, vec![]);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! All of Corleone's knobs, with the paper's defaults (§4–§7, §9.4).
+
+use crowd::Scheme;
+use forest::ForestConfig;
+use serde::{Deserialize, Serialize};
+
+/// Blocker parameters (paper §4).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BlockerConfig {
+    /// Blocking threshold `t_B`: blocking triggers when `|A × B|` exceeds
+    /// this, and aims to reduce the candidate set to at most this many
+    /// pairs. The paper sets 3 million (the feature vectors that fit the
+    /// authors' machine); the default here is laptop-scale.
+    pub t_b: u64,
+    /// Number of candidate rules `k` sent to crowd evaluation (§4.2).
+    pub k_rules: usize,
+    /// Examples labeled per rule-evaluation round `b` (§4.2).
+    pub eval_batch: usize,
+    /// Minimum acceptable rule precision `P_min` (§4.2).
+    pub p_min: f64,
+    /// Maximum acceptable precision error margin `ε_max` (§4.2).
+    pub eps_max: f64,
+    /// Confidence level `δ` for precision intervals (§4.2).
+    pub confidence: f64,
+}
+
+impl Default for BlockerConfig {
+    fn default() -> Self {
+        BlockerConfig {
+            t_b: 200_000,
+            k_rules: 20,
+            eval_batch: 20,
+            p_min: 0.95,
+            eps_max: 0.05,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// Stopping-rule parameters for active learning (paper §5.3).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StoppingConfig {
+    /// Smoothing window `w` over per-iteration confidence values.
+    pub window: usize,
+    /// Tolerance `ε` shared by the three patterns.
+    pub eps: f64,
+    /// Iterations of stability for the *converged confidence* pattern.
+    pub n_converged: usize,
+    /// Iterations at `≥ 1 − ε` for the *near-absolute confidence* pattern.
+    pub n_high: usize,
+    /// Window size of the *degrading confidence* pattern.
+    pub n_degrade: usize,
+    /// Never stop before this many AL iterations. Guards against the
+    /// near-absolute pattern firing on an undertrained matcher when the
+    /// monitoring set is dominated by trivially negative pairs (extreme
+    /// EM skew makes `conf(V)` start high).
+    pub min_iterations: usize,
+}
+
+impl Default for StoppingConfig {
+    fn default() -> Self {
+        StoppingConfig {
+            window: 5,
+            eps: 0.01,
+            n_converged: 20,
+            n_high: 3,
+            n_degrade: 15,
+            min_iterations: 10,
+        }
+    }
+}
+
+/// Active-learning matcher parameters (paper §5).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MatcherConfig {
+    /// Examples labeled per iteration `q` (§5.2).
+    pub batch_size: usize,
+    /// Entropy pool size `p`: the batch is weight-sampled from the `p`
+    /// highest-entropy candidates (§5.2).
+    pub pool_size: usize,
+    /// Fraction of the candidate set held out as the monitoring set `V`
+    /// (§5.3).
+    pub monitor_fraction: f64,
+    /// Hard cap on active-learning iterations (safety net; the paper's
+    /// stopping rules normally fire well before).
+    pub max_iterations: usize,
+    /// Stopping rules.
+    pub stopping: StoppingConfig,
+    /// Random-forest hyper-parameters.
+    pub forest: ForestConfig,
+    /// Absolute platform-ledger spend (in cents) at which the learning
+    /// loop stops soliciting labels. Set by the engine when the user
+    /// configured a monetary budget; `None` means unlimited.
+    pub budget_cents_cap: Option<f64>,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            batch_size: 20,
+            pool_size: 100,
+            monitor_fraction: 0.03,
+            max_iterations: 120,
+            stopping: StoppingConfig::default(),
+            forest: ForestConfig::default(),
+            budget_cents_cap: None,
+        }
+    }
+}
+
+/// Accuracy-estimator parameters (paper §6).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Probe sample size `b` per round (§6.2, currently 50 in the paper).
+    pub probe_batch: usize,
+    /// Target error margin `ε_max` on both precision and recall.
+    pub eps_max: f64,
+    /// Confidence level `δ`.
+    pub confidence: f64,
+    /// Number of candidate reduction rules considered (top `k`).
+    pub k_rules: usize,
+    /// Hard cap on probe-eval-reduce rounds (safety net).
+    pub max_rounds: usize,
+    /// Hard cap on examples the estimator may label before giving up on
+    /// reaching `eps_max` (keeps worst-case spend bounded).
+    pub max_labels: usize,
+    /// Absolute platform-ledger spend (in cents) at which the estimator
+    /// stops. Set by the engine under a monetary budget; `None` means
+    /// unlimited.
+    pub budget_cents_cap: Option<f64>,
+    /// Voting scheme for estimation labels. The paper's hybrid scheme is
+    /// the default; exposed for the voting-scheme ablation.
+    pub scheme: Scheme,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            probe_batch: 50,
+            eps_max: 0.05,
+            confidence: 0.95,
+            k_rules: 20,
+            max_rounds: 60,
+            max_labels: 3000,
+            budget_cents_cap: None,
+            scheme: Scheme::Hybrid,
+        }
+    }
+}
+
+/// Difficult Pairs' Locator parameters (paper §7).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LocatorConfig {
+    /// Top-`k` precise negative and positive rules to use.
+    pub k_rules: usize,
+    /// Stop iterating when the difficult set is smaller than this (§7:
+    /// "less than 200 examples").
+    pub min_difficult: usize,
+    /// Stop iterating when no significant reduction happens (§7:
+    /// `|C′| ≥ 0.9 · |C|`).
+    pub max_keep_ratio: f64,
+}
+
+impl Default for LocatorConfig {
+    fn default() -> Self {
+        LocatorConfig { k_rules: 20, min_difficult: 200, max_keep_ratio: 0.9 }
+    }
+}
+
+/// Engine-level parameters (paper §3).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Hard cap on matching iterations (the paper needs 1–2).
+    pub max_iterations: usize,
+    /// Optional crowd budget in cents; the engine stops starting new
+    /// phases once spend reaches it ("run until a budget has been
+    /// exhausted", §3).
+    pub budget_cents: Option<f64>,
+    /// Optional per-phase allocation of the budget (§10 future work);
+    /// ignored without `budget_cents`. Unspent allocations roll over to
+    /// later phases.
+    pub budget_split: Option<crate::budget::BudgetSplit>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { max_iterations: 4, budget_cents: None, budget_split: None }
+    }
+}
+
+/// The complete configuration.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CorleoneConfig {
+    /// Blocker (§4).
+    pub blocker: BlockerConfig,
+    /// Matcher (§5).
+    pub matcher: MatcherConfig,
+    /// Estimator (§6).
+    pub estimator: EstimatorConfig,
+    /// Locator (§7).
+    pub locator: LocatorConfig,
+    /// Engine (§3).
+    pub engine: EngineConfig,
+}
+
+impl CorleoneConfig {
+    /// A configuration scaled down for small tasks and tests: smaller
+    /// blocking threshold, fewer AL iterations, looser margins.
+    pub fn small() -> Self {
+        CorleoneConfig {
+            blocker: BlockerConfig { t_b: 5_000, ..Default::default() },
+            matcher: MatcherConfig {
+                max_iterations: 40,
+                stopping: StoppingConfig {
+                    n_converged: 10,
+                    n_degrade: 8,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            estimator: EstimatorConfig {
+                eps_max: 0.1,
+                max_rounds: 20,
+                max_labels: 600,
+                ..Default::default()
+            },
+            locator: LocatorConfig { min_difficult: 50, ..Default::default() },
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CorleoneConfig::default();
+        assert_eq!(c.blocker.k_rules, 20);
+        assert_eq!(c.blocker.eval_batch, 20);
+        assert_eq!(c.blocker.p_min, 0.95);
+        assert_eq!(c.blocker.eps_max, 0.05);
+        assert_eq!(c.matcher.batch_size, 20);
+        assert_eq!(c.matcher.pool_size, 100);
+        assert!((c.matcher.monitor_fraction - 0.03).abs() < 1e-12);
+        assert_eq!(c.matcher.stopping.window, 5);
+        assert_eq!(c.matcher.stopping.n_converged, 20);
+        assert_eq!(c.matcher.stopping.n_high, 3);
+        assert_eq!(c.matcher.stopping.n_degrade, 15);
+        assert_eq!(c.estimator.probe_batch, 50);
+        assert_eq!(c.locator.min_difficult, 200);
+        assert_eq!(c.matcher.forest.n_trees, 10);
+    }
+
+    #[test]
+    fn small_config_is_tighter() {
+        let s = CorleoneConfig::small();
+        assert!(s.blocker.t_b < CorleoneConfig::default().blocker.t_b);
+        assert!(s.matcher.max_iterations <= 40);
+    }
+}

@@ -1,0 +1,432 @@
+//! The Corleone engine (paper §3, Fig. 1): Blocker → (Matcher → Accuracy
+//! Estimator → Difficult Pairs' Locator)* until the estimated accuracy
+//! stops improving.
+//!
+//! Iteration `i` trains matcher `Mᵢ` on its region (the whole candidate
+//! set for `i = 0`, the difficult pairs located at the end of iteration
+//! `i−1` otherwise). Final predictions route each pair to the most recent
+//! matcher whose region contains it (§7 step 3). The default stopping
+//! policy is the paper's — stop when estimated accuracy no longer improves
+//! — with an optional monetary budget ("run until a budget has been
+//! exhausted", §3).
+
+use crate::blocker::{run_blocker, BlockerReport};
+use crate::candidates::CandidateSet;
+use crate::config::CorleoneConfig;
+use crate::estimator::{estimate_accuracy, AccuracyEstimate};
+use crate::learner::{run_active_learning, StopReason};
+use crate::locator::{locate_difficult_pairs, LocatorReport};
+use crate::metrics::{blocking_recall, evaluate, Prf};
+use crate::ruleeval::RuleEvalConfig;
+use crate::task::MatchTask;
+use crowd::{CrowdPlatform, PairKey, TruthOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Per-iteration record (paper Table 4 rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Size of the region this iteration's matcher was trained on.
+    pub region_size: usize,
+    /// Active-learning iterations of the matcher.
+    pub matcher_al_iterations: usize,
+    /// Why the matcher stopped.
+    pub matcher_stop: String,
+    /// Pairs labeled by the crowd while training the matcher.
+    pub matcher_pairs_labeled: u64,
+    /// Crowd spend while training the matcher, in cents.
+    pub matcher_cost_cents: f64,
+    /// Raw per-iteration confidence series (for Fig. 3-style plots).
+    pub conf_history: Vec<f64>,
+    /// The matcher's five most important features (name, normalized
+    /// split importance) — what the learned model actually looks at.
+    pub top_features: Vec<(String, f64)>,
+    /// The estimator's output for the combined predictions.
+    pub estimate: AccuracyEstimate,
+    /// True accuracy of the combined predictions, when a gold standard
+    /// was supplied (experiments only).
+    pub true_prf: Option<Prf>,
+    /// The locator's report (absent when the iteration cap or budget
+    /// stopped the run first).
+    pub locator: Option<LocatorReport>,
+}
+
+/// Full run record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// What the Blocker did (paper Table 3 row).
+    pub blocker: BlockerReport,
+    /// Blocking recall vs. gold, when supplied.
+    pub blocking_recall: Option<f64>,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationReport>,
+    /// The estimate accompanying the returned matching result.
+    pub final_estimate: Option<AccuracyEstimate>,
+    /// True accuracy of the returned result, when gold was supplied.
+    pub final_true: Option<Prf>,
+    /// The predicted matching pairs returned to the user.
+    pub predicted_matches: Vec<PairKey>,
+    /// Total crowd spend in cents.
+    pub total_cost_cents: f64,
+    /// Total distinct pairs labeled by the crowd.
+    pub total_pairs_labeled: u64,
+}
+
+impl RunReport {
+    /// Total crowd spend in dollars.
+    pub fn total_cost_dollars(&self) -> f64 {
+        self.total_cost_cents / 100.0
+    }
+}
+
+/// The hands-off EM engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: CorleoneConfig,
+    seed: u64,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(cfg: CorleoneConfig) -> Self {
+        Engine { cfg, seed: 0x5EED }
+    }
+
+    /// Override the engine's RNG seed (sampling, bagging, batch draws).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run the full hands-off workflow. `gold` is used only to fill the
+    /// `true_*` report fields for experiments; pass `None` in production.
+    pub fn run(
+        &self,
+        task: &MatchTask,
+        platform: &mut CrowdPlatform,
+        oracle: &dyn TruthOracle,
+        gold: Option<&HashSet<PairKey>>,
+    ) -> RunReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ledger_start = *platform.ledger();
+
+        // Per-phase cumulative caps when a budget split is configured
+        // (§10 budget-allocation extension).
+        let plan = match (self.cfg.engine.budget_cents, self.cfg.engine.budget_split) {
+            (Some(b), Some(split)) => Some(split.plan(b)),
+            _ => None,
+        };
+
+        // ---- Blocking (§4).
+        let mut blocker_matcher_cfg = self.cfg.matcher;
+        if let Some(p) = &plan {
+            blocker_matcher_cfg.budget_cents_cap =
+                Some(ledger_start.total_cents + p.after_blocking);
+        }
+        let blocked = run_blocker(
+            task,
+            platform,
+            oracle,
+            &self.cfg.blocker,
+            &blocker_matcher_cfg,
+            &mut rng,
+        );
+        let cand: CandidateSet = blocked.candidates;
+        let blocker_report = blocked.report;
+        let blocking_rec = gold.map(|g| {
+            let umbrella: HashSet<PairKey> = cand.pairs().iter().copied().collect();
+            blocking_recall(&umbrella, g)
+        });
+
+        let seed_vectors: Vec<(Vec<f64>, bool)> = task
+            .seeds
+            .iter()
+            .map(|&(k, l)| (task.vectorize(k), l))
+            .collect();
+
+        let mut predictions: Vec<bool> = vec![false; cand.len()];
+        let mut known_labels: HashMap<usize, bool> = HashMap::new();
+        let mut region: Vec<usize> = (0..cand.len()).collect();
+        let mut iterations: Vec<IterationReport> = Vec::new();
+        let mut best: Option<(AccuracyEstimate, Vec<bool>)> = None;
+
+        let budget_left = |platform: &CrowdPlatform| {
+            self.cfg.engine.budget_cents.map_or(true, |b| {
+                platform.ledger().total_cents - ledger_start.total_cents < b
+            })
+        };
+
+        for iter_no in 1..=self.cfg.engine.max_iterations {
+            if region.is_empty() || !budget_left(platform) {
+                break;
+            }
+            // ---- Matcher (§5) on this iteration's region.
+            let sub = cand.subset(&region);
+            let ledger_m = *platform.ledger();
+            let mut matcher_cfg = self.cfg.matcher;
+            if let Some(budget) = self.cfg.engine.budget_cents {
+                matcher_cfg.budget_cents_cap = Some(ledger_start.total_cents + budget);
+            }
+            if let Some(p) = &plan {
+                matcher_cfg.budget_cents_cap =
+                    Some(ledger_start.total_cents + p.after_matching);
+            }
+            let learn = run_active_learning(
+                &sub,
+                &seed_vectors,
+                platform,
+                oracle,
+                &matcher_cfg,
+                &mut rng,
+            );
+            let ledger_m_end = *platform.ledger();
+            for (sub_idx, label) in learn.crowd_labels() {
+                known_labels.insert(region[sub_idx], label);
+            }
+            for (j, &global) in region.iter().enumerate() {
+                predictions[global] = learn.forest.predict(sub.row(j));
+            }
+
+            // ---- Accuracy Estimator (§6) over the combined predictions.
+            // Under a monetary budget, cap the estimator's label budget by
+            // what is left, using the observed average cost per labeled
+            // pair so far.
+            let mut est_cfg = self.cfg.estimator;
+            if let Some(budget) = self.cfg.engine.budget_cents {
+                let ledger = platform.ledger();
+                let spent = ledger.total_cents - ledger_start.total_cents;
+                let per_label = if ledger.pairs_labeled > 0 {
+                    (ledger.total_cents / ledger.pairs_labeled as f64).max(0.1)
+                } else {
+                    3.0
+                };
+                let remaining = (budget - spent).max(0.0);
+                est_cfg.max_labels = est_cfg
+                    .max_labels
+                    .min((remaining / per_label) as usize)
+                    .max(est_cfg.probe_batch);
+                est_cfg.budget_cents_cap = Some(
+                    ledger_start.total_cents
+                        + plan.as_ref().map_or(budget, |p| p.after_estimation),
+                );
+            }
+            let estimate = estimate_accuracy(
+                &cand,
+                &predictions,
+                &learn.forest,
+                &known_labels,
+                platform,
+                oracle,
+                &est_cfg,
+                &mut rng,
+            );
+            // Fold the estimator's uniform sample back into the shared
+            // label pool (it is cached crowd knowledge either way).
+
+            let true_prf = gold.map(|g| {
+                let pred: HashSet<PairKey> = predicted_pairs(&cand, &predictions);
+                evaluate(&pred, g)
+            });
+
+            let feature_names = task.feature_names();
+            let mut importance: Vec<(String, f64)> = learn
+                .forest
+                .feature_importance(task.n_features())
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (feature_names[i].clone(), v))
+                .collect();
+            importance
+                .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("importance is finite"));
+            importance.truncate(5);
+
+            let mut report = IterationReport {
+                iteration: iter_no,
+                region_size: region.len(),
+                matcher_al_iterations: learn.iterations,
+                matcher_stop: stop_label(learn.stop),
+                matcher_pairs_labeled: ledger_m_end.pairs_labeled - ledger_m.pairs_labeled,
+                matcher_cost_cents: ledger_m_end.total_cents - ledger_m.total_cents,
+                conf_history: learn.conf_history.clone(),
+                top_features: importance,
+                estimate: estimate.clone(),
+                true_prf,
+                locator: None,
+            };
+
+            // ---- Continue? (§3: stop when estimated accuracy no longer
+            // improves; keep the previous iteration's result.)
+            let improved = best
+                .as_ref()
+                .map_or(true, |(b, _)| estimate.f1 > b.f1);
+            if improved {
+                best = Some((estimate.clone(), predictions.clone()));
+            } else {
+                // Roll back to the better previous result and stop.
+                if let Some((_, ref snap)) = best {
+                    predictions.clone_from(snap);
+                }
+                iterations.push(report);
+                break;
+            }
+            if iter_no == self.cfg.engine.max_iterations || !budget_left(platform) {
+                iterations.push(report);
+                break;
+            }
+
+            // ---- Difficult Pairs' Locator (§7).
+            let eval_cfg = RuleEvalConfig {
+                batch: self.cfg.blocker.eval_batch,
+                p_min: self.cfg.blocker.p_min,
+                eps_max: self.cfg.blocker.eps_max,
+                confidence: self.cfg.blocker.confidence,
+                ..Default::default()
+            };
+            let located = locate_difficult_pairs(
+                &cand,
+                &region,
+                &learn.forest,
+                &known_labels,
+                platform,
+                oracle,
+                &self.cfg.locator,
+                &eval_cfg,
+                &mut rng,
+            );
+            report.locator = Some(located.report.clone());
+            iterations.push(report);
+            match located.difficult {
+                Some(next) => region = next,
+                None => break,
+            }
+        }
+
+        let ledger_end = *platform.ledger();
+        let final_estimate = best.as_ref().map(|(e, _)| e.clone());
+        if let Some((_, snap)) = best {
+            predictions = snap;
+        }
+        let predicted: HashSet<PairKey> = predicted_pairs(&cand, &predictions);
+        let final_true = gold.map(|g| evaluate(&predicted, g));
+        let mut predicted_matches: Vec<PairKey> = predicted.into_iter().collect();
+        predicted_matches.sort();
+
+        RunReport {
+            blocker: blocker_report,
+            blocking_recall: blocking_rec,
+            iterations,
+            final_estimate,
+            final_true,
+            predicted_matches,
+            total_cost_cents: ledger_end.total_cents - ledger_start.total_cents,
+            total_pairs_labeled: ledger_end.pairs_labeled - ledger_start.pairs_labeled,
+        }
+    }
+}
+
+fn predicted_pairs(cand: &CandidateSet, predictions: &[bool]) -> HashSet<PairKey> {
+    predictions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| p.then(|| cand.pair(i)))
+        .collect()
+}
+
+fn stop_label(stop: StopReason) -> String {
+    match stop {
+        StopReason::Pattern(d) => format!("{d:?}"),
+        StopReason::Exhausted => "Exhausted".to_string(),
+        StopReason::MaxIterations => "MaxIterations".to_string(),
+        StopReason::Budget => "Budget".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::task_from_parts;
+    use crowd::{CrowdConfig, GoldOracle, WorkerPool};
+    use similarity::{Attribute, Schema, Table, Value};
+    use std::sync::Arc;
+
+    fn toy() -> (MatchTask, GoldOracle) {
+        let schema = Arc::new(Schema::new(vec![Attribute::text("name")]));
+        let a_rows: Vec<Vec<Value>> = (0..25)
+            .map(|i| vec![Value::Text(format!("acme part number {i}"))])
+            .collect();
+        let mut b_rows: Vec<Vec<Value>> = (0..25)
+            .map(|i| vec![Value::Text(format!("acme part number {i}"))])
+            .collect();
+        b_rows.extend((0..8).map(|i| vec![Value::Text(format!("globex unit {i}"))]));
+        let a = Table::new("a", schema.clone(), a_rows);
+        let b = Table::new("b", schema, b_rows);
+        let task = task_from_parts(a, b, "same part", [(0, 0), (1, 1)], [(0, 30), (2, 28)]);
+        let gold = GoldOracle::from_pairs((0..25).map(|i| (i, i)));
+        (task, gold)
+    }
+
+    #[test]
+    fn full_run_matches_well_and_reports() {
+        let (task, gold) = toy();
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let engine = Engine::new(CorleoneConfig::small()).with_seed(3);
+        let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+        assert!(!report.iterations.is_empty());
+        let f1 = report.final_true.expect("gold supplied").f1;
+        assert!(f1 > 0.85, "final F1 {f1}");
+        assert!(report.total_cost_cents > 0.0);
+        assert!(report.total_pairs_labeled > 0);
+        assert!(!report.predicted_matches.is_empty());
+        // Estimate should be in the ballpark of the truth.
+        let est = report.final_estimate.as_ref().unwrap();
+        assert!((est.f1 - f1).abs() < 0.25, "est {} vs true {}", est.f1, f1);
+    }
+
+    #[test]
+    fn budget_limits_spend() {
+        let (task, gold) = toy();
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let mut cfg = CorleoneConfig::small();
+        cfg.engine.budget_cents = Some(50.0);
+        let engine = Engine::new(cfg).with_seed(4);
+        let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+        // One in-flight phase can overshoot, but not by orders of
+        // magnitude.
+        assert!(
+            report.total_cost_cents < 50.0 + 500.0,
+            "spent {}",
+            report.total_cost_cents
+        );
+    }
+
+    #[test]
+    fn run_without_gold_has_no_true_metrics() {
+        let (task, gold) = toy();
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let engine = Engine::new(CorleoneConfig::small()).with_seed(5);
+        let report = engine.run(&task, &mut platform, &gold, None);
+        assert!(report.final_true.is_none());
+        assert!(report.blocking_recall.is_none());
+        assert!(report.final_estimate.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let (task, gold) = toy();
+        let run = |seed| {
+            let mut platform =
+                CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+            Engine::new(CorleoneConfig::small())
+                .with_seed(seed)
+                .run(&task, &mut platform, &gold, Some(gold.matches()))
+        };
+        let r1 = run(7);
+        let r2 = run(7);
+        assert_eq!(r1.predicted_matches, r2.predicted_matches);
+        assert_eq!(r1.total_cost_cents, r2.total_cost_cents);
+    }
+}

@@ -1,0 +1,71 @@
+//! # corleone — hands-off crowdsourced entity matching
+//!
+//! A from-scratch Rust implementation of **Corleone** (Gokhale et al.,
+//! SIGMOD 2014): the first *hands-off crowdsourcing* (HOC) system for
+//! entity matching. Given two tables, a one-paragraph matching
+//! instruction, and four seed examples, Corleone executes the entire EM
+//! workflow with a paid, noisy crowd and **no developer in the loop**:
+//!
+//! * [`blocker`] (§4) — learns machine-readable blocking rules from the
+//!   crowd by extracting negative rules from a random forest trained with
+//!   crowdsourced active learning on a sample of `A × B`, evaluates their
+//!   precision with the crowd, and applies the best subset in parallel.
+//! * [`learner`] (§5) — the crowdsourced active-learning matcher, with the
+//!   vote-entropy batch selection and the three confidence-based stopping
+//!   patterns of [`stopping`].
+//! * [`estimator`] (§6) — estimates precision/recall to a target margin
+//!   with a probe–eval–reduce loop that uses crowd-validated *reduction
+//!   rules* to densify the skewed positive class.
+//! * [`locator`] (§7) — finds difficult-to-match pairs by removing
+//!   everything covered by crowd-validated precise positive/negative
+//!   rules, so the next iteration can train a dedicated matcher.
+//! * [`engine`] (§3) — orchestrates iterations until the estimated
+//!   accuracy stops improving, routing each pair to the matcher trained
+//!   on its region.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use corleone::{Engine, CorleoneConfig, MatchTask};
+//! use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
+//!
+//! # fn get_task() -> (MatchTask, GoldOracle) { unimplemented!() }
+//! let (task, oracle) = get_task(); // tables + instruction + 4 seeds
+//! let workers = WorkerPool::uniform(50, 0.05);       // simulated crowd
+//! let mut platform = CrowdPlatform::new(workers, CrowdConfig::default());
+//! let report = Engine::new(CorleoneConfig::default())
+//!     .run(&task, &mut platform, &oracle, None);
+//! println!("estimated F1: {:?}", report.final_estimate);
+//! ```
+
+pub mod blocker;
+pub mod budget;
+pub mod candidates;
+pub mod cleaner;
+pub mod config;
+pub mod engine;
+pub mod estimator;
+pub mod join;
+pub mod learner;
+pub mod locator;
+pub mod metrics;
+pub mod report;
+pub mod ruleeval;
+pub mod stopping;
+pub mod task;
+
+pub use blocker::{run_blocker, BlockerOutcome, BlockerReport};
+pub use budget::{BudgetPlan, BudgetSplit};
+pub use cleaner::{clean_forest, CleanedForest, CleanerConfig, CleaningReport};
+pub use candidates::CandidateSet;
+pub use config::{
+    BlockerConfig, CorleoneConfig, EngineConfig, EstimatorConfig, LocatorConfig, MatcherConfig,
+    StoppingConfig,
+};
+pub use engine::{Engine, IterationReport, RunReport};
+pub use estimator::{estimate_accuracy, AccuracyEstimate};
+pub use join::{hands_off_join, JoinResult, JoinedRow};
+pub use learner::{run_active_learning, LearnOutcome, StopReason};
+pub use locator::{locate_difficult_pairs, LocatorOutcome};
+pub use metrics::{evaluate, Prf};
+pub use task::MatchTask;

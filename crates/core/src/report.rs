@@ -1,0 +1,148 @@
+//! Human-readable rendering of run reports, shared by the CLI and the
+//! examples.
+
+use crate::engine::RunReport;
+use std::fmt::Write as _;
+
+impl RunReport {
+    /// Render the full run as readable text: blocking summary, one block
+    /// per iteration (matcher / estimate / truth / locator), and totals.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let pct = |x: f64| format!("{:.1}%", x * 100.0);
+
+        if self.blocker.triggered {
+            let _ = writeln!(
+                out,
+                "Blocker: {} pairs → {} ({} rules; labeled {}, ${:.2})",
+                self.blocker.cartesian,
+                self.blocker.umbrella_size,
+                self.blocker.rules_applied.len(),
+                self.blocker.pairs_labeled,
+                self.blocker.cost_cents / 100.0,
+            );
+            for (rule, prec) in &self.blocker.rules_applied {
+                let _ = writeln!(out, "  rule (est. precision {prec:.3}): {rule}");
+            }
+            if let Some(r) = self.blocking_recall {
+                let _ = writeln!(out, "  blocking recall: {}", pct(r));
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "Blocker: not triggered ({} pairs fit in memory)",
+                self.blocker.cartesian
+            );
+        }
+
+        for it in &self.iterations {
+            let _ = writeln!(out, "Iteration {}:", it.iteration);
+            let _ = writeln!(
+                out,
+                "  matcher: {} AL iterations over {} pairs, stop = {} \
+                 ({} labeled, ${:.2})",
+                it.matcher_al_iterations,
+                it.region_size,
+                it.matcher_stop,
+                it.matcher_pairs_labeled,
+                it.matcher_cost_cents / 100.0,
+            );
+            if !it.top_features.is_empty() {
+                let feats: Vec<String> = it
+                    .top_features
+                    .iter()
+                    .map(|(n, v)| format!("{n} ({})", pct(*v)))
+                    .collect();
+                let _ = writeln!(out, "  model features: {}", feats.join(", "));
+            }
+            let e = &it.estimate;
+            let _ = writeln!(
+                out,
+                "  estimate: P={} (±{:.3}) R={} (±{:.3}) F1={} \
+                 [{} rules, {} labels, ${:.2}]",
+                pct(e.precision),
+                e.eps_p,
+                pct(e.recall),
+                e.eps_r,
+                pct(e.f1),
+                e.rules_used,
+                e.pairs_labeled,
+                e.cost_cents / 100.0,
+            );
+            if let Some(t) = it.true_prf {
+                let _ = writeln!(
+                    out,
+                    "  truth:    P={} R={} F1={}",
+                    pct(t.precision),
+                    pct(t.recall),
+                    pct(t.f1)
+                );
+            }
+            if let Some(loc) = &it.locator {
+                let _ = writeln!(
+                    out,
+                    "  locator: {} difficult of {} ({}+{} rules){}",
+                    loc.difficult_size,
+                    loc.input_size,
+                    loc.negative_rules_used,
+                    loc.positive_rules_used,
+                    loc.termination
+                        .as_ref()
+                        .map(|t| format!(" — stop: {t}"))
+                        .unwrap_or_default(),
+                );
+            }
+        }
+
+        let _ = writeln!(
+            out,
+            "Result: {} matches, ${:.2} total, {} pairs labeled",
+            self.predicted_matches.len(),
+            self.total_cost_cents / 100.0,
+            self.total_pairs_labeled,
+        );
+        if let Some(t) = self.final_true {
+            let _ = writeln!(
+                out,
+                "Final truth: P={} R={} F1={}",
+                pct(t.precision),
+                pct(t.recall),
+                pct(t.f1)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::task::task_from_parts;
+    use crate::{CorleoneConfig, Engine};
+    use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
+    use similarity::{Attribute, Schema, Table, Value};
+    use std::sync::Arc;
+
+    #[test]
+    fn render_text_mentions_every_phase() {
+        let schema = Arc::new(Schema::new(vec![Attribute::text("name")]));
+        let rows: Vec<Vec<Value>> = (0..15)
+            .map(|i| vec![Value::Text(format!("row {i}"))])
+            .collect();
+        let a = Table::new("a", schema.clone(), rows.clone());
+        let b = Table::new("b", schema, rows);
+        let task = task_from_parts(a, b, "same", [(0, 0), (1, 1)], [(0, 14), (2, 12)]);
+        let gold = GoldOracle::from_pairs((0..15).map(|i| (i, i)));
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        let report = Engine::new(CorleoneConfig::small())
+            .with_seed(1)
+            .run(&task, &mut platform, &gold, Some(gold.matches()));
+        let text = report.render_text();
+        assert!(text.contains("Blocker:"));
+        assert!(text.contains("Iteration 1:"));
+        assert!(text.contains("estimate:"));
+        assert!(text.contains("truth:"));
+        assert!(text.contains("Result:"));
+        assert!(text.contains("Final truth:"));
+        assert!(text.contains("model features:"));
+    }
+}

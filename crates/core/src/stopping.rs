@@ -1,0 +1,206 @@
+//! Stopping rules for crowdsourced active learning (paper §5.3, Fig. 3).
+//!
+//! Crowd noise makes the raw confidence series jagged, so the series is
+//! first smoothed with a centered moving average of width `w`, then three
+//! patterns are checked: *converged confidence*, *near-absolute
+//! confidence*, and *degrading confidence*. On a degrading stop the caller
+//! must roll back to "the last classifier before degrading" — the peak of
+//! the smoothed series, which [`peak_index`] locates.
+
+use crate::config::StoppingConfig;
+use serde::{Deserialize, Serialize};
+
+/// Decision after an active-learning iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopDecision {
+    /// Keep training.
+    Continue,
+    /// Confidence stabilized within `±ε` for `n_converged` iterations.
+    Converged,
+    /// Confidence at `≥ 1 − ε` for `n_high` consecutive iterations.
+    NearAbsolute,
+    /// Confidence peaked and then degraded; roll back to the peak
+    /// classifier.
+    Degrading,
+}
+
+impl StopDecision {
+    /// True for any of the three stop patterns.
+    pub fn should_stop(self) -> bool {
+        self != StopDecision::Continue
+    }
+}
+
+/// Centered moving average of width `w` (odd widths behave as the paper
+/// describes: `(w−1)/2` on each side). Near the series boundaries the
+/// window is truncated to the available values.
+pub fn smooth(values: &[f64], w: usize) -> Vec<f64> {
+    assert!(w >= 1, "window must be positive");
+    let half = (w - 1) / 2;
+    (0..values.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Index of the maximum of the smoothed series (first maximum on ties).
+pub fn peak_index(values: &[f64], cfg: &StoppingConfig) -> usize {
+    let s = smooth(values, cfg.window);
+    s.iter()
+        .enumerate()
+        .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+            if v > bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
+        })
+        .0
+}
+
+/// Check the three stopping patterns over the confidence history (one
+/// value per AL iteration, oldest first).
+pub fn check(values: &[f64], cfg: &StoppingConfig) -> StopDecision {
+    if values.len() < cfg.min_iterations {
+        return StopDecision::Continue;
+    }
+    let s = smooth(values, cfg.window);
+
+    // Near-absolute confidence: last n_high smoothed values ≥ 1 − ε.
+    if s.len() >= cfg.n_high
+        && s[s.len() - cfg.n_high..]
+            .iter()
+            .all(|&v| v >= 1.0 - cfg.eps)
+    {
+        return StopDecision::NearAbsolute;
+    }
+
+    // Converged confidence: the last n_converged smoothed values stay
+    // within a 2ε interval (∃ v*: |v − v*| ≤ ε for all of them).
+    if s.len() >= cfg.n_converged {
+        let tail = &s[s.len() - cfg.n_converged..];
+        let max = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+        if max - min <= 2.0 * cfg.eps {
+            return StopDecision::Converged;
+        }
+    }
+
+    // Degrading confidence: two consecutive windows of size n_degrade;
+    // the earlier window's max exceeds the later one's by more than ε.
+    if s.len() >= 2 * cfg.n_degrade {
+        let first = &s[s.len() - 2 * cfg.n_degrade..s.len() - cfg.n_degrade];
+        let second = &s[s.len() - cfg.n_degrade..];
+        let max1 = first.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max2 = second.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if max1 > max2 + cfg.eps {
+            return StopDecision::Degrading;
+        }
+    }
+
+    StopDecision::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StoppingConfig {
+        StoppingConfig { window: 5, eps: 0.01, n_converged: 20, n_high: 3, n_degrade: 15, min_iterations: 0 }
+    }
+
+    #[test]
+    fn smooth_is_identity_for_w1() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(smooth(&v, 1), v);
+    }
+
+    #[test]
+    fn smooth_averages_centered() {
+        let v = vec![0.0, 3.0, 6.0];
+        let s = smooth(&v, 3);
+        assert_eq!(s[1], 3.0);
+        assert_eq!(s[0], 1.5); // truncated window [0,3]
+        assert_eq!(s[2], 4.5);
+    }
+
+    #[test]
+    fn short_history_continues() {
+        assert_eq!(check(&[0.5, 0.6], &cfg()), StopDecision::Continue);
+    }
+
+    #[test]
+    fn converged_pattern_fires() {
+        // Rise then a flat plateau of 25 identical values (Fig. 3a).
+        let mut v: Vec<f64> = (0..10).map(|i| 0.5 + 0.03 * i as f64).collect();
+        v.extend(std::iter::repeat(0.8).take(25));
+        assert_eq!(check(&v, &cfg()), StopDecision::Converged);
+    }
+
+    #[test]
+    fn near_absolute_fires_early() {
+        // Only a handful of very high values needed (Fig. 3b) — no waiting
+        // for the 20-iteration convergence window.
+        let mut v: Vec<f64> = (0..6).map(|i| 0.6 + 0.07 * i as f64).collect();
+        v.extend([0.995, 0.996, 0.997, 0.996, 0.997]);
+        assert_eq!(check(&v, &cfg()), StopDecision::NearAbsolute);
+    }
+
+    #[test]
+    fn degrading_fires_after_peak() {
+        // Rise to a peak then steady decline (Fig. 3b right).
+        let mut v: Vec<f64> = (0..15).map(|i| 0.5 + 0.03 * i as f64).collect();
+        v.extend((0..20).map(|i| 0.95 - 0.012 * i as f64));
+        let d = check(&v, &cfg());
+        assert_eq!(d, StopDecision::Degrading);
+        assert!(d.should_stop());
+        // The peak sits where the series turns.
+        let p = peak_index(&v, &cfg());
+        assert!((12..=17).contains(&p), "peak at {p}");
+    }
+
+    #[test]
+    fn noisy_plateau_still_converges() {
+        // ±0.004 noise around 0.8 smooths to within the 2ε band.
+        let mut v: Vec<f64> = (0..10).map(|i| 0.5 + 0.03 * i as f64).collect();
+        for i in 0..30 {
+            v.push(0.8 + if i % 2 == 0 { 0.004 } else { -0.004 });
+        }
+        assert_eq!(check(&v, &cfg()), StopDecision::Converged);
+    }
+
+    #[test]
+    fn rising_series_continues() {
+        let v: Vec<f64> = (0..40).map(|i| 0.3 + 0.012 * i as f64).collect();
+        assert_eq!(check(&v, &cfg()), StopDecision::Continue);
+    }
+
+    #[test]
+    fn spike_does_not_trigger_degrading() {
+        // A single-iteration spike is absorbed by the w=5 smoothing.
+        let mut v: Vec<f64> = (0..20).map(|_| 0.7).collect();
+        v[10] = 0.9;
+        v.extend(std::iter::repeat(0.7).take(15));
+        // (The converged pattern may fire; degrading must not.)
+        assert_ne!(check(&v, &cfg()), StopDecision::Degrading);
+    }
+
+    #[test]
+    fn min_iterations_delays_any_stop() {
+        let c = StoppingConfig { min_iterations: 10, ..cfg() };
+        // A flat, near-absolute series that would otherwise stop at once.
+        let v = vec![0.999; 8];
+        assert_eq!(check(&v, &c), StopDecision::Continue);
+        let v = vec![0.999; 10];
+        assert_eq!(check(&v, &c), StopDecision::NearAbsolute);
+    }
+
+    #[test]
+    fn peak_index_of_monotone_series_is_last() {
+        let v: Vec<f64> = (0..30).map(|i| i as f64 / 30.0).collect();
+        assert_eq!(peak_index(&v, &cfg()), v.len() - 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! The hands-off task description: exactly what a Corleone user supplies
+//! (paper §3) — two tables, a matching instruction, and four seed examples.
+
+use crowd::PairKey;
+use serde::{Deserialize, Serialize};
+use similarity::{FeatureVectorizer, Table};
+
+/// A hands-off EM task. Constructing one fits the feature vectorizer
+/// (feature library + per-attribute TF/IDF corpora) over both tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchTask {
+    /// Table A (conventionally the smaller one).
+    pub table_a: Table,
+    /// Table B.
+    pub table_b: Table,
+    /// Short textual instruction to the crowd (§3 item 2).
+    pub instruction: String,
+    /// The four labeled seed examples (§3 item 3): two positive, two
+    /// negative.
+    pub seeds: Vec<(PairKey, bool)>,
+    /// Fitted vectorizer for this task.
+    pub vectorizer: FeatureVectorizer,
+}
+
+impl MatchTask {
+    /// Build a task. Fits the vectorizer over both tables.
+    ///
+    /// # Panics
+    /// Panics if the tables do not share a schema or the seed examples are
+    /// not two positive and two negative pairs within the tables.
+    pub fn new(
+        table_a: Table,
+        table_b: Table,
+        instruction: impl Into<String>,
+        seeds: Vec<(PairKey, bool)>,
+    ) -> Self {
+        assert_eq!(
+            seeds.iter().filter(|(_, l)| *l).count(),
+            2,
+            "need exactly two positive seed examples"
+        );
+        assert_eq!(
+            seeds.iter().filter(|(_, l)| !*l).count(),
+            2,
+            "need exactly two negative seed examples"
+        );
+        for (p, _) in &seeds {
+            assert!(
+                (p.a as usize) < table_a.len() && (p.b as usize) < table_b.len(),
+                "seed pair {p:?} out of range"
+            );
+        }
+        let vectorizer = FeatureVectorizer::fit(&table_a, &table_b);
+        MatchTask { table_a, table_b, instruction: instruction.into(), seeds, vectorizer }
+    }
+
+    /// `|A × B|`.
+    pub fn cartesian_size(&self) -> u64 {
+        self.table_a.len() as u64 * self.table_b.len() as u64
+    }
+
+    /// Number of features per pair vector.
+    pub fn n_features(&self) -> usize {
+        self.vectorizer.n_features()
+    }
+
+    /// Compute the full feature vector of a pair.
+    pub fn vectorize(&self, pair: PairKey) -> Vec<f64> {
+        self.vectorizer.vectorize(
+            self.table_a.record(pair.a),
+            self.table_b.record(pair.b),
+        )
+    }
+
+    /// Compute one feature of a pair (lazy path for blocking-rule
+    /// application over `A × B`).
+    pub fn feature(&self, idx: usize, pair: PairKey) -> f64 {
+        self.vectorizer.feature(
+            idx,
+            self.table_a.record(pair.a),
+            self.table_b.record(pair.b),
+        )
+    }
+
+    /// Per-feature unit costs (for rule ranking, §4.3).
+    pub fn feature_costs(&self) -> Vec<f64> {
+        self.vectorizer.library().defs.iter().map(|d| d.cost()).collect()
+    }
+
+    /// Feature names (for rule display).
+    pub fn feature_names(&self) -> Vec<String> {
+        self.vectorizer.library().names()
+    }
+}
+
+/// Build a [`MatchTask`] from a generated dataset-like bundle. Kept here so
+/// examples and benches don't repeat the glue.
+pub fn task_from_parts(
+    table_a: Table,
+    table_b: Table,
+    instruction: &str,
+    positive: [(u32, u32); 2],
+    negative: [(u32, u32); 2],
+) -> MatchTask {
+    let seeds = positive
+        .iter()
+        .map(|&(a, b)| (PairKey::new(a, b), true))
+        .chain(negative.iter().map(|&(a, b)| (PairKey::new(a, b), false)))
+        .collect();
+    MatchTask::new(table_a, table_b, instruction, seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use similarity::{Attribute, Schema, Value};
+    use std::sync::Arc;
+
+    fn tiny_task() -> MatchTask {
+        let schema = Arc::new(Schema::new(vec![Attribute::text("name")]));
+        let rows_a: Vec<Vec<Value>> =
+            (0..6).map(|i| vec![Value::Text(format!("item {i}"))]).collect();
+        let rows_b: Vec<Vec<Value>> =
+            (0..6).map(|i| vec![Value::Text(format!("item {i}"))]).collect();
+        let a = Table::new("a", schema.clone(), rows_a);
+        let b = Table::new("b", schema, rows_b);
+        task_from_parts(a, b, "match same item", [(0, 0), (1, 1)], [(0, 5), (2, 4)])
+    }
+
+    #[test]
+    fn task_wiring() {
+        let t = tiny_task();
+        assert_eq!(t.cartesian_size(), 36);
+        assert_eq!(t.seeds.len(), 4);
+        assert!(t.n_features() > 0);
+        let v = t.vectorize(PairKey::new(0, 0));
+        assert_eq!(v.len(), t.n_features());
+        assert_eq!(t.feature(0, PairKey::new(0, 0)), v[0]);
+        assert_eq!(t.feature_costs().len(), t.n_features());
+        assert_eq!(t.feature_names().len(), t.n_features());
+    }
+
+    #[test]
+    #[should_panic(expected = "two positive seed")]
+    fn rejects_wrong_seed_balance() {
+        let t = tiny_task();
+        MatchTask::new(
+            t.table_a.clone(),
+            t.table_b.clone(),
+            "x",
+            vec![
+                (PairKey::new(0, 0), true),
+                (PairKey::new(1, 1), false),
+                (PairKey::new(2, 2), false),
+                (PairKey::new(3, 3), false),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_seed() {
+        let t = tiny_task();
+        MatchTask::new(
+            t.table_a.clone(),
+            t.table_b.clone(),
+            "x",
+            vec![
+                (PairKey::new(0, 0), true),
+                (PairKey::new(99, 1), true),
+                (PairKey::new(2, 2), false),
+                (PairKey::new(3, 3), false),
+            ],
+        );
+    }
+}

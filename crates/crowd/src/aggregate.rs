@@ -1,0 +1,221 @@
+//! Expectation-maximization answer aggregation — the alternative to
+//! majority voting the paper discusses and sets aside (§8.2: "Several
+//! solutions have been proposed for combining noisy answers, such as
+//! golden questions [17] and expectation maximization [13]. They often
+//! require a large number of answers to work well, and it is not yet
+//! clear when they outperform simple solutions, e.g., majority voting").
+//!
+//! This module implements a binary Dawid–Skene-style EM estimator so that
+//! claim can be tested empirically (see the `voting_em` test and the
+//! `ablation_voting` binary): it jointly infers per-worker error rates and
+//! per-question labels from worker-tagged answers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One worker answer: `(question index, worker id, answer)`.
+pub type TaggedAnswer = (usize, usize, bool);
+
+/// Result of EM aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmAggregate {
+    /// Posterior probability that each question's true label is positive.
+    pub posterior_pos: Vec<f64>,
+    /// Inferred per-worker error rate.
+    pub worker_error: HashMap<usize, f64>,
+    /// EM iterations executed.
+    pub iterations: usize,
+}
+
+impl EmAggregate {
+    /// Hard labels at the 0.5 threshold.
+    pub fn labels(&self) -> Vec<bool> {
+        self.posterior_pos.iter().map(|&p| p >= 0.5).collect()
+    }
+}
+
+/// Run binary Dawid–Skene EM over worker-tagged answers.
+///
+/// * `n_questions` — questions are indexed `0..n_questions`.
+/// * `prior_pos` — prior probability of a positive label (use the
+///   universe's skew, e.g. 0.1; 0.5 = uninformative).
+/// * Workers are modeled with a single symmetric error rate (the random
+///   worker model), clamped to `[0.01, 0.49]` so no worker is treated as
+///   perfect or adversarial.
+///
+/// Questions with no answers get the prior. Convergence: max posterior
+/// change below `1e-6` or 100 iterations.
+pub fn dawid_skene(
+    n_questions: usize,
+    answers: &[TaggedAnswer],
+    prior_pos: f64,
+) -> EmAggregate {
+    assert!((0.0..=1.0).contains(&prior_pos), "prior must be a probability");
+    // Initialize posteriors with per-question vote fractions.
+    let mut pos_votes = vec![0.0f64; n_questions];
+    let mut tot_votes = vec![0.0f64; n_questions];
+    for &(q, _, a) in answers {
+        assert!(q < n_questions, "question index out of range");
+        tot_votes[q] += 1.0;
+        if a {
+            pos_votes[q] += 1.0;
+        }
+    }
+    let mut posterior: Vec<f64> = (0..n_questions)
+        .map(|q| {
+            if tot_votes[q] > 0.0 {
+                (pos_votes[q] / tot_votes[q]).clamp(0.05, 0.95)
+            } else {
+                prior_pos
+            }
+        })
+        .collect();
+
+    let mut worker_error: HashMap<usize, f64> = HashMap::new();
+    let mut iterations = 0;
+    for _ in 0..100 {
+        iterations += 1;
+        // M-step: per-worker error rate = expected fraction of answers
+        // disagreeing with the current posterior (Laplace-smoothed).
+        let mut wrong: HashMap<usize, f64> = HashMap::new();
+        let mut total: HashMap<usize, f64> = HashMap::new();
+        for &(q, w, a) in answers {
+            let p = posterior[q];
+            let p_wrong = if a { 1.0 - p } else { p };
+            *wrong.entry(w).or_insert(0.0) += p_wrong;
+            *total.entry(w).or_insert(0.0) += 1.0;
+        }
+        worker_error = total
+            .iter()
+            .map(|(&w, &n)| {
+                let e = (wrong[&w] + 1.0) / (n + 2.0);
+                (w, e.clamp(0.01, 0.49))
+            })
+            .collect();
+
+        // E-step: posteriors from worker reliabilities.
+        let mut log_odds: Vec<f64> =
+            vec![(prior_pos / (1.0 - prior_pos)).ln(); n_questions];
+        for &(q, w, a) in answers {
+            let e = worker_error[&w];
+            let llr = ((1.0 - e) / e).ln();
+            log_odds[q] += if a { llr } else { -llr };
+        }
+        let new_posterior: Vec<f64> = log_odds
+            .iter()
+            .enumerate()
+            .map(|(q, &lo)| {
+                if tot_votes[q] == 0.0 {
+                    prior_pos
+                } else {
+                    1.0 / (1.0 + (-lo).exp())
+                }
+            })
+            .collect();
+        let delta = posterior
+            .iter()
+            .zip(&new_posterior)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        posterior = new_posterior;
+        if delta < 1e-6 {
+            break;
+        }
+    }
+    EmAggregate { posterior_pos: posterior, worker_error, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthesize answers: workers with known error rates answer every
+    /// question; returns (truth, answers).
+    fn synth(
+        n_q: usize,
+        worker_errors: &[f64],
+        seed: u64,
+    ) -> (Vec<bool>, Vec<TaggedAnswer>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth: Vec<bool> = (0..n_q).map(|q| q % 5 == 0).collect();
+        let mut answers = Vec::new();
+        for (q, &t) in truth.iter().enumerate() {
+            for (w, &e) in worker_errors.iter().enumerate() {
+                let a = t ^ rng.gen_bool(e);
+                answers.push((q, w, a));
+            }
+        }
+        (truth, answers)
+    }
+
+    fn accuracy(labels: &[bool], truth: &[bool]) -> f64 {
+        labels.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn recovers_labels_from_reliable_workers() {
+        let (truth, answers) = synth(200, &[0.1, 0.1, 0.1], 1);
+        let agg = dawid_skene(200, &answers, 0.2);
+        assert!(accuracy(&agg.labels(), &truth) > 0.95);
+    }
+
+    #[test]
+    fn identifies_the_spammer() {
+        let (_, answers) = synth(300, &[0.05, 0.05, 0.45], 2);
+        let agg = dawid_skene(300, &answers, 0.2);
+        assert!(agg.worker_error[&2] > 0.3, "spammer error {:?}", agg.worker_error);
+        assert!(agg.worker_error[&0] < 0.15);
+    }
+
+    #[test]
+    fn em_beats_majority_with_heterogeneous_workers() {
+        // Two spammers + one expert: majority voting follows the spammers;
+        // EM should learn to trust the expert.
+        let (truth, answers) = synth(400, &[0.02, 0.4, 0.4], 3);
+        let agg = dawid_skene(400, &answers, 0.2);
+        // Majority baseline.
+        let mut pos = vec![0; 400];
+        for &(q, _, a) in &answers {
+            if a {
+                pos[q] += 1;
+            }
+        }
+        let majority: Vec<bool> = pos.iter().map(|&c| c >= 2).collect();
+        let em_acc = accuracy(&agg.labels(), &truth);
+        let mv_acc = accuracy(&majority, &truth);
+        assert!(
+            em_acc > mv_acc,
+            "EM ({em_acc}) must beat majority ({mv_acc}) here"
+        );
+    }
+
+    #[test]
+    fn unanswered_questions_get_the_prior() {
+        let answers = vec![(0usize, 0usize, true)];
+        let agg = dawid_skene(3, &answers, 0.1);
+        assert!((agg.posterior_pos[1] - 0.1).abs() < 1e-9);
+        assert!((agg.posterior_pos[2] - 0.1).abs() < 1e-9);
+        // One positive answer shifts the answered question up from the
+        // prior, though a skewed prior can keep it below 0.5 — correct
+        // Bayesian behavior.
+        assert!(agg.posterior_pos[0] > 0.1);
+        let neutral = dawid_skene(3, &answers, 0.5);
+        assert!(neutral.posterior_pos[0] > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_question_index_panics() {
+        dawid_skene(1, &[(5, 0, true)], 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, answers) = synth(50, &[0.1, 0.2], 4);
+        let a = dawid_skene(50, &answers, 0.3);
+        let b = dawid_skene(50, &answers, 0.3);
+        assert_eq!(a.posterior_pos, b.posterior_pos);
+    }
+}

@@ -1,0 +1,151 @@
+//! Label cache for cross-step reuse (paper §8.3).
+//!
+//! Corleone asks the crowd for labels in four places (blocking, matching,
+//! estimation, locating). Labels are cached and reused — but only when the
+//! cached label was obtained "the way we want": a `2+1` label cannot stand
+//! in for a request that needs strong-majority quality.
+
+use crate::oracle::PairKey;
+use crate::voting::Scheme;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Evidence strength of a cached label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strength {
+    /// Obtained via the `2+1` vote.
+    Weak,
+    /// Met the strong-majority standard.
+    Strong,
+}
+
+/// A cached crowd label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedLabel {
+    /// The combined label.
+    pub label: bool,
+    /// Evidence strength.
+    pub strength: Strength,
+}
+
+/// Cache of all labels the crowd has produced so far.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelCache {
+    entries: HashMap<PairKey, CachedLabel>,
+}
+
+impl LabelCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a label that satisfies the given request scheme, if any.
+    ///
+    /// Satisfaction rules:
+    /// * `TwoPlusOne` requests accept any cached label.
+    /// * `StrongMajority` requests accept only strong labels.
+    /// * `Hybrid` requests accept strong labels, and weak *negative*
+    ///   labels — under the hybrid scheme a negative would only ever be
+    ///   verified to `2+1` strength anyway.
+    pub fn lookup(&self, pair: PairKey, scheme: Scheme) -> Option<CachedLabel> {
+        let entry = *self.entries.get(&pair)?;
+        let ok = match scheme {
+            Scheme::TwoPlusOne => true,
+            Scheme::StrongMajority => entry.strength == Strength::Strong,
+            Scheme::Hybrid => entry.strength == Strength::Strong || !entry.label,
+        };
+        ok.then_some(entry)
+    }
+
+    /// Insert or upgrade a label. A weak entry never overwrites a strong
+    /// one; a strong entry always wins.
+    pub fn insert(&mut self, pair: PairKey, label: bool, strength: Strength) {
+        match self.entries.get_mut(&pair) {
+            Some(existing) => {
+                if existing.strength == Strength::Weak {
+                    *existing = CachedLabel { label, strength };
+                }
+            }
+            None => {
+                self.entries.insert(pair, CachedLabel { label, strength });
+            }
+        }
+    }
+
+    /// Number of cached labels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over all cached `(pair, label)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&PairKey, &CachedLabel)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(a: u32, b: u32) -> PairKey {
+        PairKey::new(a, b)
+    }
+
+    #[test]
+    fn weak_label_serves_weak_requests_only() {
+        let mut c = LabelCache::new();
+        c.insert(k(1, 1), true, Strength::Weak);
+        assert!(c.lookup(k(1, 1), Scheme::TwoPlusOne).is_some());
+        assert!(c.lookup(k(1, 1), Scheme::StrongMajority).is_none());
+        assert!(c.lookup(k(1, 1), Scheme::Hybrid).is_none());
+    }
+
+    #[test]
+    fn weak_negative_serves_hybrid() {
+        let mut c = LabelCache::new();
+        c.insert(k(1, 2), false, Strength::Weak);
+        assert!(c.lookup(k(1, 2), Scheme::Hybrid).is_some());
+        assert!(c.lookup(k(1, 2), Scheme::StrongMajority).is_none());
+    }
+
+    #[test]
+    fn strong_label_serves_everything() {
+        let mut c = LabelCache::new();
+        c.insert(k(2, 2), true, Strength::Strong);
+        for s in [Scheme::TwoPlusOne, Scheme::StrongMajority, Scheme::Hybrid] {
+            assert_eq!(c.lookup(k(2, 2), s).unwrap().label, true);
+        }
+    }
+
+    #[test]
+    fn strong_never_downgraded() {
+        let mut c = LabelCache::new();
+        c.insert(k(3, 3), true, Strength::Strong);
+        c.insert(k(3, 3), false, Strength::Weak);
+        let e = c.lookup(k(3, 3), Scheme::StrongMajority).unwrap();
+        assert!(e.label, "strong entry must survive a weak re-insert");
+    }
+
+    #[test]
+    fn weak_upgraded_by_strong() {
+        let mut c = LabelCache::new();
+        c.insert(k(4, 4), true, Strength::Weak);
+        c.insert(k(4, 4), false, Strength::Strong);
+        let e = c.lookup(k(4, 4), Scheme::StrongMajority).unwrap();
+        assert!(!e.label);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn miss_on_unknown_pair() {
+        let c = LabelCache::new();
+        assert!(c.lookup(k(9, 9), Scheme::TwoPlusOne).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! HITs — Human Intelligence Tasks (paper §8.1, Fig. 4).
+//!
+//! Questions are packed 10 to a HIT ("crowds often prefer many examples per
+//! HIT, to reduce their overhead"), and each question is rendered as the
+//! side-by-side attribute comparison of Fig. 4, followed by the user's
+//! matching instruction.
+
+use crate::oracle::PairKey;
+use similarity::{Record, Schema};
+
+/// Number of questions in every HIT.
+pub const HIT_SIZE: usize = 10;
+
+/// One HIT: an ordered batch of questions posted to the crowd together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// The pairs asked about. Always exactly [`HIT_SIZE`] entries; a
+    /// partial batch is padded by repeating questions (turkers avoid
+    /// "small" HITs — §8.3 — so the platform never posts one).
+    pub questions: Vec<PairKey>,
+}
+
+impl Hit {
+    /// Pack a slice of at most [`HIT_SIZE`] distinct questions into a HIT,
+    /// padding by cycling through the slice if it is short.
+    ///
+    /// # Panics
+    /// Panics if `questions` is empty or longer than [`HIT_SIZE`].
+    pub fn pack(questions: &[PairKey]) -> Self {
+        assert!(!questions.is_empty(), "a HIT needs at least one question");
+        assert!(
+            questions.len() <= HIT_SIZE,
+            "a HIT holds at most {HIT_SIZE} questions"
+        );
+        let padded = questions
+            .iter()
+            .cycle()
+            .take(HIT_SIZE)
+            .copied()
+            .collect();
+        Hit { questions: padded }
+    }
+
+    /// Distinct questions in the HIT (paid duplicates removed).
+    pub fn distinct(&self) -> Vec<PairKey> {
+        let mut qs = self.questions.clone();
+        qs.sort();
+        qs.dedup();
+        qs
+    }
+}
+
+/// Render one question as the Fig. 4-style side-by-side table, e.g.:
+///
+/// ```text
+/// Do these records match?
+///   brand | Kingston                          | Kingston
+///   name  | Kingston HyperX 4GB Kit 2 x 2GB   | Kingston HyperX 12GB Kit 3 x 4GB
+/// Instruction: match if they represent the same product.
+/// [ Yes ] [ No ] [ Not sure ]
+/// ```
+pub fn render_question(schema: &Schema, a: &Record, b: &Record, instruction: &str) -> String {
+    let name_w = schema
+        .attrs
+        .iter()
+        .map(|at| at.name.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::from("Do these records match?\n");
+    for (i, attr) in schema.attrs.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:name_w$} | {} | {}\n",
+            attr.name,
+            a.value(i),
+            b.value(i),
+        ));
+    }
+    out.push_str(&format!("Instruction: {instruction}\n"));
+    out.push_str("[ Yes ] [ No ] [ Not sure ]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use similarity::{Attribute, Value};
+
+    #[test]
+    fn pack_full_hit() {
+        let qs: Vec<PairKey> = (0..10).map(|i| PairKey::new(i, i)).collect();
+        let h = Hit::pack(&qs);
+        assert_eq!(h.questions.len(), HIT_SIZE);
+        assert_eq!(h.distinct().len(), 10);
+    }
+
+    #[test]
+    fn pack_pads_short_batches() {
+        let qs = vec![PairKey::new(1, 2), PairKey::new(3, 4)];
+        let h = Hit::pack(&qs);
+        assert_eq!(h.questions.len(), HIT_SIZE);
+        assert_eq!(h.distinct().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one question")]
+    fn pack_rejects_empty() {
+        Hit::pack(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn pack_rejects_oversize() {
+        let qs: Vec<PairKey> = (0..11).map(|i| PairKey::new(i, i)).collect();
+        Hit::pack(&qs);
+    }
+
+    #[test]
+    fn renders_figure4_style_question() {
+        let schema = Schema::new(vec![
+            Attribute::text("brand"),
+            Attribute::text("name"),
+        ]);
+        let a = Record::new(0, vec!["Kingston".into(), "HyperX 4GB".into()]);
+        let b = Record::new(1, vec!["Kingston".into(), Value::Null]);
+        let s = render_question(&schema, &a, &b, "same product?");
+        assert!(s.starts_with("Do these records match?"));
+        assert!(s.contains("brand | Kingston | Kingston"));
+        assert!(s.contains("<null>"));
+        assert!(s.contains("Instruction: same product?"));
+        assert!(s.contains("[ Yes ] [ No ] [ Not sure ]"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Ground truth plumbing: how the simulated crowd knows the true answer.
+//!
+//! Real turkers look at two records and decide. The simulation short-cuts
+//! that by consulting a [`TruthOracle`] for the true label of a pair, then
+//! letting the worker model corrupt it. Corleone itself never sees the
+//! oracle — it only sees crowd answers, exactly like the real system.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A pair of record ids `(a_id, b_id)` — the unit the crowd labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairKey {
+    /// Record id in table A.
+    pub a: u32,
+    /// Record id in table B.
+    pub b: u32,
+}
+
+impl PairKey {
+    /// Construct a pair key.
+    pub fn new(a: u32, b: u32) -> Self {
+        PairKey { a, b }
+    }
+}
+
+/// Source of true match labels, consulted only by the simulated workers.
+pub trait TruthOracle {
+    /// True label of the pair: `true` = the records match.
+    fn true_label(&self, pair: PairKey) -> bool;
+}
+
+/// Oracle backed by an explicit gold set of matching pairs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GoldOracle {
+    matches: HashSet<PairKey>,
+}
+
+impl GoldOracle {
+    /// Build from the set of matching pairs.
+    pub fn new(matches: HashSet<PairKey>) -> Self {
+        GoldOracle { matches }
+    }
+
+    /// Build from an iterator of `(a, b)` id pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (u32, u32)>>(pairs: I) -> Self {
+        GoldOracle {
+            matches: pairs.into_iter().map(|(a, b)| PairKey::new(a, b)).collect(),
+        }
+    }
+
+    /// Number of gold matches.
+    pub fn n_matches(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// The gold match set.
+    pub fn matches(&self) -> &HashSet<PairKey> {
+        &self.matches
+    }
+}
+
+impl TruthOracle for GoldOracle {
+    fn true_label(&self, pair: PairKey) -> bool {
+        self.matches.contains(&pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gold_oracle_answers() {
+        let o = GoldOracle::from_pairs([(1, 2), (3, 4)]);
+        assert!(o.true_label(PairKey::new(1, 2)));
+        assert!(!o.true_label(PairKey::new(2, 1)));
+        assert!(!o.true_label(PairKey::new(9, 9)));
+        assert_eq!(o.n_matches(), 2);
+    }
+
+    #[test]
+    fn pair_key_ordering_and_hash() {
+        let mut v = vec![PairKey::new(2, 1), PairKey::new(1, 2), PairKey::new(1, 1)];
+        v.sort();
+        assert_eq!(v[0], PairKey::new(1, 1));
+        assert_eq!(v[2], PairKey::new(2, 1));
+    }
+}

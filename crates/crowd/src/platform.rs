@@ -1,0 +1,432 @@
+//! The simulated crowdsourcing platform Corleone talks to.
+//!
+//! One call matters: [`CrowdPlatform::label_batch`] — "get this batch of
+//! pairs labeled under this voting scheme". Behind it sit the worker pool,
+//! HIT packing with the §8.3 cache interaction, the vote resolution of
+//! §8.2, and a money/label ledger that the experiment tables report.
+//!
+//! Faithful to the paper, a batch request may return labels for only a
+//! *subset* of the requested pairs: HITs always carry 10 questions, and
+//! leftover questions that cannot fill a HIT are dropped when the batch
+//! already produced labels (cached or fresh). When a batch would otherwise
+//! return nothing, one HIT is padded with repeated questions (duplicates
+//! are paid for and discarded) so progress is always made.
+
+use crate::cache::{LabelCache, Strength};
+use crate::hit::{Hit, HIT_SIZE};
+use crate::oracle::{PairKey, TruthOracle};
+use crate::voting::{resolve, Scheme};
+use crate::worker::WorkerPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Platform configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrowdConfig {
+    /// Price per solicited answer, in cents (the paper pays 1¢ per
+    /// question for Restaurants/Citations, 2¢ for Products).
+    pub price_cents: f64,
+    /// RNG seed for worker selection and error draws.
+    pub seed: u64,
+    /// Mean seconds a worker takes to answer one question when paid
+    /// [`Self::reference_price_cents`]. Models the §10 money–time
+    /// trade-off: "paying more per question often gets the crowd to
+    /// answer faster".
+    pub base_latency_secs: f64,
+    /// Price at which `base_latency_secs` applies.
+    pub reference_price_cents: f64,
+    /// Latency elasticity: latency scales by
+    /// `(reference_price / price)^elasticity`. 0 disables the model.
+    pub latency_elasticity: f64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            price_cents: 1.0,
+            seed: 0,
+            base_latency_secs: 30.0,
+            reference_price_cents: 1.0,
+            latency_elasticity: 0.5,
+        }
+    }
+}
+
+/// Running totals of crowd activity and spend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    /// Individual worker answers solicited (each is paid).
+    pub answers_solicited: u64,
+    /// Question slots sent to the crowd, including padding duplicates.
+    pub questions_asked: u64,
+    /// HITs posted.
+    pub hits_posted: u64,
+    /// Distinct pairs labeled by the crowd (excludes cache hits).
+    pub pairs_labeled: u64,
+    /// Batch requests served entirely or partly from the cache.
+    pub cache_hits: u64,
+    /// Total spend in cents.
+    pub total_cents: f64,
+    /// Simulated wall-clock seconds of crowd work. HITs posted in one
+    /// batch run in parallel across workers; questions within a HIT are
+    /// answered sequentially by each assignee.
+    pub simulated_secs: f64,
+}
+
+impl Ledger {
+    /// Total spend in dollars.
+    pub fn total_dollars(&self) -> f64 {
+        self.total_cents / 100.0
+    }
+}
+
+/// The simulated platform: workers + cache + ledger.
+#[derive(Debug, Clone)]
+pub struct CrowdPlatform {
+    workers: WorkerPool,
+    cfg: CrowdConfig,
+    cache: LabelCache,
+    ledger: Ledger,
+    rng: StdRng,
+}
+
+impl CrowdPlatform {
+    /// Create a platform over a worker pool.
+    pub fn new(workers: WorkerPool, cfg: CrowdConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        CrowdPlatform { workers, cfg, cache: LabelCache::new(), ledger: Ledger::default(), rng }
+    }
+
+    /// The running ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The label cache (all crowd labels produced so far).
+    pub fn cache(&self) -> &LabelCache {
+        &self.cache
+    }
+
+    /// Label a batch of pairs under `scheme`. Returns `(pair, label)` for
+    /// every pair that ended up labeled — possibly a subset of the request
+    /// (see module docs). Duplicate pairs in the request are collapsed.
+    pub fn label_batch(
+        &mut self,
+        oracle: &dyn TruthOracle,
+        pairs: &[PairKey],
+        scheme: Scheme,
+    ) -> Vec<(PairKey, bool)> {
+        // Deduplicate, preserving request order.
+        let mut seen = HashSet::new();
+        let pairs: Vec<PairKey> = pairs
+            .iter()
+            .copied()
+            .filter(|p| seen.insert(*p))
+            .collect();
+
+        let mut results: Vec<(PairKey, bool)> = Vec::new();
+        let mut uncached: Vec<PairKey> = Vec::new();
+        let mut any_cached = false;
+        for &p in &pairs {
+            if let Some(hit) = self.cache.lookup(p, scheme) {
+                results.push((p, hit.label));
+                any_cached = true;
+            } else {
+                uncached.push(p);
+            }
+        }
+        if any_cached {
+            self.ledger.cache_hits += 1;
+        }
+
+        // Pack full HITs; decide about the leftover afterwards. HITs of
+        // one batch run concurrently, so batch latency is the slowest HIT.
+        let full = uncached.len() / HIT_SIZE * HIT_SIZE;
+        let mut batch_secs = 0.0f64;
+        for chunk in uncached[..full].chunks(HIT_SIZE) {
+            let hit = Hit::pack(chunk);
+            let (labeled, secs) = self.run_hit(oracle, &hit, scheme);
+            results.extend(labeled);
+            batch_secs = batch_secs.max(secs);
+        }
+        let leftover = &uncached[full..];
+        if !leftover.is_empty() && results.is_empty() {
+            // The batch would produce nothing; pad one HIT so the caller
+            // always makes progress (duplicate slots are paid, discarded).
+            let hit = Hit::pack(leftover);
+            let (labeled, secs) = self.run_hit(oracle, &hit, scheme);
+            results.extend(labeled);
+            batch_secs = batch_secs.max(secs);
+        }
+        self.ledger.simulated_secs += batch_secs;
+        results
+    }
+
+    /// Label every requested pair, padding HITs as needed. Used where the
+    /// protocol requires a complete batch (e.g. the four seed examples).
+    pub fn label_all(
+        &mut self,
+        oracle: &dyn TruthOracle,
+        pairs: &[PairKey],
+        scheme: Scheme,
+    ) -> Vec<(PairKey, bool)> {
+        let mut remaining: Vec<PairKey> = pairs.to_vec();
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while !remaining.is_empty() {
+            let got = self.label_batch(oracle, &remaining, scheme);
+            let got_keys: HashSet<PairKey> = got.iter().map(|(p, _)| *p).collect();
+            out.extend(got.iter().copied());
+            remaining.retain(|p| !got_keys.contains(p));
+            if remaining.is_empty() {
+                break;
+            }
+            // Force the stragglers through a padded HIT.
+            let chunk_len = remaining.len().min(HIT_SIZE);
+            let chunk: Vec<PairKey> = remaining[..chunk_len].to_vec();
+            let hit = Hit::pack(&chunk);
+            let (fresh, secs) = self.run_hit(oracle, &hit, scheme);
+            self.ledger.simulated_secs += secs;
+            let fresh_keys: HashSet<PairKey> = fresh.iter().map(|(p, _)| *p).collect();
+            out.extend(fresh.iter().copied());
+            remaining.retain(|p| !fresh_keys.contains(p));
+            guard += 1;
+            assert!(guard < 100_000, "label_all failed to converge");
+        }
+        out
+    }
+
+    /// Seconds one answer takes at the configured pay rate (the §10
+    /// money–time model, without jitter).
+    pub fn answer_latency_secs(&self) -> f64 {
+        if self.cfg.latency_elasticity == 0.0 || self.cfg.base_latency_secs == 0.0 {
+            return self.cfg.base_latency_secs;
+        }
+        let ratio = self.cfg.reference_price_cents / self.cfg.price_cents.max(1e-9);
+        self.cfg.base_latency_secs * ratio.powf(self.cfg.latency_elasticity)
+    }
+
+    /// Post one HIT and resolve every slot. Duplicate slots (padding) are
+    /// paid for but only the first resolution of a pair produces a label.
+    /// Returns the labels and the HIT's simulated duration.
+    fn run_hit(
+        &mut self,
+        oracle: &dyn TruthOracle,
+        hit: &Hit,
+        scheme: Scheme,
+    ) -> (Vec<(PairKey, bool)>, f64) {
+        self.ledger.hits_posted += 1;
+        let mut labeled: Vec<(PairKey, bool)> = Vec::new();
+        let mut done: HashSet<PairKey> = HashSet::new();
+        let per_answer = self.answer_latency_secs();
+        let mut max_assignment_answers = 0u32;
+        for &q in &hit.questions {
+            self.ledger.questions_asked += 1;
+            let outcome = resolve(scheme, &self.workers, oracle.true_label(q), &mut self.rng);
+            self.ledger.answers_solicited += u64::from(outcome.answers);
+            self.ledger.total_cents += f64::from(outcome.answers) * self.cfg.price_cents;
+            max_assignment_answers = max_assignment_answers.max(outcome.answers);
+            if done.insert(q) {
+                let strength = if outcome.strong { Strength::Strong } else { Strength::Weak };
+                self.cache.insert(q, outcome.label, strength);
+                self.ledger.pairs_labeled += 1;
+                labeled.push((q, outcome.label));
+            }
+        }
+        // Assignments run in parallel across workers; each assignee
+        // answers the HIT's 10 questions sequentially. The HIT finishes
+        // when its most-solicited question's last answer lands.
+        let secs = per_answer * hit.questions.len() as f64
+            + per_answer * f64::from(max_assignment_answers.saturating_sub(1));
+        (labeled, secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GoldOracle;
+
+    fn platform(err: f64, seed: u64) -> CrowdPlatform {
+        let pool = if err == 0.0 {
+            WorkerPool::perfect(5)
+        } else {
+            WorkerPool::uniform(5, err)
+        };
+        CrowdPlatform::new(pool, CrowdConfig { price_cents: 1.0, seed, ..Default::default() })
+    }
+
+    fn keys(n: u32) -> Vec<PairKey> {
+        (0..n).map(|i| PairKey::new(i, i)).collect()
+    }
+
+    #[test]
+    fn labels_full_batches_exactly() {
+        let oracle = GoldOracle::from_pairs([(0, 0), (1, 1)]);
+        let mut p = platform(0.0, 1);
+        let got = p.label_batch(&oracle, &keys(20), Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 20);
+        assert!(got.iter().filter(|(_, l)| *l).count() == 2);
+        assert_eq!(p.ledger().hits_posted, 2);
+        assert_eq!(p.ledger().pairs_labeled, 20);
+        // Perfect crowd: 2 answers per question, 1¢ each.
+        assert_eq!(p.ledger().total_cents, 40.0);
+    }
+
+    #[test]
+    fn leftover_dropped_when_batch_produced_labels() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = platform(0.0, 2);
+        let got = p.label_batch(&oracle, &keys(13), Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 10, "one full HIT, 3 leftover dropped");
+    }
+
+    #[test]
+    fn small_batch_padded_not_dropped() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = platform(0.0, 3);
+        let got = p.label_batch(&oracle, &keys(4), Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 4, "padded HIT must label all 4 distinct pairs");
+        assert_eq!(p.ledger().questions_asked, 10, "padding slots are paid");
+        assert_eq!(p.ledger().pairs_labeled, 4);
+    }
+
+    #[test]
+    fn cache_reused_across_batches() {
+        let oracle = GoldOracle::from_pairs([(0, 0)]);
+        let mut p = platform(0.0, 4);
+        let first = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert_eq!(first.len(), 10);
+        let cents_before = p.ledger().total_cents;
+        let second = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert_eq!(second.len(), 10);
+        assert_eq!(p.ledger().total_cents, cents_before, "all from cache");
+        assert_eq!(p.ledger().cache_hits, 1);
+    }
+
+    #[test]
+    fn paper_packing_rule_15_cached_of_20() {
+        // §8.3: k = 15 cached of a 20-example batch (k > 10) → return only
+        // the cached 15, ignore the remaining 5.
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = platform(0.0, 5);
+        let cached: Vec<PairKey> = (0..15).map(|i| PairKey::new(i, i)).collect();
+        p.label_all(&oracle, &cached, Scheme::TwoPlusOne);
+        let hits_before = p.ledger().hits_posted;
+        let batch = keys(20); // 15 cached + 5 new
+        let got = p.label_batch(&oracle, &batch, Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 15);
+        assert_eq!(p.ledger().hits_posted, hits_before, "no new HIT posted");
+    }
+
+    #[test]
+    fn paper_packing_rule_7_cached_of_20() {
+        // §8.3: k = 7 cached (k ≤ 10) → one HIT of 10 fresh questions,
+        // return 10 + 7 = 17, drop the other 3.
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = platform(0.0, 6);
+        let cached: Vec<PairKey> = (0..7).map(|i| PairKey::new(i, i)).collect();
+        p.label_all(&oracle, &cached, Scheme::TwoPlusOne);
+        let got = p.label_batch(&oracle, &keys(20), Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 17);
+    }
+
+    #[test]
+    fn weak_cache_entry_does_not_serve_strong_request() {
+        let oracle = GoldOracle::from_pairs([(0, 0)]);
+        let mut p = platform(0.0, 7);
+        p.label_all(&oracle, &[PairKey::new(0, 0)], Scheme::TwoPlusOne);
+        let labeled_before = p.ledger().pairs_labeled;
+        p.label_all(&oracle, &[PairKey::new(0, 0)], Scheme::StrongMajority);
+        assert!(p.ledger().pairs_labeled > labeled_before, "must re-ask the crowd");
+    }
+
+    #[test]
+    fn label_all_labels_everything() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = platform(0.2, 8);
+        let got = p.label_all(&oracle, &keys(37), Scheme::Hybrid);
+        let distinct: HashSet<PairKey> = got.iter().map(|(p, _)| *p).collect();
+        assert_eq!(distinct.len(), 37);
+    }
+
+    #[test]
+    fn noisy_crowd_costs_more_than_perfect() {
+        let oracle = GoldOracle::from_pairs([(0, 0), (1, 1), (2, 2)]);
+        let mut perfect = platform(0.0, 9);
+        let mut noisy = platform(0.3, 9);
+        perfect.label_batch(&oracle, &keys(30), Scheme::StrongMajority);
+        noisy.label_batch(&oracle, &keys(30), Scheme::StrongMajority);
+        assert!(noisy.ledger().total_cents > perfect.ledger().total_cents);
+    }
+
+    #[test]
+    fn duplicates_in_request_collapse() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = platform(0.0, 10);
+        let mut req = keys(10);
+        req.extend(keys(10));
+        let got = p.label_batch(&oracle, &req, Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 10);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+    use crate::oracle::GoldOracle;
+
+    fn platform_at(price: f64) -> CrowdPlatform {
+        CrowdPlatform::new(
+            WorkerPool::perfect(5),
+            CrowdConfig { price_cents: price, seed: 1, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn paying_more_is_faster() {
+        let oracle = GoldOracle::from_pairs([]);
+        let keys: Vec<PairKey> = (0..30).map(|i| PairKey::new(i, i)).collect();
+        let mut cheap = platform_at(0.5);
+        let mut pricey = platform_at(4.0);
+        cheap.label_batch(&oracle, &keys, Scheme::TwoPlusOne);
+        pricey.label_batch(&oracle, &keys, Scheme::TwoPlusOne);
+        assert!(
+            pricey.ledger().simulated_secs < cheap.ledger().simulated_secs,
+            "4¢ ({:.0}s) must beat 0.5¢ ({:.0}s)",
+            pricey.ledger().simulated_secs,
+            cheap.ledger().simulated_secs
+        );
+        assert!(pricey.ledger().total_cents > cheap.ledger().total_cents);
+    }
+
+    #[test]
+    fn reference_price_latency_is_base() {
+        let p = platform_at(1.0);
+        assert!((p.answer_latency_secs() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elasticity_disables_model() {
+        let cfg = CrowdConfig { price_cents: 10.0, latency_elasticity: 0.0, ..Default::default() };
+        let p = CrowdPlatform::new(WorkerPool::perfect(2), cfg);
+        assert!((p.answer_latency_secs() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_hits_do_not_add_up() {
+        // 30 questions = 3 HITs in one batch → elapsed ≈ one HIT's time,
+        // not three.
+        let oracle = GoldOracle::from_pairs([]);
+        let keys30: Vec<PairKey> = (0..30).map(|i| PairKey::new(i, i)).collect();
+        let keys10: Vec<PairKey> = (100..110).map(|i| PairKey::new(i, i)).collect();
+        let mut p30 = platform_at(1.0);
+        let mut p10 = platform_at(1.0);
+        p30.label_batch(&oracle, &keys30, Scheme::TwoPlusOne);
+        p10.label_batch(&oracle, &keys10, Scheme::TwoPlusOne);
+        let r = p30.ledger().simulated_secs / p10.ledger().simulated_secs;
+        assert!((0.9..1.5).contains(&r), "3 parallel HITs took {r}x one HIT");
+    }
+}

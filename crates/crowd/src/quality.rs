@@ -1,0 +1,153 @@
+//! Worker qualification — the paper's spam defense (§9: "we used common
+//! turker qualifications to avoid spammers, such as allowing only turkers
+//! with at least 100 approved HITs and 95% approval rate").
+//!
+//! The simulation models qualification as a screening test built from
+//! *golden questions* (pairs with known answers, per Le et al. 2010, the
+//! paper's [17]): each candidate worker answers `n` golden questions and
+//! joins the pool only with at least `min_correct` right. Workers with
+//! high latent error rates are disproportionately rejected, shifting the
+//! admitted pool's mean error down — exactly what AMT approval-rate
+//! filters accomplish.
+
+use crate::worker::WorkerPool;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A qualification screen.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Qualification {
+    /// Golden questions each candidate answers.
+    pub n_questions: u32,
+    /// Minimum correct answers to be admitted.
+    pub min_correct: u32,
+}
+
+impl Default for Qualification {
+    fn default() -> Self {
+        // 10 golden questions, 9 required ≈ AMT's "95% approval" bar.
+        Qualification { n_questions: 10, min_correct: 9 }
+    }
+}
+
+/// Outcome of screening a candidate population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScreeningReport {
+    /// Candidates tested.
+    pub candidates: usize,
+    /// Candidates admitted.
+    pub admitted: usize,
+    /// Mean latent error rate of the candidates.
+    pub candidate_mean_error: f64,
+    /// Mean latent error rate of the admitted pool.
+    pub admitted_mean_error: f64,
+    /// Golden-question answers paid for (each costs one question price).
+    pub answers_paid: u64,
+}
+
+/// Screen candidate workers (given by latent error rate) through the
+/// qualification and build the admitted pool.
+///
+/// Returns `None` for the pool when nobody passes (callers should then
+/// relax the screen or re-recruit).
+pub fn screen_workers<R: Rng>(
+    candidate_error_rates: &[f64],
+    qual: Qualification,
+    rng: &mut R,
+) -> (Option<WorkerPool>, ScreeningReport) {
+    assert!(
+        qual.min_correct <= qual.n_questions,
+        "cannot require more correct answers than questions"
+    );
+    let mut admitted: Vec<f64> = Vec::new();
+    let mut answers_paid = 0u64;
+    for &err in candidate_error_rates {
+        let mut correct = 0u32;
+        for _ in 0..qual.n_questions {
+            answers_paid += 1;
+            if !rng.gen_bool(err.clamp(0.0, 1.0)) {
+                correct += 1;
+            }
+        }
+        if correct >= qual.min_correct {
+            admitted.push(err);
+        }
+    }
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let report = ScreeningReport {
+        candidates: candidate_error_rates.len(),
+        admitted: admitted.len(),
+        candidate_mean_error: mean(candidate_error_rates),
+        admitted_mean_error: mean(&admitted),
+        answers_paid,
+    };
+    let pool = if admitted.is_empty() {
+        None
+    } else {
+        Some(WorkerPool::from_error_rates(admitted))
+    };
+    (pool, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Mixed population: half diligent (3% error), half spammers (40%).
+    fn mixed(n: usize) -> Vec<f64> {
+        (0..n).map(|i| if i % 2 == 0 { 0.03 } else { 0.40 }).collect()
+    }
+
+    #[test]
+    fn screening_rejects_spammers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pool, report) = screen_workers(&mixed(200), Qualification::default(), &mut rng);
+        let pool = pool.expect("diligent workers must pass");
+        assert!(report.admitted < report.candidates);
+        assert!(
+            report.admitted_mean_error < 0.10,
+            "admitted pool mean error {}",
+            report.admitted_mean_error
+        );
+        assert!(report.admitted_mean_error < report.candidate_mean_error);
+        assert_eq!(pool.len(), report.admitted);
+        assert_eq!(report.answers_paid, 200 * 10);
+    }
+
+    #[test]
+    fn lax_screen_admits_everyone() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let qual = Qualification { n_questions: 5, min_correct: 0 };
+        let (pool, report) = screen_workers(&mixed(50), qual, &mut rng);
+        assert_eq!(report.admitted, 50);
+        assert_eq!(pool.unwrap().len(), 50);
+    }
+
+    #[test]
+    fn impossible_screen_admits_nobody() {
+        // 40%-error candidates virtually never get 20/20.
+        let mut rng = StdRng::seed_from_u64(3);
+        let candidates = vec![0.4; 30];
+        let qual = Qualification { n_questions: 20, min_correct: 20 };
+        let (pool, report) = screen_workers(&candidates, qual, &mut rng);
+        assert!(report.admitted <= 1);
+        if report.admitted == 0 {
+            assert!(pool.is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more correct answers")]
+    fn invalid_screen_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        screen_workers(&[0.1], Qualification { n_questions: 2, min_correct: 3 }, &mut rng);
+    }
+}

@@ -1,0 +1,193 @@
+//! Statistics used by rule evaluation (§4.2) and accuracy estimation
+//! (§6.1): standard-normal quantiles and finite-population proportion
+//! confidence intervals.
+
+/// Inverse CDF (quantile function) of the standard normal distribution,
+/// computed with Peter Acklam's rational approximation (relative error
+/// below 1.15e-9 over the full domain). Implemented here because no
+/// statistics crate is available in the offline dependency set.
+///
+/// # Panics
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// `Z_{1-δ/2}` for a two-sided interval at confidence `delta`
+/// (e.g. `0.95 → 1.959964…`). The paper writes the confidence level as δ.
+pub fn z_for_confidence(delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "confidence must be in (0, 1)");
+    inverse_normal_cdf(1.0 - (1.0 - delta) / 2.0)
+}
+
+/// Finite-population error margin of an estimated proportion (paper §4.2):
+///
+/// `ε = Z · sqrt( (P(1−P)/n) · ((m−n)/(m−1)) )`
+///
+/// where `n` is the sample size and `m` the population size. Returns 0 when
+/// the sample has exhausted the population or the population is trivial.
+pub fn fpc_margin(p: f64, n: usize, m: usize, z: f64) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    if m <= 1 || n >= m {
+        return 0.0;
+    }
+    let fpc = (m - n) as f64 / (m - 1) as f64;
+    z * ((p * (1.0 - p) / n as f64) * fpc).sqrt()
+}
+
+/// Smallest sample size `n` such that the finite-population margin at
+/// proportion `p` over a population of `m` drops to `eps` or below.
+/// Derived by solving the [`fpc_margin`] equation for `n`:
+///
+/// `n = m·z²·p(1−p) / (ε²·(m−1) + z²·p(1−p))`
+///
+/// With `p` unknown a priori, pass `p = 0.5` for the worst case.
+pub fn required_sample_size(p: f64, m: usize, z: f64, eps: f64) -> usize {
+    assert!(eps > 0.0, "target margin must be positive");
+    if m <= 1 {
+        return m;
+    }
+    let v = z * z * p * (1.0 - p);
+    if v == 0.0 {
+        return 1;
+    }
+    let n = (m as f64 * v) / (eps * eps * (m as f64 - 1.0) + v);
+    (n.ceil() as usize).min(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_match_tables() {
+        // Standard normal quantiles to 4+ decimal places.
+        assert!((inverse_normal_cdf(0.5) - 0.0).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.95996).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.995) - 2.57583).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.841344746) - 1.0).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.025) + 1.95996).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_symmetry() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            let lo = inverse_normal_cdf(p);
+            let hi = inverse_normal_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-7, "asymmetry at {p}");
+        }
+    }
+
+    #[test]
+    fn tail_accuracy() {
+        assert!((inverse_normal_cdf(1e-6) + 4.75342).abs() < 1e-3);
+        assert!((inverse_normal_cdf(1.0 - 1e-6) - 4.75342).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1)")]
+    fn quantile_rejects_zero() {
+        inverse_normal_cdf(0.0);
+    }
+
+    #[test]
+    fn z_for_95_confidence() {
+        assert!((z_for_confidence(0.95) - 1.95996).abs() < 1e-4);
+        assert!((z_for_confidence(0.99) - 2.57583).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fpc_margin_behaviour() {
+        let z = z_for_confidence(0.95);
+        // Infinite population limit ~ classic margin.
+        let m_inf = fpc_margin(0.5, 100, 1_000_000, z);
+        assert!((m_inf - z * 0.05).abs() < 1e-3);
+        // Exhausted population → 0.
+        assert_eq!(fpc_margin(0.5, 100, 100, z), 0.0);
+        // Empty sample → infinite.
+        assert!(fpc_margin(0.5, 0, 100, z).is_infinite());
+        // FPC shrinks the margin.
+        assert!(fpc_margin(0.5, 100, 200, z) < m_inf);
+    }
+
+    #[test]
+    fn required_sample_size_inverts_margin() {
+        let z = z_for_confidence(0.95);
+        for &(p, m, eps) in &[(0.5, 10_000usize, 0.05), (0.8, 50_000, 0.025), (0.95, 500, 0.05)] {
+            let n = required_sample_size(p, m, z, eps);
+            assert!(fpc_margin(p, n, m, z) <= eps + 1e-12, "n={n}");
+            if n > 1 {
+                assert!(
+                    fpc_margin(p, n - 1, m, z) > eps - 1e-9,
+                    "n−1 should not already satisfy the margin (n={n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_recall_sample_size() {
+        // Paper §6.1: for R* = 0.8 and ε_r = 0.025, n_ap ≥ 984 regardless
+        // of population size (the infinite-population bound).
+        let z = z_for_confidence(0.95);
+        let n = required_sample_size(0.8, 100_000_000, z, 0.025);
+        assert!((980..=990).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn degenerate_proportions() {
+        let z = z_for_confidence(0.95);
+        assert_eq!(required_sample_size(0.0, 1000, z, 0.05), 1);
+        assert_eq!(required_sample_size(1.0, 1000, z, 0.05), 1);
+        assert_eq!(fpc_margin(0.0, 10, 1000, z), 0.0);
+    }
+}

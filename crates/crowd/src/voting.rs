@@ -1,0 +1,184 @@
+//! Answer-combination schemes (paper §8.2).
+//!
+//! The paper starts from the industry-standard `2+1` majority vote, finds
+//! it too weak for accuracy estimation, moves to a *strong majority* vote
+//! (solicit until the majority leads by ≥ 3, cap at 7 answers), and finally
+//! settles on an asymmetric **hybrid**: escalate to strong majority only
+//! when the running majority is *positive*, because a false positive
+//! perturbs `n_ap` — a denominator of the recall estimate — while a false
+//! negative is comparatively harmless.
+
+use crate::worker::WorkerPool;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How crowd answers for one question are combined into a label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Solicit 2 answers; if they agree return the label, else solicit one
+    /// more and take the majority.
+    TwoPlusOne,
+    /// Solicit answers until the majority label leads the minority by at
+    /// least 3, or 7 answers have been solicited; return the majority.
+    StrongMajority,
+    /// Run `2+1`; if the resulting majority is positive, continue
+    /// soliciting to the strong-majority standard (reusing the answers
+    /// already gathered). Negative results stay at `2+1` strength.
+    Hybrid,
+}
+
+/// Outcome of resolving one question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteOutcome {
+    /// The combined label.
+    pub label: bool,
+    /// Number of answers solicited (each costs one question-price).
+    pub answers: u32,
+    /// Whether the label met the strong-majority standard (lead ≥ 3, or
+    /// the 7-answer cap was reached).
+    pub strong: bool,
+}
+
+/// Resolve one question under the given scheme against the worker pool.
+///
+/// `true_label` is what a perfect worker would answer; the pool corrupts it
+/// per the random worker model.
+pub fn resolve<R: Rng>(
+    scheme: Scheme,
+    pool: &WorkerPool,
+    true_label: bool,
+    rng: &mut R,
+) -> VoteOutcome {
+    let mut yes = 0u32;
+    let mut no = 0u32;
+    let ask = |yes: &mut u32, no: &mut u32, rng: &mut R| {
+        if pool.answer(true_label, rng) {
+            *yes += 1;
+        } else {
+            *no += 1;
+        }
+    };
+
+    // Phase 1: the 2+1 vote.
+    ask(&mut yes, &mut no, rng);
+    ask(&mut yes, &mut no, rng);
+    if yes == 1 && no == 1 {
+        ask(&mut yes, &mut no, rng);
+    }
+    let majority = yes > no;
+
+    let escalate = match scheme {
+        Scheme::TwoPlusOne => false,
+        Scheme::StrongMajority => true,
+        Scheme::Hybrid => majority,
+    };
+    if !escalate {
+        return VoteOutcome { label: majority, answers: yes + no, strong: false };
+    }
+
+    // Phase 2: continue until the strong-majority condition holds.
+    loop {
+        let gap = yes.abs_diff(no);
+        let total = yes + no;
+        if gap >= 3 || total >= 7 {
+            return VoteOutcome { label: yes > no, answers: total, strong: true };
+        }
+        ask(&mut yes, &mut no, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_crowd_two_plus_one_uses_two_answers() {
+        let pool = WorkerPool::perfect(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = resolve(Scheme::TwoPlusOne, &pool, true, &mut rng);
+        assert!(out.label);
+        assert_eq!(out.answers, 2);
+        assert!(!out.strong);
+    }
+
+    #[test]
+    fn perfect_crowd_strong_majority_uses_three_answers() {
+        let pool = WorkerPool::perfect(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = resolve(Scheme::StrongMajority, &pool, false, &mut rng);
+        assert!(!out.label);
+        assert_eq!(out.answers, 3, "3-0 is the first gap ≥ 3");
+        assert!(out.strong);
+    }
+
+    #[test]
+    fn hybrid_stays_weak_on_negative() {
+        let pool = WorkerPool::perfect(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = resolve(Scheme::Hybrid, &pool, false, &mut rng);
+        assert!(!out.label);
+        assert_eq!(out.answers, 2);
+        assert!(!out.strong);
+    }
+
+    #[test]
+    fn hybrid_escalates_on_positive() {
+        let pool = WorkerPool::perfect(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = resolve(Scheme::Hybrid, &pool, true, &mut rng);
+        assert!(out.label);
+        assert!(out.strong);
+        assert_eq!(out.answers, 3);
+    }
+
+    #[test]
+    fn strong_majority_caps_at_seven() {
+        let pool = WorkerPool::uniform(10, 0.45);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let out = resolve(Scheme::StrongMajority, &pool, true, &mut rng);
+            assert!(out.answers <= 7);
+            assert!(out.strong);
+        }
+    }
+
+    #[test]
+    fn noisy_crowd_majority_is_usually_right() {
+        let pool = WorkerPool::uniform(10, 0.2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 2000;
+        let correct = (0..n)
+            .filter(|_| resolve(Scheme::StrongMajority, &pool, true, &mut rng).label)
+            .count() as f64;
+        // Strong majority with 20% worker error should exceed 93% accuracy.
+        assert!(correct / n as f64 > 0.93, "{}", correct / n as f64);
+    }
+
+    #[test]
+    fn strong_majority_beats_two_plus_one_under_noise() {
+        let pool = WorkerPool::uniform(10, 0.25);
+        let n = 4000;
+        let acc = |scheme: Scheme| {
+            let mut rng = StdRng::seed_from_u64(13);
+            (0..n)
+                .filter(|_| resolve(scheme, &pool, true, &mut rng).label)
+                .count() as f64
+                / n as f64
+        };
+        assert!(acc(Scheme::StrongMajority) > acc(Scheme::TwoPlusOne));
+    }
+
+    #[test]
+    fn answer_counts_bound() {
+        let pool = WorkerPool::uniform(5, 0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let o1 = resolve(Scheme::TwoPlusOne, &pool, true, &mut rng);
+            assert!(o1.answers == 2 || o1.answers == 3);
+            let o2 = resolve(Scheme::Hybrid, &pool, false, &mut rng);
+            assert!(o2.answers <= 7);
+        }
+    }
+}

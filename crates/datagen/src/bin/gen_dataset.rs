@@ -1,0 +1,59 @@
+//! `gen_dataset` — write a synthetic EM dataset as CSV files for use with
+//! `corleone-cli` or external tools.
+//!
+//! ```text
+//! gen_dataset <restaurants|citations|products> [--scale 0.1] [--seed 42] [--out DIR]
+//! ```
+//!
+//! Produces `DIR/a.csv`, `DIR/b.csv`, `DIR/gold.csv` and prints the seed
+//! example pairs to pass as `--pos` / `--neg`.
+
+use datagen::{by_name, export, GenConfig};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: gen_dataset <restaurants|citations|products> [--scale f] [--seed n] [--out dir]");
+        exit(2);
+    };
+    let mut scale = 0.1;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from(format!("./{name}_csv"));
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => scale = args[i + 1].parse().expect("bad --scale"),
+            "--seed" => seed = args[i + 1].parse().expect("bad --seed"),
+            "--out" => out = PathBuf::from(&args[i + 1]),
+            other => {
+                eprintln!("unknown flag {other}");
+                exit(2);
+            }
+        }
+        i += 2;
+    }
+    let Some(ds) = by_name(name, GenConfig { scale, seed }) else {
+        eprintln!("unknown dataset '{name}'");
+        exit(2);
+    };
+    export::write_csv_files(&ds, &out).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        exit(1);
+    });
+    let st = ds.stats();
+    println!(
+        "wrote {}/{{a,b,gold}}.csv  (|A|={}, |B|={}, matches={})",
+        out.display(),
+        st.n_a,
+        st.n_b,
+        st.n_matches
+    );
+    let p = ds.seeds.positive;
+    let n = ds.seeds.negative;
+    println!("seed flags for corleone-cli:");
+    println!("  --pos {}:{},{}:{}", p[0].0, p[0].1, p[1].0, p[1].1);
+    println!("  --neg {}:{},{}:{}", n[0].0, n[0].1, n[1].0, n[1].1);
+    println!("  --instruction \"{}\"", ds.instruction);
+}

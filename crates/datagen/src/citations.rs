@@ -1,0 +1,155 @@
+//! The Citations dataset: DBLP ↔ Google Scholar (paper Table 1:
+//! |A| = 2616, |B| = 64263, 5347 matches). One DBLP paper commonly matches
+//! several Scholar records, so matched A entities carry up to four
+//! duplicates. Moderate corruption (author initials, truncated titles,
+//! missing years) plus same-author sibling papers give the dataset its
+//! mid-range difficulty.
+
+use crate::corrupt::{pick, CorruptionProfile};
+use crate::dataset::{assemble, EmDataset, EntityModel, GenConfig, GenSpec};
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use similarity::{Attribute, Schema, Value};
+
+struct CitationModel;
+
+fn title(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(4..=8);
+    let mut words: Vec<&str> = Vec::with_capacity(n);
+    while words.len() < n {
+        let w = pick(vocab::TITLE_WORDS, rng);
+        if !words.contains(&w) {
+            words.push(w);
+        }
+    }
+    words.join(" ")
+}
+
+fn authors(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(1..=4);
+    (0..n)
+        .map(|_| {
+            format!(
+                "{} {}",
+                pick(vocab::FIRST_NAMES, rng),
+                pick(vocab::LAST_NAMES, rng)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl EntityModel for CitationModel {
+    fn fresh(&self, rng: &mut StdRng) -> Vec<Value> {
+        vec![
+            Value::Text(title(rng)),
+            Value::Text(authors(rng)),
+            Value::Text(pick(vocab::VENUES, rng).to_string()),
+            Value::Number(rng.gen_range(1990..=2013) as f64),
+        ]
+    }
+
+    /// A different paper by the same authors: overlapping title words, a
+    /// nearby year, often the same venue.
+    fn sibling(&self, base: &[Value], rng: &mut StdRng) -> Vec<Value> {
+        let base_title = base[0].as_text().unwrap_or("entity matching at scale");
+        let mut words: Vec<String> = base_title
+            .split_whitespace()
+            .map(|w| w.to_string())
+            .collect();
+        // Replace roughly half the content words.
+        let n_replace = (words.len() / 2).max(1);
+        for _ in 0..n_replace {
+            let i = rng.gen_range(0..words.len());
+            words[i] = pick(vocab::TITLE_WORDS, rng).to_string();
+        }
+        words.shuffle(rng);
+        let year = base[3]
+            .as_number()
+            .map(|y| (y as i32 + rng.gen_range(-3..=3)).clamp(1988, 2014) as f64)
+            .unwrap_or(2005.0);
+        let venue = if rng.gen_bool(0.5) {
+            base[2].clone()
+        } else {
+            Value::Text(pick(vocab::VENUES, rng).to_string())
+        };
+        vec![
+            Value::Text(words.join(" ")),
+            base[1].clone(),
+            venue,
+            Value::Number(year),
+        ]
+    }
+}
+
+/// Citation schema: three text attributes and the numeric year.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::text("title"),
+        Attribute::text("authors"),
+        Attribute::text("venue"),
+        Attribute::number("year"),
+    ])
+}
+
+/// Generate the Citations dataset at the configured scale.
+pub fn generate(cfg: GenConfig) -> EmDataset {
+    let spec = GenSpec {
+        name: "citations",
+        schema: schema(),
+        n_a: cfg.scaled(2616, 60),
+        n_b: cfg.scaled(64263, 300),
+        n_matches: cfg.scaled(5347, 30),
+        max_dups_per_a: 4,
+        profile: CorruptionProfile::moderate(),
+        near_miss_frac: 0.25,
+        instruction: "These records are bibliographic citations; they match \
+                      if they refer to the same publication.",
+        price_cents: 1.0,
+    };
+    assemble(spec, &CitationModel, cfg.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_statistics() {
+        let ds = generate(GenConfig::at_scale(0.05));
+        let st = ds.stats();
+        assert_eq!(st.n_a, 131);
+        assert_eq!(st.n_b, 3213);
+        assert_eq!(st.n_matches, 267);
+        // Skew: positive density stays well under 1%.
+        assert!(st.positive_density < 0.001);
+    }
+
+    #[test]
+    fn multiple_scholar_records_per_dblp_paper() {
+        let ds = generate(GenConfig::at_scale(0.05));
+        let mut per_a = std::collections::HashMap::new();
+        for &(a, _) in &ds.gold {
+            *per_a.entry(a).or_insert(0usize) += 1;
+        }
+        assert!(per_a.values().any(|&c| c > 1), "expect some multi-dup papers");
+        assert!(per_a.values().all(|&c| c <= 4));
+    }
+
+    #[test]
+    fn year_is_numeric_or_missing() {
+        let ds = generate(GenConfig::at_scale(0.03));
+        for r in &ds.table_b.records {
+            assert!(matches!(r.value(3), Value::Number(_) | Value::Null));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let d1 = generate(GenConfig { scale: 0.03, seed: 5 });
+        let d2 = generate(GenConfig { scale: 0.03, seed: 5 });
+        assert_eq!(d1.gold, d2.gold);
+    }
+}

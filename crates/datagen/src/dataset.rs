@@ -1,0 +1,388 @@
+//! The packaged EM task a generator produces, and the generic assembly
+//! machinery shared by the three dataset generators.
+//!
+//! An [`EmDataset`] is exactly what a Corleone user supplies (paper §3):
+//! two tables, a short matching instruction, and four seed examples (two
+//! positive, two negative) — plus, for evaluation only, the gold match set
+//! that backs the simulated crowd's answers.
+
+use crate::corrupt::{corrupt_number, corrupt_text, CorruptionProfile};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use similarity::{AttrType, Schema, Table, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The four illustrating examples the user supplies (paper §3, item 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedExamples {
+    /// Two matching `(a_id, b_id)` pairs.
+    pub positive: [(u32, u32); 2],
+    /// Two non-matching `(a_id, b_id)` pairs.
+    pub negative: [(u32, u32); 2],
+}
+
+impl SeedExamples {
+    /// All four pairs with their labels.
+    pub fn labeled(&self) -> Vec<((u32, u32), bool)> {
+        self.positive
+            .iter()
+            .map(|&p| (p, true))
+            .chain(self.negative.iter().map(|&p| (p, false)))
+            .collect()
+    }
+}
+
+/// A complete synthetic EM task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmDataset {
+    /// Dataset name (e.g. `"products"`).
+    pub name: String,
+    /// Table A (by convention the smaller one).
+    pub table_a: Table,
+    /// Table B.
+    pub table_b: Table,
+    /// Gold match set: `(a_id, b_id)` pairs that truly match. Backs the
+    /// simulated crowd; Corleone itself never reads it.
+    pub gold: HashSet<(u32, u32)>,
+    /// The user's matching instruction shown to the crowd.
+    pub instruction: String,
+    /// The four seed examples.
+    pub seeds: SeedExamples,
+    /// Per-question pay in cents (paper: 1¢, 2¢ for Products).
+    pub price_cents: f64,
+}
+
+/// Summary statistics (paper Table 1 plus skew).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// |A|.
+    pub n_a: usize,
+    /// |B|.
+    pub n_b: usize,
+    /// Number of gold matches.
+    pub n_matches: usize,
+    /// |A × B|.
+    pub cartesian: u64,
+    /// Fraction of the Cartesian product that matches.
+    pub positive_density: f64,
+}
+
+impl EmDataset {
+    /// Compute Table 1-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let cartesian = self.table_a.len() as u64 * self.table_b.len() as u64;
+        DatasetStats {
+            n_a: self.table_a.len(),
+            n_b: self.table_b.len(),
+            n_matches: self.gold.len(),
+            cartesian,
+            positive_density: self.gold.len() as f64 / cartesian as f64,
+        }
+    }
+}
+
+/// Size/seed knob shared by the generators. `scale = 1.0` reproduces the
+/// paper's table sizes; smaller scales shrink every dimension
+/// proportionally (useful for tests and quick experiments).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Proportional size factor in `(0, 1]`.
+    pub scale: f64,
+    /// RNG seed; fixed seed ⇒ identical dataset.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { scale: 1.0, seed: 42 }
+    }
+}
+
+impl GenConfig {
+    /// Config at a given scale with the default seed.
+    pub fn at_scale(scale: f64) -> Self {
+        GenConfig { scale, ..Default::default() }
+    }
+
+    /// Scale a paper-size count, keeping a sane minimum.
+    pub(crate) fn scaled(&self, paper_size: usize, min: usize) -> usize {
+        ((paper_size as f64 * self.scale).round() as usize).max(min)
+    }
+}
+
+/// Everything a dataset module must provide to [`assemble`].
+pub(crate) struct GenSpec<'a> {
+    pub name: &'a str,
+    pub schema: Schema,
+    pub n_a: usize,
+    pub n_b: usize,
+    pub n_matches: usize,
+    /// Maximum duplicates of one A entity in B (Citations: several Scholar
+    /// records per DBLP paper; others: 1).
+    pub max_dups_per_a: usize,
+    pub profile: CorruptionProfile,
+    /// Fraction of B's non-matching records that are *near-miss siblings*
+    /// of A entities rather than fresh entities. This is the difficulty
+    /// dial: siblings share brand/author/street surface with a real
+    /// A record while denoting a different entity.
+    pub near_miss_frac: f64,
+    pub instruction: &'a str,
+    pub price_cents: f64,
+}
+
+/// Per-dataset entity callbacks.
+pub(crate) trait EntityModel {
+    /// Generate a fresh clean entity.
+    fn fresh(&self, rng: &mut StdRng) -> Vec<Value>;
+    /// Derive a *different* entity with deliberately similar surface.
+    fn sibling(&self, base: &[Value], rng: &mut StdRng) -> Vec<Value>;
+}
+
+/// Corrupt every field of an entity per the schema and profile.
+pub(crate) fn corrupt_entity(
+    schema: &Schema,
+    values: &[Value],
+    profile: &CorruptionProfile,
+    rng: &mut StdRng,
+) -> Vec<Value> {
+    schema
+        .attrs
+        .iter()
+        .zip(values)
+        .map(|(attr, v)| match (attr.ty, v) {
+            (AttrType::Text, Value::Text(s)) => corrupt_text(s, profile, rng)
+                .map(Value::Text)
+                .unwrap_or(Value::Null),
+            (AttrType::Number, Value::Number(x)) => corrupt_number(*x, profile, rng)
+                .map(Value::Number)
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        })
+        .collect()
+}
+
+fn entity_key(values: &[Value]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("\u{1f}")
+}
+
+/// Build an [`EmDataset`] from a spec and an entity model. Shared by all
+/// three generators.
+pub(crate) fn assemble(spec: GenSpec<'_>, model: &dyn EntityModel, seed: u64) -> EmDataset {
+    assert!(spec.n_a >= 8, "table A too small to pick seed examples");
+    assert!(spec.n_matches >= 4, "need at least 4 matches");
+    assert!(
+        spec.n_matches <= spec.n_b,
+        "cannot have more matches than B records"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 1. Distinct clean entities for A.
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut a_rows: Vec<Vec<Value>> = Vec::with_capacity(spec.n_a);
+    let mut attempts = 0usize;
+    while a_rows.len() < spec.n_a {
+        let e = model.fresh(&mut rng);
+        attempts += 1;
+        assert!(
+            attempts < spec.n_a * 200,
+            "entity space too small for requested table size"
+        );
+        if seen.insert(entity_key(&e)) {
+            a_rows.push(e);
+        }
+    }
+
+    // 2. Assign matches: walk A ids in random order, giving each matched
+    //    entity 1..=max_dups duplicates until the target count is reached.
+    let mut a_order: Vec<u32> = (0..spec.n_a as u32).collect();
+    a_order.shuffle(&mut rng);
+    let mut dup_plan: Vec<(u32, usize)> = Vec::new();
+    let mut total = 0usize;
+    for &aid in &a_order {
+        if total >= spec.n_matches {
+            break;
+        }
+        let dups = if spec.max_dups_per_a <= 1 {
+            1
+        } else {
+            rng.gen_range(1..=spec.max_dups_per_a)
+        }
+        .min(spec.n_matches - total);
+        dup_plan.push((aid, dups));
+        total += dups;
+    }
+    assert_eq!(total, spec.n_matches, "A too small to host all matches");
+
+    // 3. Build B rows: corrupted duplicates first, then fillers.
+    let mut b_rows: Vec<(Vec<Value>, Option<u32>)> = Vec::with_capacity(spec.n_b);
+    for &(aid, dups) in &dup_plan {
+        for _ in 0..dups {
+            let dup = corrupt_entity(
+                &spec.schema,
+                &a_rows[aid as usize],
+                &spec.profile,
+                &mut rng,
+            );
+            b_rows.push((dup, Some(aid)));
+        }
+    }
+    while b_rows.len() < spec.n_b {
+        let filler = if rng.gen_bool(spec.near_miss_frac) {
+            let aid = rng.gen_range(0..spec.n_a);
+            let sib = model.sibling(&a_rows[aid], &mut rng);
+            corrupt_entity(&spec.schema, &sib, &spec.profile, &mut rng)
+        } else {
+            model.fresh(&mut rng)
+        };
+        b_rows.push((filler, None));
+    }
+    b_rows.shuffle(&mut rng);
+
+    let gold: HashSet<(u32, u32)> = b_rows
+        .iter()
+        .enumerate()
+        .filter_map(|(bid, (_, src))| src.map(|aid| (aid, bid as u32)))
+        .collect();
+
+    let schema = Arc::new(spec.schema);
+    let table_a = Table::new(format!("{}_a", spec.name), schema.clone(), a_rows);
+    let table_b = Table::new(
+        format!("{}_b", spec.name),
+        schema,
+        b_rows.into_iter().map(|(v, _)| v).collect(),
+    );
+
+    // 4. Seed examples: two gold pairs, two random non-matches.
+    let mut gold_vec: Vec<(u32, u32)> = gold.iter().copied().collect();
+    gold_vec.sort_unstable();
+    gold_vec.shuffle(&mut rng);
+    let positive = [gold_vec[0], gold_vec[1]];
+    let mut negative = Vec::new();
+    while negative.len() < 2 {
+        let a = rng.gen_range(0..table_a.len() as u32);
+        let b = rng.gen_range(0..table_b.len() as u32);
+        if !gold.contains(&(a, b)) && !negative.contains(&(a, b)) {
+            negative.push((a, b));
+        }
+    }
+
+    EmDataset {
+        name: spec.name.to_string(),
+        table_a,
+        table_b,
+        gold,
+        instruction: spec.instruction.to_string(),
+        seeds: SeedExamples {
+            positive,
+            negative: [negative[0], negative[1]],
+        },
+        price_cents: spec.price_cents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use similarity::Attribute;
+
+    struct Toy;
+    impl EntityModel for Toy {
+        fn fresh(&self, rng: &mut StdRng) -> Vec<Value> {
+            vec![
+                Value::Text(format!("entity {}", rng.gen::<u32>())),
+                Value::Number(rng.gen_range(0.0..1000.0)),
+            ]
+        }
+        fn sibling(&self, base: &[Value], rng: &mut StdRng) -> Vec<Value> {
+            let name = base[0].as_text().unwrap_or("x");
+            vec![
+                Value::Text(format!("{name} mk2")),
+                Value::Number(rng.gen_range(0.0..1000.0)),
+            ]
+        }
+    }
+
+    fn toy_spec() -> GenSpec<'static> {
+        GenSpec {
+            name: "toy",
+            schema: Schema::new(vec![Attribute::text("name"), Attribute::number("price")]),
+            n_a: 50,
+            n_b: 80,
+            n_matches: 20,
+            max_dups_per_a: 2,
+            profile: CorruptionProfile::light(),
+            near_miss_frac: 0.3,
+            instruction: "match if same entity",
+            price_cents: 1.0,
+        }
+    }
+
+    #[test]
+    fn assemble_produces_requested_sizes() {
+        let ds = assemble(toy_spec(), &Toy, 1);
+        assert_eq!(ds.table_a.len(), 50);
+        assert_eq!(ds.table_b.len(), 80);
+        assert_eq!(ds.gold.len(), 20);
+        let st = ds.stats();
+        assert_eq!(st.cartesian, 50 * 80);
+        assert!((st.positive_density - 20.0 / 4000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gold_ids_are_in_range() {
+        let ds = assemble(toy_spec(), &Toy, 2);
+        for &(a, b) in &ds.gold {
+            assert!((a as usize) < ds.table_a.len());
+            assert!((b as usize) < ds.table_b.len());
+        }
+    }
+
+    #[test]
+    fn seeds_are_consistent_with_gold() {
+        let ds = assemble(toy_spec(), &Toy, 3);
+        for p in ds.seeds.positive {
+            assert!(ds.gold.contains(&p));
+        }
+        for n in ds.seeds.negative {
+            assert!(!ds.gold.contains(&n));
+        }
+        assert_eq!(ds.seeds.labeled().len(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d1 = assemble(toy_spec(), &Toy, 7);
+        let d2 = assemble(toy_spec(), &Toy, 7);
+        assert_eq!(d1.gold, d2.gold);
+        assert_eq!(d1.table_b.record(5), d2.table_b.record(5));
+        let d3 = assemble(toy_spec(), &Toy, 8);
+        assert_ne!(d1.gold, d3.gold);
+    }
+
+    #[test]
+    fn dups_respect_cap() {
+        let ds = assemble(toy_spec(), &Toy, 4);
+        let mut per_a = std::collections::HashMap::new();
+        for &(a, _) in &ds.gold {
+            *per_a.entry(a).or_insert(0usize) += 1;
+        }
+        assert!(per_a.values().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn corrupt_entity_types_respected() {
+        let schema = Schema::new(vec![Attribute::text("t"), Attribute::number("n")]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let vals = vec![Value::Text("hello world".into()), Value::Number(10.0)];
+        let out = corrupt_entity(&schema, &vals, &CorruptionProfile::light(), &mut rng);
+        assert!(matches!(out[0], Value::Text(_) | Value::Null));
+        assert!(matches!(out[1], Value::Number(_) | Value::Null));
+    }
+}

@@ -1,0 +1,177 @@
+//! The Products dataset: Amazon ↔ Walmart electronics (paper Table 1:
+//! |A| = 2554, |B| = 22074, 1154 matches). The hardest of the three tasks:
+//! heavy corruption (dropped tokens, reworded names, missing model numbers,
+//! ±10% price noise) and a high fraction of near-miss siblings — the same
+//! brand and product family in a different capacity, the pair type paper
+//! Fig. 4 illustrates.
+
+use crate::corrupt::{pick, CorruptionProfile};
+use crate::dataset::{assemble, EmDataset, EntityModel, GenConfig, GenSpec};
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::Rng;
+use similarity::{Attribute, Schema, Value};
+
+struct ProductModel;
+
+fn model_number(rng: &mut StdRng) -> String {
+    let letters = "ABCDEFGHJKLMNPRSTUVWXYZ";
+    let mut s = String::new();
+    for _ in 0..3 {
+        s.push(letters.as_bytes()[rng.gen_range(0..letters.len())] as char);
+    }
+    s.push_str(&format!("{:04}", rng.gen_range(0..10_000)));
+    for _ in 0..2 {
+        s.push(letters.as_bytes()[rng.gen_range(0..letters.len())] as char);
+    }
+    s
+}
+
+fn features(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..=4);
+    let mut phrases: Vec<&str> = Vec::with_capacity(n);
+    while phrases.len() < n {
+        let p = pick(vocab::FEATURE_PHRASES, rng);
+        if !phrases.contains(&p) {
+            phrases.push(p);
+        }
+    }
+    phrases.join("; ")
+}
+
+fn compose(brand: &str, family: &str, capacity: &str, noun: &str) -> String {
+    format!("{brand} {family} {capacity} {noun}")
+}
+
+impl EntityModel for ProductModel {
+    fn fresh(&self, rng: &mut StdRng) -> Vec<Value> {
+        let brand = pick(vocab::BRANDS, rng);
+        let family = pick(vocab::PRODUCT_FAMILIES, rng);
+        let capacity = pick(vocab::CAPACITIES, rng);
+        let noun = pick(vocab::PRODUCT_NOUNS, rng);
+        let price = (rng.gen_range(10.0..1000.0) * 100.0_f64).round() / 100.0;
+        vec![
+            Value::Text(brand.to_string()),
+            Value::Text(compose(brand, family, capacity, noun)),
+            Value::Text(model_number(rng)),
+            Value::Number(price),
+            Value::Text(features(rng)),
+        ]
+    }
+
+    /// The same brand, family, and category in a different capacity with a
+    /// different model number — a genuinely different SKU that shares most
+    /// of its name tokens with the base product.
+    fn sibling(&self, base: &[Value], rng: &mut StdRng) -> Vec<Value> {
+        let brand = base[0].as_text().unwrap_or("Kingston").to_string();
+        let base_name = base[1].as_text().unwrap_or("");
+        let mut tokens: Vec<&str> = base_name.split_whitespace().collect();
+        // Swap the capacity token for a different one; if none found,
+        // append one.
+        let new_cap = pick(vocab::CAPACITIES, rng);
+        let mut replaced = false;
+        for t in tokens.iter_mut() {
+            if vocab::CAPACITIES.contains(t) && *t != new_cap {
+                *t = new_cap;
+                replaced = true;
+                break;
+            }
+        }
+        let name = if replaced {
+            tokens.join(" ")
+        } else {
+            format!("{base_name} {new_cap}")
+        };
+        let price = base[3]
+            .as_number()
+            .map(|p| (p * rng.gen_range(0.7..1.4) * 100.0).round() / 100.0)
+            .unwrap_or(99.99);
+        vec![
+            Value::Text(brand),
+            Value::Text(name),
+            Value::Text(model_number(rng)),
+            Value::Number(price),
+            Value::Text(features(rng)),
+        ]
+    }
+}
+
+/// Product schema: four text attributes and the numeric price.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::text("brand"),
+        Attribute::text("name"),
+        Attribute::text("model"),
+        Attribute::number("price"),
+        Attribute::text("features"),
+    ])
+}
+
+/// Generate the Products dataset at the configured scale.
+pub fn generate(cfg: GenConfig) -> EmDataset {
+    let spec = GenSpec {
+        name: "products",
+        schema: schema(),
+        n_a: cfg.scaled(2554, 60),
+        n_b: cfg.scaled(22074, 250),
+        n_matches: cfg.scaled(1154, 25),
+        max_dups_per_a: 1,
+        profile: CorruptionProfile::heavy(),
+        near_miss_frac: 0.45,
+        instruction: "These records describe products sold in a department \
+                      store; they match if they represent the same product.",
+        price_cents: 2.0,
+    };
+    assemble(spec, &ProductModel, cfg.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_statistics() {
+        let ds = generate(GenConfig::at_scale(0.05));
+        let st = ds.stats();
+        assert_eq!(st.n_a, 128);
+        assert_eq!(st.n_b, 1104);
+        assert_eq!(st.n_matches, 58);
+        assert!(st.positive_density < 0.001);
+    }
+
+    #[test]
+    fn price_is_two_cents_per_question() {
+        let ds = generate(GenConfig::at_scale(0.03));
+        assert_eq!(ds.price_cents, 2.0);
+    }
+
+    #[test]
+    fn near_misses_share_brand_tokens() {
+        // Sanity: some non-matching B records share a brand with an A
+        // record (the hard negatives that make Products hard).
+        let ds = generate(GenConfig::at_scale(0.05));
+        let a_brands: std::collections::HashSet<&str> = ds
+            .table_a
+            .records
+            .iter()
+            .filter_map(|r| r.value(0).as_text())
+            .collect();
+        let matched_b: std::collections::HashSet<u32> =
+            ds.gold.iter().map(|&(_, b)| b).collect();
+        let shared = ds
+            .table_b
+            .records
+            .iter()
+            .filter(|r| !matched_b.contains(&r.id))
+            .filter(|r| r.value(0).as_text().is_some_and(|b| a_brands.contains(b)))
+            .count();
+        assert!(shared > 100, "expected many near-miss negatives, got {shared}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d1 = generate(GenConfig { scale: 0.02, seed: 9 });
+        let d2 = generate(GenConfig { scale: 0.02, seed: 9 });
+        assert_eq!(d1.gold, d2.gold);
+    }
+}

@@ -1,0 +1,135 @@
+//! The Restaurants dataset: the smallest, easiest task of the paper's
+//! three (Table 1: |A| = 533, |B| = 331, 112 matches). Distinctive names
+//! and phone numbers with light corruption make matches easy to spot; the
+//! Cartesian product is small enough that blocking is never triggered
+//! (paper Table 3).
+
+use crate::corrupt::{pick, CorruptionProfile};
+use crate::dataset::{assemble, EmDataset, EntityModel, GenConfig, GenSpec};
+use crate::vocab;
+use rand::rngs::StdRng;
+use rand::Rng;
+use similarity::{Attribute, Schema, Value};
+
+struct RestaurantModel;
+
+fn phone(rng: &mut StdRng) -> String {
+    format!(
+        "({:03}) {:03}-{:04}",
+        rng.gen_range(200..1000),
+        rng.gen_range(200..1000),
+        rng.gen_range(0..10_000)
+    )
+}
+
+impl EntityModel for RestaurantModel {
+    fn fresh(&self, rng: &mut StdRng) -> Vec<Value> {
+        let name = format!(
+            "{} {}",
+            pick(vocab::RESTAURANT_FIRST, rng),
+            pick(vocab::RESTAURANT_SECOND, rng)
+        );
+        let address = format!("{} {}", rng.gen_range(1..9999), pick(vocab::STREETS, rng));
+        vec![
+            Value::Text(name),
+            Value::Text(address),
+            Value::Text(pick(vocab::CITIES, rng).to_string()),
+            Value::Text(phone(rng)),
+            Value::Text(pick(vocab::CUISINES, rng).to_string()),
+        ]
+    }
+
+    /// A different restaurant that shares the name's head word, the city,
+    /// and the cuisine — the plausible near-miss of this domain.
+    fn sibling(&self, base: &[Value], rng: &mut StdRng) -> Vec<Value> {
+        let head = base[0]
+            .as_text()
+            .and_then(|n| n.split_whitespace().next())
+            .unwrap_or("Golden")
+            .to_string();
+        let name = format!("{head} {}", pick(vocab::RESTAURANT_SECOND, rng));
+        let address = format!("{} {}", rng.gen_range(1..9999), pick(vocab::STREETS, rng));
+        vec![
+            Value::Text(name),
+            Value::Text(address),
+            base[2].clone(),
+            Value::Text(phone(rng)),
+            base[4].clone(),
+        ]
+    }
+}
+
+/// Restaurant schema: five text attributes.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::text("name"),
+        Attribute::text("address"),
+        Attribute::text("city"),
+        Attribute::text("phone"),
+        Attribute::text("cuisine"),
+    ])
+}
+
+/// Generate the Restaurants dataset at the configured scale.
+pub fn generate(cfg: GenConfig) -> EmDataset {
+    let spec = GenSpec {
+        name: "restaurants",
+        schema: schema(),
+        n_a: cfg.scaled(533, 40),
+        n_b: cfg.scaled(331, 30),
+        n_matches: cfg.scaled(112, 10),
+        max_dups_per_a: 1,
+        profile: CorruptionProfile::light(),
+        near_miss_frac: 0.15,
+        instruction: "These records describe restaurants; they match if they \
+                      refer to the same restaurant location.",
+        price_cents: 1.0,
+    };
+    assemble(spec, &RestaurantModel, cfg.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_statistics() {
+        let ds = generate(GenConfig::default());
+        let st = ds.stats();
+        assert_eq!(st.n_a, 533);
+        assert_eq!(st.n_b, 331);
+        assert_eq!(st.n_matches, 112);
+        assert_eq!(st.cartesian, 533 * 331);
+    }
+
+    #[test]
+    fn scaled_down_statistics() {
+        let ds = generate(GenConfig::at_scale(0.25));
+        let st = ds.stats();
+        assert_eq!(st.n_a, 133);
+        assert_eq!(st.n_b, 83);
+        assert_eq!(st.n_matches, 28);
+    }
+
+    #[test]
+    fn matched_pairs_look_similar() {
+        let ds = generate(GenConfig::at_scale(0.3));
+        let mut sims = Vec::new();
+        for &(a, b) in ds.gold.iter().take(20) {
+            let ra = ds.table_a.record(a);
+            let rb = ds.table_b.record(b);
+            if let (Some(na), Some(nb)) = (ra.value(0).as_text(), rb.value(0).as_text()) {
+                sims.push(similarity::jaro::jaro_winkler(na, nb));
+            }
+        }
+        let mean = sims.iter().sum::<f64>() / sims.len() as f64;
+        assert!(mean > 0.85, "matched names should stay similar, got {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d1 = generate(GenConfig::at_scale(0.2));
+        let d2 = generate(GenConfig::at_scale(0.2));
+        assert_eq!(d1.gold, d2.gold);
+    }
+}

@@ -1,0 +1,156 @@
+//! Word banks for the synthetic dataset generators.
+//!
+//! The banks are sized so that sampled entity descriptions are mostly
+//! distinct at paper-scale table sizes while still producing plausible
+//! near-collisions (two different Italian restaurants on "Oak Street",
+//! two Kingston memory kits differing only in capacity).
+
+/// First words of restaurant names.
+pub const RESTAURANT_FIRST: &[&str] = &[
+    "Golden", "Blue", "Royal", "Little", "Grand", "Old", "New", "Silver", "Red", "Green",
+    "Happy", "Lucky", "Sunny", "Crystal", "Olive", "Amber", "Velvet", "Copper", "Ivory",
+    "Rustic", "Urban", "Coastal", "Harbor", "Garden", "Corner", "Village", "Midtown",
+    "Uptown", "Downtown", "Lakeside", "Hillside", "Riverside", "Sunset", "Sunrise",
+    "Mountain", "Prairie", "Maple", "Cedar", "Willow", "Magnolia",
+];
+
+/// Second words of restaurant names.
+pub const RESTAURANT_SECOND: &[&str] = &[
+    "Dragon", "Palace", "Garden", "Kitchen", "Bistro", "Grill", "Diner", "Cafe", "House",
+    "Table", "Tavern", "Cantina", "Trattoria", "Osteria", "Brasserie", "Pantry", "Spoon",
+    "Fork", "Plate", "Oven", "Hearth", "Fire", "Smoke", "Salt", "Pepper", "Basil", "Thyme",
+    "Saffron", "Ginger", "Lotus", "Bamboo", "Pearl", "Anchor", "Lantern", "Crown",
+];
+
+/// Cuisines.
+pub const CUISINES: &[&str] = &[
+    "Italian", "Chinese", "Mexican", "Thai", "Indian", "French", "Japanese", "Korean",
+    "Greek", "Spanish", "Vietnamese", "American", "Cajun", "Ethiopian", "Lebanese",
+    "Turkish", "Moroccan", "Brazilian", "Peruvian", "German",
+];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "Madison", "Chicago", "Austin", "Denver", "Seattle", "Portland", "Boston", "Atlanta",
+    "Phoenix", "Dallas", "Houston", "Columbus", "Nashville", "Memphis", "Louisville",
+    "Baltimore", "Milwaukee", "Albuquerque", "Tucson", "Fresno", "Sacramento", "Omaha",
+    "Raleigh", "Miami", "Oakland", "Tulsa", "Wichita", "Arlington", "Tampa", "Aurora",
+    "Anaheim", "Riverside", "Lexington", "Stockton", "Pittsburgh", "Anchorage",
+    "Cincinnati", "Greensboro", "Toledo", "Newark",
+];
+
+/// Street names.
+pub const STREETS: &[&str] = &[
+    "Main Street", "Oak Street", "Park Avenue", "Maple Avenue", "Cedar Road", "Pine Street",
+    "Elm Street", "Washington Avenue", "Lake Street", "Hill Road", "Church Street",
+    "Bridge Street", "Mill Road", "River Road", "Spring Street", "Highland Avenue",
+    "Union Street", "Prospect Avenue", "Jefferson Street", "Madison Avenue",
+    "Franklin Street", "Lincoln Avenue", "Jackson Street", "Monroe Street",
+    "Chestnut Street", "Walnut Street", "Cherry Lane", "Sunset Boulevard",
+    "Broadway", "Second Avenue", "Third Street", "Fourth Avenue", "Fifth Street",
+    "College Avenue", "University Drive", "Market Street", "State Street",
+    "Water Street", "Front Street", "Grove Street",
+];
+
+/// Person first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda",
+    "William", "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
+    "Thomas", "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa",
+    "Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley",
+    "Steven", "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua", "Michelle",
+    "Kenneth", "Carol", "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa",
+    "Timothy", "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary", "Amy",
+    "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna", "Stephen", "Brenda",
+    "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon", "Helen",
+];
+
+/// Person last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker",
+    "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris", "Morales", "Murphy",
+    "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson", "Bailey",
+    "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson", "Watson",
+    "Brooks", "Chavez", "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long", "Ross",
+    "Foster", "Jimenez", "Zhang", "Chen", "Kumar", "Singh", "Shavlik", "Doan", "Zhu",
+    "Naughton", "Gokhale", "Das", "Breiman", "Vapnik", "Pearl", "Widom", "Gray",
+    "Stonebraker", "Codd", "Ullman", "Halevy", "Ives", "Franklin", "Madden", "Kraska",
+];
+
+/// Content words of paper titles.
+pub const TITLE_WORDS: &[&str] = &[
+    "active", "learning", "scalable", "entity", "matching", "crowdsourced", "databases",
+    "query", "optimization", "distributed", "transaction", "processing", "indexing",
+    "approximate", "streaming", "graph", "mining", "classification", "clustering",
+    "probabilistic", "inference", "sampling", "estimation", "parallel", "adaptive",
+    "incremental", "robust", "efficient", "semantic", "schema", "integration",
+    "deduplication", "record", "linkage", "blocking", "similarity", "joins", "skyline",
+    "ranking", "keyword", "search", "extraction", "wrappers", "provenance", "lineage",
+    "uncertain", "temporal", "spatial", "multidimensional", "compression", "caching",
+    "materialized", "views", "recovery", "concurrency", "replication", "partitioning",
+    "workload", "tuning", "benchmarking", "declarative", "relational", "federated",
+    "heterogeneous", "ontologies", "annotation", "curation", "cleaning", "repair",
+    "constraints", "dependencies", "normalization", "privacy", "anonymization",
+    "security", "auditing", "versioning", "crowdsourcing", "human", "computation",
+    "feedback", "interactive", "visualization", "exploration", "summarization",
+    "sketches", "histograms", "cardinality", "selectivity", "cost", "models",
+    "execution", "plans", "operators", "pipelines", "vectorized", "columnar",
+    "storage", "engines", "transactions", "logging", "checkpointing", "snapshots",
+];
+
+/// Publication venues.
+pub const VENUES: &[&str] = &[
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "CIDR", "PODS", "KDD", "ICML", "NIPS", "AAAI",
+    "IJCAI", "WWW", "WSDM", "CIKM", "ICDM", "SDM", "ECML", "UAI", "COLT", "SIGIR",
+    "TODS", "TKDE", "VLDBJ", "JMLR", "MLJ", "DMKD", "PVLDB", "SoCC", "ATC", "OSDI",
+];
+
+/// Product brands.
+pub const BRANDS: &[&str] = &[
+    "Kingston", "Corsair", "Samsung", "Sony", "Panasonic", "Logitech", "Netgear",
+    "Belkin", "Canon", "Nikon", "Epson", "Brother", "Asus", "Acer", "Lenovo", "Dell",
+    "Toshiba", "Seagate", "SanDisk", "Garmin", "TomTom", "Philips", "Sharp", "Vizio",
+    "JVC", "Pioneer", "Kenwood", "Yamaha", "Onkyo", "Denon", "Plantronics", "Jabra",
+    "Linksys", "TPLink", "DLink", "Zyxel", "Crucial", "PNY", "Transcend", "Verbatim",
+];
+
+/// Product family/series names.
+pub const PRODUCT_FAMILIES: &[&str] = &[
+    "HyperX", "Vengeance", "EVO", "Pro", "Elite", "Ultra", "Max", "Prime", "Titan",
+    "Fury", "Savage", "Blaze", "Spark", "Pulse", "Wave", "Stream", "Vision", "Clarity",
+    "Precision", "Velocity", "Quantum", "Vertex", "Apex", "Summit", "Pinnacle", "Core",
+    "Edge", "Flow", "Shift", "Boost",
+];
+
+/// Product category nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "Memory Kit", "SSD", "Hard Drive", "Flash Drive", "Keyboard", "Mouse", "Webcam",
+    "Headset", "Speaker", "Monitor", "Router", "Switch", "Adapter", "Charger", "Cable",
+    "Printer", "Scanner", "Camera", "Lens", "Tripod", "Microphone", "Soundbar",
+    "Projector", "Dock", "Hub", "Enclosure", "Card Reader", "Power Supply",
+    "Graphics Card", "Motherboard",
+];
+
+/// Capacity/size variants for products (an easy axis for near-miss pairs).
+pub const CAPACITIES: &[&str] = &[
+    "2GB", "4GB", "8GB", "16GB", "32GB", "64GB", "128GB", "256GB", "512GB", "1TB",
+    "2TB", "4TB",
+];
+
+/// Feature phrases for product descriptions.
+pub const FEATURE_PHRASES: &[&str] = &[
+    "high speed", "low latency", "energy efficient", "plug and play", "wireless",
+    "bluetooth enabled", "usb 3.0", "backlit", "ergonomic design", "noise cancelling",
+    "water resistant", "shock proof", "ultra slim", "portable", "rechargeable",
+    "fast charging", "dual band", "gigabit", "hd resolution", "4k ready",
+    "wide compatibility", "aluminum body", "rgb lighting", "quiet operation",
+    "extended warranty", "heat spreader", "error correction", "hot swappable",
+];

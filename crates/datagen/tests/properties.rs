@@ -1,0 +1,72 @@
+//! Property-based tests for the dataset generators: structural invariants
+//! that must hold at any scale and seed.
+
+use datagen::{by_name, GenConfig, DATASET_NAMES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_datasets_are_structurally_sound(
+        scale in 0.01f64..0.08,
+        seed in 0u64..500,
+        which in 0usize..3,
+    ) {
+        let name = DATASET_NAMES[which];
+        let ds = by_name(name, GenConfig { scale, seed }).unwrap();
+        let st = ds.stats();
+
+        // Sizes and gold consistency.
+        prop_assert_eq!(st.n_a, ds.table_a.len());
+        prop_assert_eq!(st.n_b, ds.table_b.len());
+        prop_assert_eq!(st.n_matches, ds.gold.len());
+        prop_assert!(st.n_matches >= 4, "need enough matches for seeds");
+        for &(a, b) in &ds.gold {
+            prop_assert!((a as usize) < st.n_a);
+            prop_assert!((b as usize) < st.n_b);
+        }
+        // Each B record matches at most one A record (B-side uniqueness).
+        let mut b_seen = std::collections::HashSet::new();
+        for &(_, b) in &ds.gold {
+            prop_assert!(b_seen.insert(b), "B record {b} matched twice");
+        }
+        // Seeds agree with gold.
+        for p in ds.seeds.positive {
+            prop_assert!(ds.gold.contains(&p));
+        }
+        for n in ds.seeds.negative {
+            prop_assert!(!ds.gold.contains(&n));
+        }
+        // Tables share the schema.
+        prop_assert_eq!(&ds.table_a.schema, &ds.table_b.schema);
+        // Row arity matches schema everywhere.
+        for r in ds.table_a.records.iter().chain(ds.table_b.records.iter()) {
+            prop_assert_eq!(r.values.len(), ds.table_a.schema.len());
+        }
+        // EM skew: positives are a small minority of the Cartesian product.
+        prop_assert!(st.positive_density < 0.05, "density {}", st.positive_density);
+    }
+
+    #[test]
+    fn same_seed_same_dataset(seed in 0u64..200, which in 0usize..3) {
+        let name = DATASET_NAMES[which];
+        let cfg = GenConfig { scale: 0.02, seed };
+        let d1 = by_name(name, cfg).unwrap();
+        let d2 = by_name(name, cfg).unwrap();
+        prop_assert_eq!(&d1.gold, &d2.gold);
+        prop_assert_eq!(&d1.seeds, &d2.seeds);
+        prop_assert_eq!(d1.table_b.records.len(), d2.table_b.records.len());
+        for i in (0..d1.table_b.len()).step_by(17) {
+            prop_assert_eq!(d1.table_b.record(i as u32), d2.table_b.record(i as u32));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ(seed in 0u64..200, which in 0usize..3) {
+        let name = DATASET_NAMES[which];
+        let d1 = by_name(name, GenConfig { scale: 0.03, seed }).unwrap();
+        let d2 = by_name(name, GenConfig { scale: 0.03, seed: seed + 1 }).unwrap();
+        prop_assert_ne!(&d1.gold, &d2.gold);
+    }
+}

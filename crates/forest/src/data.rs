@@ -1,0 +1,116 @@
+//! Row-major labeled feature matrix used for training.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled dataset: a dense row-major `f64` feature matrix plus boolean
+/// labels (`true` = matched / positive).
+///
+/// `NaN` entries encode missing features.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    n_features: usize,
+    rows: Vec<f64>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given arity.
+    pub fn new(n_features: usize) -> Self {
+        Dataset { n_features, rows: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Build from explicit rows.
+    ///
+    /// # Panics
+    /// Panics if any row has the wrong arity or the label count differs
+    /// from the row count.
+    pub fn from_rows(rows: &[Vec<f64>], labels: &[bool]) -> Self {
+        assert_eq!(rows.len(), labels.len(), "one label per row required");
+        let n_features = rows.first().map_or(0, |r| r.len());
+        let mut ds = Dataset::new(n_features);
+        for (r, &l) in rows.iter().zip(labels) {
+            ds.push(r, l);
+        }
+        ds
+    }
+
+    /// Append a labeled row.
+    pub fn push(&mut self, row: &[f64], label: bool) {
+        assert_eq!(row.len(), self.n_features, "row arity mismatch");
+        self.rows.extend_from_slice(row);
+        self.labels.push(label);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The `i`-th feature row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Count of positive labels.
+    pub fn n_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut ds = Dataset::new(2);
+        ds.push(&[1.0, 2.0], true);
+        ds.push(&[3.0, f64::NAN], false);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0), &[1.0, 2.0]);
+        assert!(ds.row(1)[1].is_nan());
+        assert!(ds.label(0));
+        assert!(!ds.label(1));
+        assert_eq!(ds.n_positive(), 1);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let ds = Dataset::from_rows(&[vec![0.5], vec![0.7]], &[false, true]);
+        assert_eq!(ds.n_features(), 1);
+        assert_eq!(ds.labels(), &[false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut ds = Dataset::new(2);
+        ds.push(&[1.0], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_count_checked() {
+        Dataset::from_rows(&[vec![1.0]], &[true, false]);
+    }
+}

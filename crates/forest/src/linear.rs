@@ -1,0 +1,236 @@
+//! Logistic regression — the comparison model for the paper's key design
+//! choice of random forests.
+//!
+//! The paper picks forests "because blocking rules can be naturally
+//! extracted from them" (§4.1). A linear model is the obvious
+//! alternative: often competitive on accuracy, but it offers **no
+//! machine-readable rules** — no Blocker, no reduction rules for the
+//! Estimator, no Locator. This module exists so the `ablation_model`
+//! experiment can quantify what the forest choice costs (if anything) in
+//! raw matching accuracy.
+//!
+//! Implementation: batch gradient descent with L2 regularization on
+//! standardized features; `NaN` features are imputed with the training
+//! mean (linear models have no native missing-value routing — another
+//! practical argument for trees in EM, where missing fields abound).
+
+use crate::data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for logistic-regression training.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogRegConfig {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { epochs: 300, learning_rate: 0.5, l2: 1e-3 }
+    }
+}
+
+/// A trained logistic-regression classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    /// Per-feature training means (for NaN imputation and centering).
+    means: Vec<f64>,
+    /// Per-feature training standard deviations (for scaling; ≥ small ε).
+    stds: Vec<f64>,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Train on every row of `ds`.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn train(ds: &Dataset, cfg: &LogRegConfig) -> Self {
+        assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        let n = ds.len();
+        let d = ds.n_features();
+
+        // Feature statistics over non-NaN entries.
+        let mut means = vec![0.0f64; d];
+        let mut counts = vec![0usize; d];
+        for i in 0..n {
+            for (j, &v) in ds.row(i).iter().enumerate() {
+                if !v.is_nan() {
+                    means[j] += v;
+                    counts[j] += 1;
+                }
+            }
+        }
+        for j in 0..d {
+            if counts[j] > 0 {
+                means[j] /= counts[j] as f64;
+            }
+        }
+        let mut vars = vec![0.0f64; d];
+        for i in 0..n {
+            for (j, &v) in ds.row(i).iter().enumerate() {
+                if !v.is_nan() {
+                    vars[j] += (v - means[j]).powi(2);
+                }
+            }
+        }
+        let stds: Vec<f64> = vars
+            .iter()
+            .zip(&counts)
+            .map(|(&v, &c)| {
+                if c > 1 {
+                    (v / c as f64).sqrt().max(1e-6)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        let standardize = |row: &[f64], out: &mut Vec<f64>| {
+            out.clear();
+            for j in 0..d {
+                let v = row[j];
+                let x = if v.is_nan() { means[j] } else { v };
+                out.push((x - means[j]) / stds[j]);
+            }
+        };
+
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        let mut x = Vec::with_capacity(d);
+        let mut grad = vec![0.0f64; d];
+        for _ in 0..cfg.epochs {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0;
+            for i in 0..n {
+                standardize(ds.row(i), &mut x);
+                let z: f64 = w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                let err = sigmoid(z) - f64::from(u8::from(ds.label(i)));
+                for j in 0..d {
+                    grad[j] += err * x[j];
+                }
+                gb += err;
+            }
+            let scale = cfg.learning_rate / n as f64;
+            for j in 0..d {
+                w[j] -= scale * (grad[j] + cfg.l2 * w[j] * n as f64);
+            }
+            b -= scale * gb;
+        }
+        LogisticRegression { weights: w, bias: b, means, stds }
+    }
+
+    /// Probability the pair matches.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(row)
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|((w, &v), (&m, &s))| {
+                let x = if v.is_nan() { m } else { v };
+                w * ((x - m) / s)
+            })
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+
+    /// Hard prediction at the 0.5 threshold.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    /// The learned weights (standardized space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize) -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let v = i as f64 / n as f64;
+            rows.push(vec![v, 1.0 - v]);
+            labels.push(v > 0.5);
+        }
+        Dataset::from_rows(&rows, &labels)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let ds = separable(200);
+        let m = LogisticRegression::train(&ds, &LogRegConfig::default());
+        let acc = (0..ds.len())
+            .filter(|&i| m.predict(ds.row(i)) == ds.label(i))
+            .count() as f64
+            / ds.len() as f64;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_directionally() {
+        let ds = separable(200);
+        let m = LogisticRegression::train(&ds, &LogRegConfig::default());
+        assert!(m.predict_proba(&[0.95, 0.05]) > 0.9);
+        assert!(m.predict_proba(&[0.05, 0.95]) < 0.1);
+    }
+
+    #[test]
+    fn nan_features_imputed_with_mean() {
+        let ds = separable(100);
+        let m = LogisticRegression::train(&ds, &LogRegConfig::default());
+        // A NaN in the decisive feature falls back to its mean — the
+        // prediction must still be finite and in range.
+        let p = m.predict_proba(&[f64::NAN, 0.2]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            rows.push(vec![0.7, i as f64 / 80.0]);
+            labels.push(i >= 40);
+        }
+        let ds = Dataset::from_rows(&rows, &labels);
+        let m = LogisticRegression::train(&ds, &LogRegConfig::default());
+        let acc = (0..ds.len())
+            .filter(|&i| m.predict(ds.row(i)) == ds.label(i))
+            .count() as f64
+            / ds.len() as f64;
+        assert!(acc > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_training_panics() {
+        LogisticRegression::train(&Dataset::new(2), &LogRegConfig::default());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = separable(50);
+        let m = LogisticRegression::train(&ds, &LogRegConfig::default());
+        let json = serde_json::to_string(&m).unwrap();
+        let back: LogisticRegression = serde_json::from_str(&json).unwrap();
+        for i in 0..ds.len() {
+            assert_eq!(back.predict(ds.row(i)), m.predict(ds.row(i)));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Impurity measures and best-split search for tree induction.
+
+use crate::data::Dataset;
+
+/// Gini impurity of a node with `pos` positive and `neg` negative samples.
+pub fn gini(pos: usize, neg: usize) -> f64 {
+    let n = pos + neg;
+    if n == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / n as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// Binary Shannon entropy (natural log) of a class distribution, with the
+/// `0 · ln 0 = 0` convention. This is the paper's Eq. 1 applied to a node.
+pub fn binary_entropy(pos: usize, neg: usize) -> f64 {
+    let n = pos + neg;
+    if n == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / n as f64;
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.ln();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).ln();
+    }
+    h
+}
+
+/// A chosen split of a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// Feature index to split on.
+    pub feature: usize,
+    /// Samples with `x[feature] <= threshold` go left.
+    pub threshold: f64,
+    /// Whether missing (`NaN`) values are routed to the left branch.
+    pub nan_left: bool,
+    /// Weighted Gini impurity after the split (to compare against parent).
+    pub impurity: f64,
+}
+
+/// Find the best Gini split of the samples `idx` of `ds` over the candidate
+/// `features`. Returns `None` if no feature admits a split that actually
+/// separates the samples (all values equal or all missing per feature).
+///
+/// For each feature the non-missing samples are sorted by value; every
+/// midpoint between distinct consecutive values is a candidate threshold.
+/// Missing samples are tried on both sides and the better side is kept,
+/// which is also recorded as the branch `NaN` routes to at prediction time.
+pub fn best_split(ds: &Dataset, idx: &[usize], features: &[usize]) -> Option<Split> {
+    let mut best: Option<Split> = None;
+    // Reusable scratch buffer of (value, is_positive).
+    let mut vals: Vec<(f64, bool)> = Vec::with_capacity(idx.len());
+    for &f in features {
+        vals.clear();
+        let mut nan_pos = 0usize;
+        let mut nan_neg = 0usize;
+        for &i in idx {
+            let v = ds.row(i)[f];
+            let l = ds.label(i);
+            if v.is_nan() {
+                if l {
+                    nan_pos += 1;
+                } else {
+                    nan_neg += 1;
+                }
+            } else {
+                vals.push((v, l));
+            }
+        }
+        if vals.len() < 2 {
+            continue;
+        }
+        vals.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN here"));
+        let total_pos: usize = vals.iter().filter(|(_, l)| *l).count();
+        let total_neg = vals.len() - total_pos;
+        let nan_total = nan_pos + nan_neg;
+        let n_all = vals.len() + nan_total;
+
+        let mut left_pos = 0usize;
+        let mut left_neg = 0usize;
+        for w in 0..vals.len() - 1 {
+            if vals[w].1 {
+                left_pos += 1;
+            } else {
+                left_neg += 1;
+            }
+            if vals[w].0 == vals[w + 1].0 {
+                continue; // not a valid cut point
+            }
+            let threshold = midpoint(vals[w].0, vals[w + 1].0);
+            let right_pos = total_pos - left_pos;
+            let right_neg = total_neg - left_neg;
+            // Try NaN on each side; keep the better assignment.
+            for nan_left in [true, false] {
+                let (lp, ln, rp, rn) = if nan_left {
+                    (left_pos + nan_pos, left_neg + nan_neg, right_pos, right_neg)
+                } else {
+                    (left_pos, left_neg, right_pos + nan_pos, right_neg + nan_neg)
+                };
+                let nl = lp + ln;
+                let nr = rp + rn;
+                let imp = (nl as f64 * gini(lp, ln) + nr as f64 * gini(rp, rn))
+                    / n_all as f64;
+                if best.map_or(true, |b| imp < b.impurity) {
+                    best = Some(Split { feature: f, threshold, nan_left, impurity: imp });
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Midpoint of two finite values, guaranteed to satisfy `a <= mid < b`
+/// so `x <= mid` separates them even under floating-point rounding.
+fn midpoint(a: f64, b: f64) -> f64 {
+    let mid = a + (b - a) / 2.0;
+    if mid >= b {
+        a
+    } else {
+        mid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(0, 0), 0.0);
+        assert_eq!(gini(5, 0), 0.0);
+        assert_eq!(gini(0, 5), 0.0);
+        assert_eq!(gini(5, 5), 0.5);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(binary_entropy(0, 0), 0.0);
+        assert_eq!(binary_entropy(3, 0), 0.0);
+        assert!((binary_entropy(5, 5) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_perfect_split() {
+        let ds = Dataset::from_rows(
+            &[vec![0.1], vec![0.2], vec![0.8], vec![0.9]],
+            &[false, false, true, true],
+        );
+        let s = best_split(&ds, &[0, 1, 2, 3], &[0]).unwrap();
+        assert_eq!(s.feature, 0);
+        assert!(s.threshold > 0.2 && s.threshold < 0.8);
+        assert_eq!(s.impurity, 0.0);
+    }
+
+    #[test]
+    fn no_split_on_constant_feature() {
+        let ds = Dataset::from_rows(&[vec![0.5], vec![0.5]], &[false, true]);
+        assert!(best_split(&ds, &[0, 1], &[0]).is_none());
+    }
+
+    #[test]
+    fn no_split_when_all_missing() {
+        let ds = Dataset::from_rows(
+            &[vec![f64::NAN], vec![f64::NAN]],
+            &[false, true],
+        );
+        assert!(best_split(&ds, &[0, 1], &[0]).is_none());
+    }
+
+    #[test]
+    fn nan_routed_to_purer_side() {
+        // NaNs are all positive; the positive side is right (> 0.5).
+        let ds = Dataset::from_rows(
+            &[
+                vec![0.1],
+                vec![0.2],
+                vec![0.9],
+                vec![f64::NAN],
+                vec![f64::NAN],
+            ],
+            &[false, false, true, true, true],
+        );
+        let s = best_split(&ds, &[0, 1, 2, 3, 4], &[0]).unwrap();
+        assert!(!s.nan_left, "NaN should go to the positive (right) side");
+        assert_eq!(s.impurity, 0.0);
+    }
+
+    #[test]
+    fn midpoint_separates_adjacent_floats() {
+        let a = 1.0_f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        let m = midpoint(a, b);
+        assert!(a <= m && m < b);
+    }
+
+    #[test]
+    fn picks_most_discriminative_feature() {
+        // Feature 1 separates perfectly; feature 0 does not.
+        let ds = Dataset::from_rows(
+            &[
+                vec![0.4, 0.0],
+                vec![0.6, 0.1],
+                vec![0.5, 0.9],
+                vec![0.5, 1.0],
+            ],
+            &[false, false, true, true],
+        );
+        let s = best_split(&ds, &[0, 1, 2, 3], &[0, 1]).unwrap();
+        assert_eq!(s.feature, 1);
+    }
+}

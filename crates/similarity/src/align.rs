@@ -1,0 +1,109 @@
+//! Smith-Waterman local alignment similarity.
+//!
+//! Finds the best-scoring *local* alignment between two strings (match
+//! +2, mismatch −1, gap −1) and normalizes by the best possible score of
+//! the shorter string. Strong at spotting a shared core inside otherwise
+//! different strings ("KHX1600C9D3K3" inside a long product title), which
+//! the global measures dilute.
+
+/// Smith-Waterman local alignment score with unit costs
+/// (match = +2, mismatch = −1, gap = −1), over Unicode scalar values of
+/// the lower-cased inputs.
+pub fn smith_waterman_score(a: &str, b: &str) -> i64 {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    const MATCH: i64 = 2;
+    const MISMATCH: i64 = -1;
+    const GAP: i64 = -1;
+    let mut prev = vec![0i64; b.len() + 1];
+    let mut cur = vec![0i64; b.len() + 1];
+    let mut best = 0i64;
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { MATCH } else { MISMATCH };
+            let up = prev[j + 1] + GAP;
+            let left = cur[j] + GAP;
+            cur[j + 1] = diag.max(up).max(left).max(0);
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    best
+}
+
+/// Normalized Smith-Waterman similarity in `[0, 1]`: the local alignment
+/// score divided by the maximum achievable (`2 × min(|a|, |b|)`).
+/// Both empty → 1; exactly one empty → 0.
+pub fn smith_waterman_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let max_score = 2 * la.min(lb) as i64;
+    (smith_waterman_score(a, b) as f64 / max_score as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_perfect() {
+        assert_eq!(smith_waterman_similarity("kingston", "kingston"), 1.0);
+        assert_eq!(smith_waterman_score("abc", "abc"), 6);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(smith_waterman_similarity("ABC", "abc"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero_ish() {
+        let s = smith_waterman_similarity("aaaa", "bbbb");
+        assert!(s < 0.3, "{s}");
+    }
+
+    #[test]
+    fn finds_embedded_substring() {
+        // The model number buried in a long title still aligns perfectly.
+        let s = smith_waterman_similarity(
+            "KHX1600C9D3K3",
+            "Kingston HyperX KHX1600C9D3K3 12GB memory kit",
+        );
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn tolerates_gaps() {
+        let s = smith_waterman_similarity("kingston", "king-ston");
+        assert!(s > 0.8, "{s}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(smith_waterman_similarity("", ""), 1.0);
+        assert_eq!(smith_waterman_similarity("", "x"), 0.0);
+        assert_eq!(smith_waterman_score("", "abc"), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = "golden dragon";
+        let b = "dragon palace";
+        assert_eq!(smith_waterman_score(a, b), smith_waterman_score(b, a));
+    }
+
+    #[test]
+    fn score_never_negative() {
+        assert!(smith_waterman_score("xyz", "abc") >= 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Minimal CSV support for loading EM tables — a downstream user's data
+//! arrives as CSV files, not Rust literals.
+//!
+//! Implements the RFC 4180 essentials without external dependencies:
+//! quoted fields, embedded commas/newlines/escaped quotes, and CRLF line
+//! endings. Column types are inferred: a column where every non-empty
+//! value parses as a number becomes [`AttrType::Number`], everything else
+//! is text. Empty fields load as [`Value::Null`].
+
+use crate::record::{AttrType, Attribute, Schema, Table, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// CSV parsing error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based record number (header = 1).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSV error at record {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split CSV text into records of fields (RFC 4180 quoting).
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CsvError {
+                        line,
+                        message: "quote in the middle of an unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Swallow; the following \n (if any) ends the record.
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                line += 1;
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError { line, message: "unterminated quoted field".into() });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    // Drop fully empty trailing records (file ending in newline).
+    records.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(records)
+}
+
+/// Load a [`Table`] from CSV text. The first record is the header; column
+/// types are inferred (all-numeric → `Number`). Returns the table and its
+/// schema (shared via `Arc` so a second file can reuse it).
+pub fn table_from_csv(name: &str, text: &str) -> Result<Table, CsvError> {
+    let records = parse_csv(text)?;
+    let Some((header, rows)) = records.split_first() else {
+        return Err(CsvError { line: 1, message: "empty file".into() });
+    };
+    let n_cols = header.len();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != n_cols {
+            return Err(CsvError {
+                line: i + 2,
+                message: format!("expected {n_cols} fields, found {}", r.len()),
+            });
+        }
+    }
+    // Infer per-column types.
+    let mut numeric = vec![true; n_cols];
+    for r in rows {
+        for (c, v) in r.iter().enumerate() {
+            if !v.trim().is_empty() && v.trim().parse::<f64>().is_err() {
+                numeric[c] = false;
+            }
+        }
+    }
+    let attrs: Vec<Attribute> = header
+        .iter()
+        .zip(&numeric)
+        .map(|(name, &is_num)| Attribute {
+            name: name.trim().to_string(),
+            ty: if is_num { AttrType::Number } else { AttrType::Text },
+        })
+        .collect();
+    let schema = Arc::new(Schema::new(attrs));
+    let typed_rows: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(c, v)| {
+                    let t = v.trim();
+                    if t.is_empty() {
+                        Value::Null
+                    } else if numeric[c] {
+                        Value::Number(t.parse().expect("checked during inference"))
+                    } else {
+                        Value::Text(v.clone())
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Ok(Table::new(name, schema, typed_rows))
+}
+
+/// Load a table from CSV text, forcing it onto an existing schema (names
+/// must match the header; types are taken from the schema). Use for the
+/// second table of an EM task so both share one schema instance.
+pub fn table_from_csv_with_schema(
+    name: &str,
+    text: &str,
+    schema: Arc<Schema>,
+) -> Result<Table, CsvError> {
+    let records = parse_csv(text)?;
+    let Some((header, rows)) = records.split_first() else {
+        return Err(CsvError { line: 1, message: "empty file".into() });
+    };
+    if header.len() != schema.len()
+        || header
+            .iter()
+            .zip(&schema.attrs)
+            .any(|(h, a)| h.trim() != a.name)
+    {
+        return Err(CsvError {
+            line: 1,
+            message: format!(
+                "header {:?} does not match schema {:?}",
+                header,
+                schema.attrs.iter().map(|a| &a.name).collect::<Vec<_>>()
+            ),
+        });
+    }
+    let typed_rows: Result<Vec<Vec<Value>>, CsvError> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if r.len() != schema.len() {
+                return Err(CsvError {
+                    line: i + 2,
+                    message: format!("expected {} fields, found {}", schema.len(), r.len()),
+                });
+            }
+            r.iter()
+                .zip(&schema.attrs)
+                .map(|(v, attr)| {
+                    let t = v.trim();
+                    if t.is_empty() {
+                        return Ok(Value::Null);
+                    }
+                    match attr.ty {
+                        AttrType::Number => t.parse::<f64>().map(Value::Number).map_err(|_| {
+                            CsvError {
+                                line: i + 2,
+                                message: format!(
+                                    "column '{}' is numeric but value '{t}' is not",
+                                    attr.name
+                                ),
+                            }
+                        }),
+                        AttrType::Text => Ok(Value::Text(v.clone())),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Ok(Table::new(name, schema, typed_rows?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_csv() {
+        let rs = parse_csv("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(rs, vec![vec!["a", "b"], vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn parses_quoted_fields() {
+        let rs = parse_csv("name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rs[1], vec!["Smith, John", "said \"hi\""]);
+    }
+
+    #[test]
+    fn parses_embedded_newline() {
+        let rs = parse_csv("a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(rs[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn crlf_handled() {
+        let rs = parse_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        assert!(parse_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_quote() {
+        let err = parse_csv("a\nfo\"o\n").unwrap_err();
+        assert!(err.message.contains("unquoted"));
+    }
+
+    #[test]
+    fn table_infers_types() {
+        let t = table_from_csv("products", "name,price\nWidget,9.99\nGadget,\n").unwrap();
+        assert_eq!(t.schema.attrs[0].ty, AttrType::Text);
+        assert_eq!(t.schema.attrs[1].ty, AttrType::Number);
+        assert_eq!(t.record(0).value(1), &Value::Number(9.99));
+        assert_eq!(t.record(1).value(1), &Value::Null);
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_text() {
+        let t = table_from_csv("x", "code\n123\nA55\n").unwrap();
+        assert_eq!(t.schema.attrs[0].ty, AttrType::Text);
+        assert_eq!(t.record(0).value(0), &Value::Text("123".into()));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = table_from_csv("x", "a,b\n1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn shared_schema_roundtrip() {
+        let a = table_from_csv("a", "name,price\nWidget,1\n").unwrap();
+        let b = table_from_csv_with_schema("b", "name,price\nWidget Pro,2\n", a.schema.clone())
+            .unwrap();
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(b.record(0).value(1), &Value::Number(2.0));
+    }
+
+    #[test]
+    fn shared_schema_rejects_header_mismatch() {
+        let a = table_from_csv("a", "name,price\nW,1\n").unwrap();
+        assert!(table_from_csv_with_schema("b", "title,price\nX,2\n", a.schema.clone()).is_err());
+    }
+
+    #[test]
+    fn shared_schema_rejects_bad_number() {
+        let a = table_from_csv("a", "name,price\nW,1\n").unwrap();
+        let err =
+            table_from_csv_with_schema("b", "name,price\nX,cheap\n", a.schema).unwrap_err();
+        assert!(err.message.contains("numeric"));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(table_from_csv("x", "").is_err());
+    }
+}

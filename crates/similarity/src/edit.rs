@@ -1,0 +1,82 @@
+//! Levenshtein edit distance and its normalized similarity.
+
+/// Levenshtein edit distance between two strings (unit costs, computed over
+/// Unicode scalar values), with the standard two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the inner loop over the shorter string for cache friendliness.
+    let (outer, inner) = if a.len() >= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut cur: Vec<usize> = vec![0; inner.len() + 1];
+    for (i, &oc) in outer.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &ic) in inner.iter().enumerate() {
+            let sub = prev[j] + usize::from(oc != ic);
+            let del = prev[j + 1] + 1;
+            let ins = cur[j] + 1;
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[inner.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`:
+/// `1 - distance / max(len_a, len_b)`. Two empty strings are similarity 1.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(levenshtein("kitten", "kitten"), 0);
+        assert_eq!(levenshtein_similarity("kitten", "kitten"), 1.0);
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("", "ab"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("flaw", "lawn"), levenshtein("lawn", "flaw"));
+    }
+
+    #[test]
+    fn unicode_counts_scalars() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let s = levenshtein_similarity("abcdef", "zzzzzz");
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(s, 0.0);
+    }
+}

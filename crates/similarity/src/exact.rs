@@ -1,0 +1,73 @@
+//! Exact-match, containment, and prefix similarities.
+
+use crate::tokenize::normalize;
+
+/// 1.0 if the normalized strings are equal, else 0.0.
+pub fn exact_match(a: &str, b: &str) -> f64 {
+    let na: String = normalize(a).split_whitespace().collect::<Vec<_>>().join(" ");
+    let nb: String = normalize(b).split_whitespace().collect::<Vec<_>>().join(" ");
+    f64::from(na == nb)
+}
+
+/// 1.0 if the normalized shorter string occurs as a substring of the longer
+/// one, else 0.0. Catches abbreviated vs. full descriptions.
+pub fn containment(a: &str, b: &str) -> f64 {
+    let na: String = normalize(a).split_whitespace().collect::<Vec<_>>().join(" ");
+    let nb: String = normalize(b).split_whitespace().collect::<Vec<_>>().join(" ");
+    let (short, long) = if na.len() <= nb.len() { (&na, &nb) } else { (&nb, &na) };
+    if short.is_empty() {
+        return f64::from(long.is_empty());
+    }
+    f64::from(long.contains(short.as_str()))
+}
+
+/// Length of the common prefix of the normalized strings, divided by the
+/// length of the shorter one. Ranges over `[0, 1]`.
+pub fn prefix_similarity(a: &str, b: &str) -> f64 {
+    let na = normalize(a);
+    let nb = normalize(b);
+    let na: Vec<char> = na.trim().chars().collect();
+    let nb: Vec<char> = nb.trim().chars().collect();
+    let min = na.len().min(nb.len());
+    if min == 0 {
+        return f64::from(na.len() == nb.len());
+    }
+    let common = na
+        .iter()
+        .zip(nb.iter())
+        .take_while(|(x, y)| x == y)
+        .count();
+    common as f64 / min as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ignores_case_and_punct() {
+        assert_eq!(exact_match("Mc-Donald's!", "mc donald s"), 1.0);
+        assert_eq!(exact_match("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn containment_finds_substrings() {
+        assert_eq!(containment("HyperX", "Kingston HyperX 4GB"), 1.0);
+        assert_eq!(containment("Kingston HyperX 4GB", "HyperX"), 1.0);
+        assert_eq!(containment("corsair", "kingston"), 0.0);
+    }
+
+    #[test]
+    fn containment_empty() {
+        assert_eq!(containment("", ""), 1.0);
+        assert_eq!(containment("", "a"), 0.0);
+    }
+
+    #[test]
+    fn prefix_basic() {
+        assert_eq!(prefix_similarity("data mining", "data mining 2e"), 1.0);
+        assert_eq!(prefix_similarity("abcd", "abzz"), 0.5);
+        assert_eq!(prefix_similarity("", ""), 1.0);
+        assert_eq!(prefix_similarity("", "x"), 0.0);
+    }
+}

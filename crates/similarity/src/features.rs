@@ -1,0 +1,246 @@
+//! The pre-supplied feature library (paper §4.1 step 3, §5.1).
+//!
+//! Given a [`Schema`], [`FeatureLibrary::for_schema`] enumerates every
+//! applicable `(attribute, measure)` combination as a [`FeatureDef`]. Text
+//! attributes get the string-similarity measures; numeric attributes get the
+//! numeric comparators — "using all features that are appropriate (e.g., no
+//! TF/IDF features for numeric attributes)" (§5.1).
+//!
+//! Each feature carries a relative **unit cost**: the Blocker ranks rules
+//! partly by "the cost of computing the features mentioned in R" (§4.3),
+//! so cheap rules (exact matches) are preferred over expensive ones
+//! (Monge-Elkan) at equal precision and coverage.
+
+use crate::record::{AttrType, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A similarity measure the library knows how to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Normalized Levenshtein similarity ([`crate::edit`]).
+    Levenshtein,
+    /// Jaro similarity ([`crate::jaro`]).
+    Jaro,
+    /// Jaro-Winkler similarity ([`crate::jaro`]).
+    JaroWinkler,
+    /// Jaccard over word tokens ([`crate::jaccard`]).
+    JaccardWords,
+    /// Jaccard over character 3-grams ([`crate::jaccard`]).
+    Jaccard3Grams,
+    /// Overlap coefficient over word tokens ([`crate::jaccard`]).
+    OverlapWords,
+    /// Dice coefficient over word tokens ([`crate::jaccard`]).
+    DiceWords,
+    /// TF/IDF cosine, fitted per attribute ([`crate::cosine`]).
+    CosineTfIdf,
+    /// Symmetric Monge-Elkan with Jaro-Winkler inner measure
+    /// ([`crate::monge_elkan`]).
+    MongeElkan,
+    /// Exact match after normalization ([`crate::exact`]).
+    ExactMatch,
+    /// Substring containment ([`crate::exact`]).
+    Containment,
+    /// Common-prefix ratio ([`crate::exact`]).
+    PrefixSim,
+    /// Token-level Soundex overlap ([`crate::phonetic`]).
+    Soundex,
+    /// Normalized Smith-Waterman local alignment ([`crate::align`]).
+    SmithWaterman,
+    /// Numeric equality ([`crate::numeric`]).
+    NumExact,
+    /// Relative numeric similarity ([`crate::numeric`]).
+    NumRelSim,
+}
+
+impl FeatureKind {
+    /// All measures applicable to an attribute of the given type.
+    pub fn for_attr_type(ty: AttrType) -> &'static [FeatureKind] {
+        match ty {
+            AttrType::Text => &[
+                FeatureKind::Levenshtein,
+                FeatureKind::Jaro,
+                FeatureKind::JaroWinkler,
+                FeatureKind::JaccardWords,
+                FeatureKind::Jaccard3Grams,
+                FeatureKind::OverlapWords,
+                FeatureKind::DiceWords,
+                FeatureKind::CosineTfIdf,
+                FeatureKind::MongeElkan,
+                FeatureKind::ExactMatch,
+                FeatureKind::Containment,
+                FeatureKind::PrefixSim,
+                FeatureKind::Soundex,
+                FeatureKind::SmithWaterman,
+            ],
+            AttrType::Number => &[FeatureKind::NumExact, FeatureKind::NumRelSim],
+        }
+    }
+
+    /// Relative unit cost of computing the measure on one pair. Calibrated
+    /// coarsely from asymptotics: exact/prefix are O(n), edit distance is
+    /// O(n²), Monge-Elkan is O(tokens² · chars²).
+    pub fn unit_cost(self) -> f64 {
+        match self {
+            FeatureKind::ExactMatch | FeatureKind::PrefixSim => 1.0,
+            FeatureKind::NumExact | FeatureKind::NumRelSim => 0.5,
+            FeatureKind::Containment => 1.5,
+            FeatureKind::JaccardWords
+            | FeatureKind::OverlapWords
+            | FeatureKind::DiceWords
+            | FeatureKind::Soundex => 2.0,
+            FeatureKind::Jaccard3Grams => 3.0,
+            FeatureKind::CosineTfIdf => 3.0,
+            FeatureKind::Jaro | FeatureKind::JaroWinkler => 4.0,
+            FeatureKind::Levenshtein | FeatureKind::SmithWaterman => 5.0,
+            FeatureKind::MongeElkan => 8.0,
+        }
+    }
+
+    /// True if the measure needs a fitted TF/IDF corpus model.
+    pub fn needs_corpus(self) -> bool {
+        matches!(self, FeatureKind::CosineTfIdf)
+    }
+
+    /// Short lowercase mnemonic used in feature names.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FeatureKind::Levenshtein => "lev",
+            FeatureKind::Jaro => "jaro",
+            FeatureKind::JaroWinkler => "jw",
+            FeatureKind::JaccardWords => "jac_w",
+            FeatureKind::Jaccard3Grams => "jac_3g",
+            FeatureKind::OverlapWords => "ovl_w",
+            FeatureKind::DiceWords => "dice_w",
+            FeatureKind::CosineTfIdf => "cos_tfidf",
+            FeatureKind::MongeElkan => "me",
+            FeatureKind::ExactMatch => "exact",
+            FeatureKind::Containment => "contain",
+            FeatureKind::PrefixSim => "prefix",
+            FeatureKind::Soundex => "sdx",
+            FeatureKind::SmithWaterman => "sw",
+            FeatureKind::NumExact => "num_exact",
+            FeatureKind::NumRelSim => "num_rel",
+        }
+    }
+}
+
+/// One feature: a measure applied to one attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureDef {
+    /// Index of the attribute in the schema.
+    pub attr: usize,
+    /// Attribute name (denormalized for display).
+    pub attr_name: String,
+    /// The similarity measure.
+    pub kind: FeatureKind,
+}
+
+impl FeatureDef {
+    /// Display name, e.g. `"title_jw"`.
+    pub fn name(&self) -> String {
+        format!("{}_{}", self.attr_name, self.kind.mnemonic())
+    }
+
+    /// Relative computation cost (see [`FeatureKind::unit_cost`]).
+    pub fn cost(&self) -> f64 {
+        self.kind.unit_cost()
+    }
+}
+
+impl fmt::Display for FeatureDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The full feature set generated for a schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureLibrary {
+    /// Features in index order; feature `i` of every vector is `defs[i]`.
+    pub defs: Vec<FeatureDef>,
+}
+
+impl FeatureLibrary {
+    /// Enumerate every applicable feature for the schema.
+    pub fn for_schema(schema: &Schema) -> Self {
+        let mut defs = Vec::new();
+        for (ai, attr) in schema.attrs.iter().enumerate() {
+            for &kind in FeatureKind::for_attr_type(attr.ty) {
+                defs.push(FeatureDef {
+                    attr: ai,
+                    attr_name: attr.name.clone(),
+                    kind,
+                });
+            }
+        }
+        FeatureLibrary { defs }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Feature names in index order.
+    pub fn names(&self) -> Vec<String> {
+        self.defs.iter().map(|d| d.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Attribute;
+
+    #[test]
+    fn library_covers_all_attr_measure_pairs() {
+        let schema = Schema::new(vec![
+            Attribute::text("title"),
+            Attribute::number("pages"),
+        ]);
+        let lib = FeatureLibrary::for_schema(&schema);
+        let n_text = FeatureKind::for_attr_type(AttrType::Text).len();
+        let n_num = FeatureKind::for_attr_type(AttrType::Number).len();
+        assert_eq!(lib.len(), n_text + n_num);
+        assert!(lib.names().contains(&"title_jw".to_string()));
+        assert!(lib.names().contains(&"pages_num_rel".to_string()));
+        assert!(!lib.names().contains(&"pages_jw".to_string()));
+    }
+
+    #[test]
+    fn costs_are_positive_and_ordered() {
+        for ty in [AttrType::Text, AttrType::Number] {
+            for &k in FeatureKind::for_attr_type(ty) {
+                assert!(k.unit_cost() > 0.0);
+            }
+        }
+        assert!(FeatureKind::MongeElkan.unit_cost() > FeatureKind::ExactMatch.unit_cost());
+    }
+
+    #[test]
+    fn only_tfidf_needs_corpus() {
+        assert!(FeatureKind::CosineTfIdf.needs_corpus());
+        assert!(!FeatureKind::Levenshtein.needs_corpus());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let schema = Schema::new(vec![
+            Attribute::text("a"),
+            Attribute::text("b"),
+            Attribute::number("n"),
+        ]);
+        let lib = FeatureLibrary::for_schema(&schema);
+        let mut names = lib.names();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,113 @@
+//! Set-overlap similarities over word tokens and q-grams: Jaccard, Dice,
+//! and the overlap coefficient.
+
+use crate::tokenize::{qgrams, words};
+use std::collections::HashSet;
+
+fn set_stats(a: &[String], b: &[String]) -> (usize, usize, usize) {
+    let sa: HashSet<&str> = a.iter().map(|s| s.as_str()).collect();
+    let sb: HashSet<&str> = b.iter().map(|s| s.as_str()).collect();
+    let inter = sa.intersection(&sb).count();
+    (inter, sa.len(), sb.len())
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` over two token sets.
+/// Two empty sets are similarity 1.
+pub fn jaccard_sets(a: &[String], b: &[String]) -> f64 {
+    let (inter, la, lb) = set_stats(a, b);
+    let union = la + lb - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)` over two token sets.
+pub fn dice_sets(a: &[String], b: &[String]) -> f64 {
+    let (inter, la, lb) = set_stats(a, b);
+    if la + lb == 0 {
+        return 1.0;
+    }
+    2.0 * inter as f64 / (la + lb) as f64
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` over two token sets.
+/// Useful when one string is a sub-description of the other (e.g. a short
+/// product title vs. a long one).
+pub fn overlap_sets(a: &[String], b: &[String]) -> f64 {
+    let (inter, la, lb) = set_stats(a, b);
+    let min = la.min(lb);
+    if min == 0 {
+        return if la == lb { 1.0 } else { 0.0 };
+    }
+    inter as f64 / min as f64
+}
+
+/// Jaccard over whitespace word tokens of the two strings.
+pub fn jaccard_words(a: &str, b: &str) -> f64 {
+    jaccard_sets(&words(a), &words(b))
+}
+
+/// Jaccard over padded character 3-grams of the two strings.
+pub fn jaccard_qgrams(a: &str, b: &str, q: usize) -> f64 {
+    jaccard_sets(&qgrams(a, q), &qgrams(b, q))
+}
+
+/// Overlap coefficient over word tokens.
+pub fn overlap_words(a: &str, b: &str) -> f64 {
+    overlap_sets(&words(a), &words(b))
+}
+
+/// Dice coefficient over word tokens.
+pub fn dice_words(a: &str, b: &str) -> f64 {
+    dice_sets(&words(a), &words(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_words_basic() {
+        assert_eq!(jaccard_words("a b c", "a b d"), 0.5);
+        assert_eq!(jaccard_words("a b", "a b"), 1.0);
+        assert_eq!(jaccard_words("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn jaccard_empty_is_one() {
+        assert_eq!(jaccard_words("", ""), 1.0);
+        assert_eq!(jaccard_words("", "a"), 0.0);
+    }
+
+    #[test]
+    fn overlap_subset_is_one() {
+        assert_eq!(overlap_words("kingston hyperx", "kingston hyperx 4gb kit"), 1.0);
+    }
+
+    #[test]
+    fn overlap_one_empty() {
+        assert_eq!(overlap_words("", "a"), 0.0);
+        assert_eq!(overlap_words("", ""), 1.0);
+    }
+
+    #[test]
+    fn dice_between_jaccard_and_overlap() {
+        let (a, b) = ("alpha beta gamma", "alpha beta delta");
+        let j = jaccard_words(a, b);
+        let d = dice_words(a, b);
+        let o = overlap_words(a, b);
+        assert!(j <= d && d <= o, "{j} {d} {o}");
+    }
+
+    #[test]
+    fn qgram_jaccard_tolerates_typos() {
+        let s = jaccard_qgrams("kingston", "kingstom", 3);
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn duplicates_collapse_to_sets() {
+        assert_eq!(jaccard_words("a a a b", "a b"), 1.0);
+    }
+}

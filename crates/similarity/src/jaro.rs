@@ -1,0 +1,106 @@
+//! Jaro and Jaro-Winkler similarity.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Matching characters must agree and be within
+/// `max(|a|, |b|) / 2 - 1` positions of each other; transpositions are
+/// counted over the matched subsequences.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    let mut b_match_flags = vec![false; a.len()];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                b_match_flags[i] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let b_matches: Vec<char> = b
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| b_taken[*j])
+        .map(|(_, &c)| c)
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by shared prefix length (up to 4)
+/// with the standard scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_values() {
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn winkler_bounded_by_one() {
+        let s = jaro_winkler("prefix", "prefixxxxx");
+        assert!(s <= 1.0 && s >= jaro("prefix", "prefixxxxx"));
+    }
+
+    #[test]
+    fn symmetric() {
+        assert!(close(jaro("CRATE", "TRACE"), jaro("TRACE", "CRATE")));
+    }
+}

@@ -1,0 +1,43 @@
+//! # similarity — EM data model and similarity-feature library
+//!
+//! This crate provides the two substrates every other Corleone component is
+//! built on:
+//!
+//! 1. **A relational data model for entity matching** ([`record`]): typed
+//!    schemas, records, and tables. Corleone's setting (paper §2) is the
+//!    classic one — find all pairs `(a ∈ A, b ∈ B)` from two tables that
+//!    refer to the same real-world entity.
+//! 2. **A similarity-feature library** ([`features`], [`vector`]): the
+//!    "pre-supplied feature library" of paper §4.1 step 3. Each tuple pair is
+//!    converted into a feature vector using string-similarity measures (edit
+//!    distance, Jaccard, Jaro-Winkler, TF/IDF cosine, Monge-Elkan, …) and
+//!    numeric comparators. Every feature carries a *unit cost* used by the
+//!    Blocker's greedy rule-application ranking (paper §4.3).
+//!
+//! The individual similarity measures live in their own modules and are
+//! usable standalone:
+//!
+//! ```
+//! use similarity::edit::levenshtein_similarity;
+//! let s = levenshtein_similarity("John Hopkins", "Johns Hopkins");
+//! assert!(s > 0.9);
+//! ```
+
+pub mod align;
+pub mod cosine;
+pub mod csv;
+pub mod edit;
+pub mod exact;
+pub mod features;
+pub mod jaccard;
+pub mod jaro;
+pub mod monge_elkan;
+pub mod numeric;
+pub mod phonetic;
+pub mod record;
+pub mod tokenize;
+pub mod vector;
+
+pub use features::{FeatureDef, FeatureKind, FeatureLibrary};
+pub use record::{AttrType, Attribute, Record, RecordId, Schema, Table, Value};
+pub use vector::FeatureVectorizer;

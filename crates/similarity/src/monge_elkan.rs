@@ -1,0 +1,80 @@
+//! Monge-Elkan hybrid similarity.
+//!
+//! For each token of the first string, find the best-matching token of the
+//! second under an inner character-level measure (Jaro-Winkler here), then
+//! average those maxima. Good at matching strings whose tokens were
+//! individually corrupted or reordered ("Joe Smith" vs "Smith, Joseph").
+//! Note the measure is asymmetric; [`monge_elkan_sym`] symmetrizes it.
+
+use crate::jaro::jaro_winkler;
+use crate::tokenize::words;
+
+/// Asymmetric Monge-Elkan similarity of `a` against `b` with a Jaro-Winkler
+/// inner measure. Empty-token cases: both empty → 1, one empty → 0.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = words(a);
+    let tb = words(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = ta
+        .iter()
+        .map(|x| {
+            tb.iter()
+                .map(|y| jaro_winkler(x, y))
+                .fold(0.0_f64, f64::max)
+        })
+        .sum();
+    sum / ta.len() as f64
+}
+
+/// Symmetric Monge-Elkan: the mean of both directions.
+pub fn monge_elkan_sym(a: &str, b: &str) -> f64 {
+    (monge_elkan(a, b) + monge_elkan(b, a)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_one() {
+        assert!((monge_elkan_sym("joe smith", "joe smith") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_reorder_is_immaterial() {
+        assert!((monge_elkan_sym("smith joe", "joe smith") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_per_token_corruption() {
+        let s = monge_elkan_sym("joseph smith", "joe smyth");
+        assert!(s > 0.75, "{s}");
+    }
+
+    #[test]
+    fn asymmetry_of_directed_measure() {
+        // Every token of the short string matches well into the long one,
+        // but not vice versa.
+        let fwd = monge_elkan("kingston", "kingston hyperx 4gb");
+        let bwd = monge_elkan("kingston hyperx 4gb", "kingston");
+        assert!(fwd > bwd);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("", "a"), 0.0);
+        assert_eq!(monge_elkan("a", ""), 0.0);
+    }
+
+    #[test]
+    fn bounded() {
+        let s = monge_elkan_sym("abc def", "xyz qrs");
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

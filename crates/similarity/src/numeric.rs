@@ -1,0 +1,68 @@
+//! Numeric comparators for number-typed attributes (price, year, pages).
+//!
+//! All comparators return a similarity in `[0, 1]` so decision-tree
+//! thresholds read naturally in extracted blocking rules, e.g. the paper's
+//! "if the prices of two products differ by at least $20, then they do not
+//! match" becomes `price_rel_sim <= t`.
+
+/// 1.0 if the two numbers are equal (to within `1e-9` absolute), else 0.0.
+pub fn num_exact(a: f64, b: f64) -> f64 {
+    f64::from((a - b).abs() <= 1e-9)
+}
+
+/// Relative similarity `1 - |a - b| / max(|a|, |b|)`, clamped to `[0, 1]`.
+/// Equal values (including both zero) give 1.
+pub fn num_rel_sim(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).clamp(0.0, 1.0)
+}
+
+/// Absolute-difference similarity with a scale: `1 - min(|a-b|/scale, 1)`.
+/// A `scale` of 20 reproduces the paper's "$20 price difference" style rule
+/// as a threshold on this feature.
+pub fn num_abs_sim(a: f64, b: f64, scale: f64) -> f64 {
+    assert!(scale > 0.0, "scale must be positive");
+    1.0 - ((a - b).abs() / scale).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches() {
+        assert_eq!(num_exact(3.0, 3.0), 1.0);
+        assert_eq!(num_exact(3.0, 3.1), 0.0);
+    }
+
+    #[test]
+    fn rel_sim_behaviour() {
+        assert_eq!(num_rel_sim(0.0, 0.0), 1.0);
+        assert_eq!(num_rel_sim(100.0, 100.0), 1.0);
+        assert!((num_rel_sim(100.0, 90.0) - 0.9).abs() < 1e-12);
+        assert_eq!(num_rel_sim(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn rel_sim_negative_values() {
+        let s = num_rel_sim(-10.0, 10.0);
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn abs_sim_scale() {
+        assert_eq!(num_abs_sim(100.0, 100.0, 20.0), 1.0);
+        assert_eq!(num_abs_sim(100.0, 110.0, 20.0), 0.5);
+        assert_eq!(num_abs_sim(100.0, 200.0, 20.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn abs_sim_rejects_zero_scale() {
+        num_abs_sim(1.0, 2.0, 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Phonetic matching: American Soundex, the classic record-linkage
+//! encoding for person and place names ("Smith" ≈ "Smyth").
+
+/// American Soundex code of a word: first letter + three digits, e.g.
+/// `soundex("Robert") == "R163"`. Returns `None` for words without an
+/// ASCII-alphabetic first character.
+pub fn soundex(word: &str) -> Option<String> {
+    let mut chars = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase());
+    let first = chars.next()?;
+
+    fn digit(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            // A, E, I, O, U, Y are not coded; H and W are transparent.
+            _ => 0,
+        }
+    }
+
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = digit(first);
+    for c in chars {
+        if c == 'H' || c == 'W' {
+            // H and W do not reset the previous digit (standard rule).
+            continue;
+        }
+        let d = digit(c);
+        if d != 0 && d != last_digit {
+            code.push(char::from(b'0' + d));
+            if code.len() == 4 {
+                break;
+            }
+        }
+        last_digit = d;
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Token-level Soundex similarity of two strings: the Jaccard overlap of
+/// their token Soundex-code sets. 1.0 when both have no codable tokens.
+pub fn soundex_similarity(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    let codes = |s: &str| -> HashSet<String> {
+        crate::tokenize::words(s)
+            .iter()
+            .filter_map(|w| soundex(w))
+            .collect()
+    };
+    let ca = codes(a);
+    let cb = codes(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    if ca.is_empty() || cb.is_empty() {
+        return 0.0;
+    }
+    let inter = ca.intersection(&cb).count();
+    let union = ca.len() + cb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn homophones_collide() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        // Different first letters give different codes by design.
+        assert_ne!(soundex("Catherine"), soundex("Kathryn"));
+    }
+
+    #[test]
+    fn short_and_empty_words() {
+        assert_eq!(soundex("A").as_deref(), Some("A000"));
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+    }
+
+    #[test]
+    fn similarity_on_token_sets() {
+        assert_eq!(soundex_similarity("john smith", "jon smyth"), 1.0);
+        assert_eq!(soundex_similarity("john smith", "mary jones"), 0.0);
+        let half = soundex_similarity("john smith", "john baker");
+        assert!(half > 0.0 && half < 1.0);
+    }
+
+    #[test]
+    fn similarity_empty_cases() {
+        assert_eq!(soundex_similarity("", ""), 1.0);
+        assert_eq!(soundex_similarity("", "smith"), 0.0);
+        assert_eq!(soundex_similarity("123 456", "789"), 1.0, "no codable tokens on either side");
+    }
+}

@@ -1,0 +1,260 @@
+//! Relational data model for entity matching.
+//!
+//! Corleone matches tuples across two tables `A` and `B` that share a schema
+//! (paper §2). Attributes are typed as free text or numbers; the feature
+//! library ([`crate::features`]) picks applicable similarity measures per
+//! attribute type, mirroring the paper's "using all features that are
+//! appropriate (e.g., no TF/IDF features for numeric attributes)" (§5.1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a record within its table (dense, 0-based).
+pub type RecordId = u32;
+
+/// The type of an attribute, which determines the similarity features
+/// generated for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Free text: names, titles, addresses. Gets string-similarity features.
+    Text,
+    /// Numeric: prices, years, page counts. Gets numeric-difference features.
+    Number,
+}
+
+/// A named, typed attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, e.g. `"title"`.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Create a text attribute.
+    pub fn text(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), ty: AttrType::Text }
+    }
+
+    /// Create a numeric attribute.
+    pub fn number(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), ty: AttrType::Number }
+    }
+}
+
+/// An ordered list of attributes shared by both tables of an EM task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Attributes in column order.
+    pub attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from attributes.
+    pub fn new(attrs: Vec<Attribute>) -> Self {
+        Schema { attrs }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Index of the attribute with the given name, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+}
+
+/// A single attribute value. `Null` models missing data, which is pervasive
+/// in real EM inputs (e.g. products missing a model number).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A text value.
+    Text(String),
+    /// A numeric value.
+    Number(f64),
+    /// Missing.
+    Null,
+}
+
+impl Value {
+    /// The text content, if this is a non-null text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, if this is a non-null numeric value.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// True if the value is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Number(x) => write!(f, "{x}"),
+            Value::Null => write!(f, "<null>"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+/// A tuple: one value per schema attribute, plus a table-local id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Dense 0-based id within the owning table.
+    pub id: RecordId,
+    /// Values, aligned with the schema's attributes.
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Create a record.
+    pub fn new(id: RecordId, values: Vec<Value>) -> Self {
+        Record { id, values }
+    }
+
+    /// Value of the `idx`-th attribute.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+/// A named table of records sharing a [`Schema`].
+///
+/// Schemas are reference-counted so the two tables of an EM task can share
+/// one allocation and schema identity can be checked cheaply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Human-readable table name (e.g. `"walmart_products"`).
+    pub name: String,
+    /// The shared schema.
+    pub schema: Arc<Schema>,
+    /// Records; `records[i].id == i`.
+    pub records: Vec<Record>,
+}
+
+impl Table {
+    /// Create a table, assigning dense ids to the given rows.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> Self {
+        let records = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, values)| {
+                assert_eq!(
+                    values.len(),
+                    schema.len(),
+                    "row arity must match schema arity"
+                );
+                Record::new(i as RecordId, values)
+            })
+            .collect();
+        Table { name: name.into(), schema, records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record with the given id.
+    pub fn record(&self, id: RecordId) -> &Record {
+        &self.records[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book_schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
+            Attribute::text("title"),
+            Attribute::text("authors"),
+            Attribute::number("pages"),
+        ]))
+    }
+
+    #[test]
+    fn schema_index_of_finds_attributes() {
+        let s = book_schema();
+        assert_eq!(s.index_of("title"), Some(0));
+        assert_eq!(s.index_of("pages"), Some(2));
+        assert_eq!(s.index_of("isbn"), None);
+    }
+
+    #[test]
+    fn table_assigns_dense_ids() {
+        let s = book_schema();
+        let t = Table::new(
+            "books",
+            s,
+            vec![
+                vec!["Data Mining".into(), "Joe Smith".into(), Value::Number(234.0)],
+                vec!["Databases".into(), Value::Null, Value::Number(512.0)],
+            ],
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.record(0).id, 0);
+        assert_eq!(t.record(1).id, 1);
+        assert_eq!(t.record(1).value(1), &Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_wrong_arity() {
+        let s = book_schema();
+        Table::new("books", s, vec![vec!["x".into()]]);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::from("a").as_text(), Some("a"));
+        assert_eq!(Value::from(3.5).as_number(), Some(3.5));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from("a").as_number(), None);
+        assert_eq!(Value::Null.to_string(), "<null>");
+    }
+}

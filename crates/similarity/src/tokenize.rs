@@ -1,0 +1,78 @@
+//! Tokenizers and string normalization shared by the similarity measures.
+
+/// Lower-case a string and replace every non-alphanumeric character with a
+/// space. This is the canonical normalization applied before tokenizing.
+pub fn normalize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                ' '
+            }
+        })
+        .collect()
+}
+
+/// Split a string into lower-cased alphanumeric word tokens.
+///
+/// `"Kingston HyperX 4GB!"` → `["kingston", "hyperx", "4gb"]`.
+pub fn words(s: &str) -> Vec<String> {
+    normalize(s)
+        .split_whitespace()
+        .map(|w| w.to_string())
+        .collect()
+}
+
+/// Produce the multiset of character q-grams of the normalized string,
+/// padded with `q - 1` leading and trailing `#` characters so short strings
+/// still produce grams.
+///
+/// Padded q-grams are standard for approximate joins; they make the measure
+/// sensitive to shared prefixes/suffixes.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q must be at least 1");
+    let norm: String = normalize(s).split_whitespace().collect::<Vec<_>>().join(" ");
+    if norm.is_empty() {
+        return Vec::new();
+    }
+    let pad = "#".repeat(q - 1);
+    let padded: Vec<char> = format!("{pad}{norm}{pad}").chars().collect();
+    if padded.len() < q {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_strips() {
+        assert_eq!(normalize("Kingston HyperX-4GB!"), "kingston hyperx 4gb ");
+    }
+
+    #[test]
+    fn words_tokenizes() {
+        assert_eq!(words("Kingston HyperX 4GB!"), vec!["kingston", "hyperx", "4gb"]);
+        assert!(words("  !!  ").is_empty());
+    }
+
+    #[test]
+    fn qgrams_pads() {
+        let g = qgrams("ab", 3);
+        assert_eq!(g, vec!["##a", "#ab", "ab#", "b##"]);
+    }
+
+    #[test]
+    fn qgrams_empty_input() {
+        assert!(qgrams("", 3).is_empty());
+        assert!(qgrams("!!!", 3).is_empty());
+    }
+
+    #[test]
+    fn qgrams_unigrams() {
+        assert_eq!(qgrams("abc", 1), vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Feature-vector construction for tuple pairs.
+//!
+//! [`FeatureVectorizer`] is fitted once per EM task: it builds the feature
+//! library for the shared schema and fits one TF/IDF corpus model per text
+//! attribute over *both* tables. It can then turn any `(a, b)` record pair
+//! into an `f64` feature vector, or — crucial for cheap blocking-rule
+//! application over the full Cartesian product (paper §4.3) — compute just
+//! a single feature of a pair.
+//!
+//! Missing values produce `NaN` features; the forest learner handles those
+//! with learned missing-value routing (see the `forest` crate).
+
+use crate::cosine::TfIdfModel;
+use crate::features::{FeatureDef, FeatureKind, FeatureLibrary};
+use crate::record::{Record, Schema, Table, Value};
+use crate::{align, edit, exact, jaccard, jaro, monge_elkan, numeric, phonetic};
+use serde::{Deserialize, Serialize};
+
+/// Fitted vectorizer for one EM task (one schema, two tables).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureVectorizer {
+    lib: FeatureLibrary,
+    /// TF/IDF model per attribute index (None for numeric attributes).
+    tfidf: Vec<Option<TfIdfModel>>,
+}
+
+impl FeatureVectorizer {
+    /// Fit a vectorizer over the two tables of an EM task.
+    ///
+    /// # Panics
+    /// Panics if the tables do not share a schema.
+    pub fn fit(a: &Table, b: &Table) -> Self {
+        assert_eq!(
+            a.schema, b.schema,
+            "tables of an EM task must share a schema"
+        );
+        let lib = FeatureLibrary::for_schema(&a.schema);
+        let needs: Vec<bool> = a
+            .schema
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(ai, _)| {
+                lib.defs
+                    .iter()
+                    .any(|d| d.attr == ai && d.kind.needs_corpus())
+            })
+            .collect();
+        let tfidf = needs
+            .iter()
+            .enumerate()
+            .map(|(ai, &needed)| {
+                if !needed {
+                    return None;
+                }
+                let docs = a
+                    .records
+                    .iter()
+                    .chain(b.records.iter())
+                    .filter_map(|r| r.value(ai).as_text());
+                Some(TfIdfModel::fit(docs))
+            })
+            .collect();
+        FeatureVectorizer { lib, tfidf }
+    }
+
+    /// The feature library (defines vector layout).
+    pub fn library(&self) -> &FeatureLibrary {
+        &self.lib
+    }
+
+    /// Number of features per vector.
+    pub fn n_features(&self) -> usize {
+        self.lib.len()
+    }
+
+    /// Compute the full feature vector for a record pair.
+    pub fn vectorize(&self, a: &Record, b: &Record) -> Vec<f64> {
+        self.lib
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(fi, _)| self.feature(fi, a, b))
+            .collect()
+    }
+
+    /// Compute a single feature (by library index) for a record pair.
+    /// Returns `NaN` when either value is missing or mistyped.
+    pub fn feature(&self, idx: usize, a: &Record, b: &Record) -> f64 {
+        let def = &self.lib.defs[idx];
+        let va = a.value(def.attr);
+        let vb = b.value(def.attr);
+        compute_feature(def, va, vb, self.tfidf[def.attr].as_ref())
+    }
+}
+
+fn compute_feature(
+    def: &FeatureDef,
+    va: &Value,
+    vb: &Value,
+    tfidf: Option<&TfIdfModel>,
+) -> f64 {
+    match def.kind {
+        FeatureKind::NumExact | FeatureKind::NumRelSim => {
+            let (Some(x), Some(y)) = (va.as_number(), vb.as_number()) else {
+                return f64::NAN;
+            };
+            match def.kind {
+                FeatureKind::NumExact => numeric::num_exact(x, y),
+                _ => numeric::num_rel_sim(x, y),
+            }
+        }
+        _ => {
+            let (Some(x), Some(y)) = (va.as_text(), vb.as_text()) else {
+                return f64::NAN;
+            };
+            match def.kind {
+                FeatureKind::Levenshtein => edit::levenshtein_similarity(x, y),
+                FeatureKind::Jaro => jaro::jaro(x, y),
+                FeatureKind::JaroWinkler => jaro::jaro_winkler(x, y),
+                FeatureKind::JaccardWords => jaccard::jaccard_words(x, y),
+                FeatureKind::Jaccard3Grams => jaccard::jaccard_qgrams(x, y, 3),
+                FeatureKind::OverlapWords => jaccard::overlap_words(x, y),
+                FeatureKind::DiceWords => jaccard::dice_words(x, y),
+                FeatureKind::CosineTfIdf => tfidf
+                    .map(|m| m.cosine(x, y))
+                    .unwrap_or(f64::NAN),
+                FeatureKind::MongeElkan => monge_elkan::monge_elkan_sym(x, y),
+                FeatureKind::ExactMatch => exact::exact_match(x, y),
+                FeatureKind::Containment => exact::containment(x, y),
+                FeatureKind::PrefixSim => exact::prefix_similarity(x, y),
+                FeatureKind::Soundex => phonetic::soundex_similarity(x, y),
+                FeatureKind::SmithWaterman => align::smith_waterman_similarity(x, y),
+                FeatureKind::NumExact | FeatureKind::NumRelSim => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Convenience: build a pair of tables sharing a schema from raw rows.
+/// Useful in tests and examples.
+pub fn table_pair(
+    schema: Schema,
+    name_a: &str,
+    rows_a: Vec<Vec<Value>>,
+    name_b: &str,
+    rows_b: Vec<Vec<Value>>,
+) -> (Table, Table) {
+    let schema = std::sync::Arc::new(schema);
+    (
+        Table::new(name_a, schema.clone(), rows_a),
+        Table::new(name_b, schema, rows_b),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Attribute;
+
+    fn tables() -> (Table, Table) {
+        let schema = Schema::new(vec![
+            Attribute::text("title"),
+            Attribute::number("pages"),
+        ]);
+        table_pair(
+            schema,
+            "a",
+            vec![
+                vec!["Data Mining".into(), Value::Number(234.0)],
+                vec!["Databases".into(), Value::Null],
+            ],
+            "b",
+            vec![
+                vec!["Data Mining".into(), Value::Number(234.0)],
+                vec!["Data Minning".into(), Value::Number(235.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn vector_has_library_arity() {
+        let (a, b) = tables();
+        let v = FeatureVectorizer::fit(&a, &b);
+        let x = v.vectorize(a.record(0), b.record(0));
+        assert_eq!(x.len(), v.n_features());
+    }
+
+    #[test]
+    fn identical_pair_scores_one_on_similarities() {
+        let (a, b) = tables();
+        let v = FeatureVectorizer::fit(&a, &b);
+        let x = v.vectorize(a.record(0), b.record(0));
+        for (i, def) in v.library().defs.iter().enumerate() {
+            assert!(
+                (x[i] - 1.0).abs() < 1e-9,
+                "feature {} should be 1 on an identical pair, got {}",
+                def.name(),
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn missing_value_yields_nan() {
+        let (a, b) = tables();
+        let v = FeatureVectorizer::fit(&a, &b);
+        let x = v.vectorize(a.record(1), b.record(0));
+        let pages_idx = v
+            .library()
+            .defs
+            .iter()
+            .position(|d| d.name() == "pages_num_rel")
+            .unwrap();
+        assert!(x[pages_idx].is_nan());
+    }
+
+    #[test]
+    fn single_feature_matches_full_vector() {
+        let (a, b) = tables();
+        let v = FeatureVectorizer::fit(&a, &b);
+        let full = v.vectorize(a.record(0), b.record(1));
+        for i in 0..v.n_features() {
+            let single = v.feature(i, a.record(0), b.record(1));
+            assert!(
+                (single == full[i]) || (single.is_nan() && full[i].is_nan()),
+                "feature {i} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a schema")]
+    fn fit_rejects_mismatched_schemas() {
+        let (a, _) = tables();
+        let other = Table::new(
+            "c",
+            std::sync::Arc::new(Schema::new(vec![Attribute::text("x")])),
+            vec![vec!["v".into()]],
+        );
+        FeatureVectorizer::fit(&a, &other);
+    }
+
+    #[test]
+    fn near_duplicate_scores_high_but_not_one() {
+        let (a, b) = tables();
+        let v = FeatureVectorizer::fit(&a, &b);
+        let lev = v
+            .library()
+            .defs
+            .iter()
+            .position(|d| d.name() == "title_lev")
+            .unwrap();
+        let x = v.feature(lev, a.record(0), b.record(1)); // "Data Mining" vs "Data Minning"
+        assert!(x > 0.85 && x < 1.0, "{x}");
+    }
+}

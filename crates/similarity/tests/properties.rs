@@ -1,0 +1,187 @@
+//! Property-based tests for the similarity measures: bounds, symmetry,
+//! identity, and metric-style sanity properties that every measure must
+//! satisfy regardless of input.
+
+use proptest::prelude::*;
+use similarity::{cosine::TfIdfModel, edit, exact, jaccard, jaro, monge_elkan, numeric};
+
+fn any_string() -> impl Strategy<Value = String> {
+    // Mix of word-like and arbitrary unicode-ish strings, bounded length.
+    prop_oneof![
+        "[a-z0-9 ]{0,24}",
+        "[A-Za-z0-9 ,.'-]{0,24}",
+        any::<String>().prop_map(|s| s.chars().take(16).collect()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_identity(s in any_string()) {
+        prop_assert_eq!(edit::levenshtein(&s, &s), 0);
+        prop_assert_eq!(edit::levenshtein_similarity(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_symmetry(a in any_string(), b in any_string()) {
+        prop_assert_eq!(edit::levenshtein(&a, &b), edit::levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in any_string(), b in any_string(), c in any_string()) {
+        let ab = edit::levenshtein(&a, &b);
+        let bc = edit::levenshtein(&b, &c);
+        let ac = edit::levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_len(a in any_string(), b in any_string()) {
+        let d = edit::levenshtein(&a, &b);
+        let max = a.chars().count().max(b.chars().count());
+        prop_assert!(d <= max);
+        let s = edit::levenshtein_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn jaro_bounds_and_symmetry(a in any_string(), b in any_string()) {
+        let j = jaro::jaro(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaro::jaro(&b, &a)).abs() < 1e-12);
+        let jw = jaro::jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&jw));
+        prop_assert!(jw + 1e-12 >= j, "winkler must not decrease jaro");
+    }
+
+    #[test]
+    fn jaro_identity(s in any_string()) {
+        prop_assert_eq!(jaro::jaro(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn jaccard_family_bounds(a in any_string(), b in any_string()) {
+        for f in [jaccard::jaccard_words, jaccard::dice_words, jaccard::overlap_words] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{s}");
+            prop_assert!((s - f(&b, &a)).abs() < 1e-12);
+        }
+        let q = jaccard::jaccard_qgrams(&a, &b, 3);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn jaccard_leq_dice_leq_overlap(a in any_string(), b in any_string()) {
+        let j = jaccard::jaccard_words(&a, &b);
+        let d = jaccard::dice_words(&a, &b);
+        let o = jaccard::overlap_words(&a, &b);
+        prop_assert!(j <= d + 1e-12);
+        prop_assert!(d <= o + 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_bounds(a in any_string(), b in any_string()) {
+        let s = monge_elkan::monge_elkan_sym(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let asym = monge_elkan::monge_elkan(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&asym));
+    }
+
+    #[test]
+    fn monge_elkan_identity(s in "[a-z ]{1,20}") {
+        let v = monge_elkan::monge_elkan_sym(&s, &s);
+        prop_assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_family_bounds(a in any_string(), b in any_string()) {
+        for f in [exact::exact_match, exact::containment, exact::prefix_similarity] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn exact_match_identity(s in any_string()) {
+        prop_assert_eq!(exact::exact_match(&s, &s), 1.0);
+        prop_assert_eq!(exact::containment(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn numeric_bounds(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        prop_assert!((0.0..=1.0).contains(&numeric::num_rel_sim(a, b)));
+        prop_assert!((0.0..=1.0).contains(&numeric::num_abs_sim(a, b, 20.0)));
+        prop_assert_eq!(numeric::num_exact(a, a), 1.0);
+        prop_assert_eq!(numeric::num_rel_sim(a, a), 1.0);
+    }
+
+    #[test]
+    fn tfidf_cosine_bounds(docs in prop::collection::vec("[a-z ]{0,20}", 1..8),
+                           a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        let m = TfIdfModel::fit(docs.iter().map(|s| s.as_str()));
+        let s = m.cosine(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - m.cosine(&b, &a)).abs() < 1e-12);
+        let id = m.cosine(&a, &a);
+        prop_assert!((id - 1.0).abs() < 1e-9 || a.split_whitespace().next().is_none());
+    }
+}
+
+proptest! {
+    #[test]
+    fn smith_waterman_bounds_and_symmetry(a in "[a-zA-Z0-9 ]{0,20}", b in "[a-zA-Z0-9 ]{0,20}") {
+        use similarity::align::{smith_waterman_score, smith_waterman_similarity};
+        let s = smith_waterman_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(smith_waterman_score(&a, &b), smith_waterman_score(&b, &a));
+        prop_assert!(smith_waterman_score(&a, &b) >= 0);
+    }
+
+    #[test]
+    fn smith_waterman_identity(s in "[a-z0-9]{1,20}") {
+        use similarity::align::smith_waterman_similarity;
+        prop_assert_eq!(smith_waterman_similarity(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn soundex_similarity_bounds(a in "[a-zA-Z ]{0,20}", b in "[a-zA-Z ]{0,20}") {
+        use similarity::phonetic::soundex_similarity;
+        let s = soundex_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - soundex_similarity(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soundex_codes_are_well_formed(w in "[a-zA-Z]{1,12}") {
+        use similarity::phonetic::soundex;
+        let code = soundex(&w).expect("alphabetic word must code");
+        prop_assert_eq!(code.len(), 4);
+        let mut cs = code.chars();
+        prop_assert!(cs.next().unwrap().is_ascii_uppercase());
+        prop_assert!(cs.all(|c| c.is_ascii_digit()));
+    }
+}
+
+proptest! {
+    #[test]
+    fn qgram_count_matches_formula(s in "[a-z]{1,30}", q in 1usize..5) {
+        use similarity::tokenize::qgrams;
+        // For a single normalized word of length n and padding q-1 on each
+        // side, the padded string has n + 2(q-1) chars → n + q - 1 grams.
+        let grams = qgrams(&s, q);
+        let n = s.chars().count();
+        prop_assert_eq!(grams.len(), n + q - 1);
+        for g in &grams {
+            prop_assert_eq!(g.chars().count(), q);
+        }
+    }
+
+    #[test]
+    fn words_are_normalized(s in any_string()) {
+        use similarity::tokenize::words;
+        for w in words(&s) {
+            prop_assert!(!w.is_empty());
+            prop_assert!(w.chars().all(|c| c.is_alphanumeric()));
+            prop_assert!(!w.chars().any(|c| c.is_ascii_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: hands-off entity matching in ~40 lines.
+//!
+//! Exactly what a Corleone user supplies (paper §3): two tables, a short
+//! matching instruction, and four seed examples. Everything else — blocking,
+//! training, accuracy estimation, iteration — is done by the (simulated)
+//! crowd.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use corleone::task::task_from_parts;
+use corleone::{CorleoneConfig, Engine};
+use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
+use similarity::{Attribute, Schema, Table, Value};
+use std::sync::Arc;
+
+fn main() {
+    // 1. The two tables to match.
+    let schema = Arc::new(Schema::new(vec![
+        Attribute::text("name"),
+        Attribute::text("city"),
+    ]));
+    let rows_a: Vec<Vec<Value>> = (0..30)
+        .map(|i| vec![Value::Text(format!("Golden Dragon {i}")), "Madison".into()])
+        .collect();
+    let mut rows_b: Vec<Vec<Value>> = (0..30)
+        .map(|i| vec![Value::Text(format!("golden dragon no. {i}")), "Madison".into()])
+        .collect();
+    rows_b.push(vec!["Blue Lotus Cafe".into(), "Chicago".into()]);
+    let table_a = Table::new("directory_a", schema.clone(), rows_a);
+    let table_b = Table::new("directory_b", schema, rows_b);
+
+    // 2. Instruction + four seed examples (2 matching, 2 non-matching).
+    let task = task_from_parts(
+        table_a,
+        table_b,
+        "These records describe restaurants; match if same location.",
+        [(0, 0), (1, 1)],
+        [(0, 30), (2, 5)],
+    );
+
+    // 3. A simulated crowd standing in for Mechanical Turk: 25 workers
+    //    with ~5% answer error, 1 cent per question. The GoldOracle is
+    //    what the simulated workers consult before (noisily) answering.
+    let gold = GoldOracle::from_pairs((0..30).map(|i| (i, i)));
+    let workers = WorkerPool::uniform(25, 0.05);
+    let mut platform = CrowdPlatform::new(workers, CrowdConfig::default());
+
+    // 4. Run hands-off.
+    let engine = Engine::new(CorleoneConfig::small()).with_seed(1);
+    let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+
+    println!("matches found: {}", report.predicted_matches.len());
+    for pair in report.predicted_matches.iter().take(5) {
+        println!(
+            "  A[{}] ↔ B[{}]: {} ↔ {}",
+            pair.a,
+            pair.b,
+            task.table_a.record(pair.a).value(0),
+            task.table_b.record(pair.b).value(0),
+        );
+    }
+    let est = report.final_estimate.clone().expect("engine always estimates");
+    println!(
+        "estimated accuracy: P={:.1}% (±{:.3}) R={:.1}% (±{:.3}) F1={:.1}%",
+        est.precision * 100.0,
+        est.eps_p,
+        est.recall * 100.0,
+        est.eps_r,
+        est.f1 * 100.0
+    );
+    if let Some(truth) = report.final_true {
+        println!("true accuracy:      F1={:.1}%", truth.f1 * 100.0);
+    }
+    println!(
+        "crowd cost: ${:.2} for {} labeled pairs",
+        report.total_cost_dollars(),
+        report.total_pairs_labeled
+    );
+}

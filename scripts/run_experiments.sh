@@ -1,0 +1,28 @@
+#!/bin/bash
+# Regenerate every experiment in EXPERIMENTS.md. Outputs land in results/.
+# Runtime: ~40-60 minutes at the default scales on an 8-core machine.
+set -u
+cd "$(dirname "$0")/.."
+cargo build --release -p bench -p datagen --bins || exit 1
+R=results
+mkdir -p $R
+run() { name=$1; shift; echo "=== $name: $* ==="; "$@" > "$R/$name.txt" 2>&1 || echo "FAILED: $name"; }
+
+run table1 ./target/release/table1 --scale 0.1
+./target/release/table1 --scale 1.0 >> $R/table1.txt 2>&1
+run table2 ./target/release/table2 --scale 0.1 --runs 3
+run table3 ./target/release/table3 --scale 0.1 --runs 3
+run table4 ./target/release/table4 --scale 0.1
+run fig2   ./target/release/fig2
+run fig3   ./target/release/fig3 --scale 0.1
+run estimator_cost ./target/release/estimator_cost --scale 0.1 --runs 2
+run reduction      ./target/release/reduction --scale 0.1
+run rule_quality   ./target/release/rule_quality --scale 0.1
+run sensitivity    ./target/release/sensitivity --scale 0.05 --runs 2
+run param_sweep    ./target/release/param_sweep --scale 0.05 --runs 2 --datasets citations
+run ablation_voting   ./target/release/ablation_voting --scale 0.05 --runs 2 --datasets citations
+run ablation_stopping ./target/release/ablation_stopping --scale 0.05 --runs 2 --datasets products
+run cleaning_demo     ./target/release/cleaning_demo --scale 0.05 --runs 2
+run money_time        ./target/release/money_time --scale 0.05 --runs 2 --datasets restaurants
+run ablation_model    ./target/release/ablation_model --scale 0.05 --runs 2 --datasets citations,products
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,107 @@
+//! Property-based tests over the crowd substrate: voting invariants,
+//! platform/ledger accounting, and cache consistency under arbitrary
+//! request sequences.
+
+use crowd::voting::{resolve, Scheme};
+use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, PairKey, WorkerPool};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vote_outcomes_within_bounds(seed in 0u64..5000, err in 0.0f64..0.45,
+                                   truth in any::<bool>()) {
+        let pool = WorkerPool::uniform(7, err);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for scheme in [Scheme::TwoPlusOne, Scheme::StrongMajority, Scheme::Hybrid] {
+            let out = resolve(scheme, &pool, truth, &mut rng);
+            match scheme {
+                Scheme::TwoPlusOne => prop_assert!(out.answers == 2 || out.answers == 3),
+                _ => prop_assert!((2..=7).contains(&out.answers)),
+            }
+            if scheme == Scheme::StrongMajority {
+                prop_assert!(out.strong);
+            }
+            if scheme == Scheme::Hybrid && out.label {
+                prop_assert!(out.strong, "hybrid positives must be strong");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_crowd_is_always_right(seed in 0u64..5000, truth in any::<bool>()) {
+        let pool = WorkerPool::perfect(3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for scheme in [Scheme::TwoPlusOne, Scheme::StrongMajority, Scheme::Hybrid] {
+            prop_assert_eq!(resolve(scheme, &pool, truth, &mut rng).label, truth);
+        }
+    }
+
+    #[test]
+    fn ledger_accounting_consistent(batches in prop::collection::vec(
+        prop::collection::vec((0u32..40, 0u32..40), 1..25), 1..6,
+    ), err in 0.0f64..0.3, seed in 0u64..1000) {
+        let gold = GoldOracle::from_pairs((0..40).map(|i| (i, i)));
+        let pool = if err == 0.0 { WorkerPool::perfect(5) } else { WorkerPool::uniform(5, err) };
+        let mut platform = CrowdPlatform::new(pool, CrowdConfig { price_cents: 2.0, seed, ..Default::default() });
+        let mut all_labeled: HashMap<PairKey, bool> = HashMap::new();
+        for batch in &batches {
+            let keys: Vec<PairKey> = batch.iter().map(|&(a, b)| PairKey::new(a, b)).collect();
+            let got = platform.label_batch(&gold, &keys, Scheme::TwoPlusOne);
+            // Results are a subset of the request.
+            let req: HashSet<PairKey> = keys.iter().copied().collect();
+            for (k, l) in &got {
+                prop_assert!(req.contains(k));
+                all_labeled.insert(*k, *l);
+            }
+            // No duplicate pairs in one batch result.
+            let distinct: HashSet<PairKey> = got.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(distinct.len(), got.len());
+        }
+        let ledger = platform.ledger();
+        // Every answer is paid at the configured price.
+        prop_assert!((ledger.total_cents - ledger.answers_solicited as f64 * 2.0).abs() < 1e-9);
+        // At least two answers per labeled pair.
+        prop_assert!(ledger.answers_solicited >= 2 * ledger.pairs_labeled);
+        // Cache holds every pair ever labeled.
+        prop_assert!(platform.cache().len() as u64 >= ledger.pairs_labeled.min(all_labeled.len() as u64));
+    }
+
+    #[test]
+    fn cache_makes_repeats_free(pairs in prop::collection::vec((0u32..30, 0u32..30), 10..30),
+                                seed in 0u64..1000) {
+        let gold = GoldOracle::from_pairs((0..30).map(|i| (i, i)));
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(5),
+                                              CrowdConfig { price_cents: 1.0, seed, ..Default::default() });
+        let keys: Vec<PairKey> = pairs.iter().map(|&(a, b)| PairKey::new(a, b)).collect();
+        let first = platform.label_all(&gold, &keys, Scheme::TwoPlusOne);
+        let cents = platform.ledger().total_cents;
+        let second = platform.label_batch(&gold, &keys, Scheme::TwoPlusOne);
+        prop_assert_eq!(platform.ledger().total_cents, cents, "repeat must be free");
+        // Cached labels are identical to the originals.
+        let map: HashMap<PairKey, bool> = first.into_iter().collect();
+        for (k, l) in second {
+            prop_assert_eq!(map[&k], l);
+        }
+    }
+
+    #[test]
+    fn strong_requests_never_served_weak(seed in 0u64..1000) {
+        let gold = GoldOracle::from_pairs([(0, 0)]);
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(5),
+                                              CrowdConfig { price_cents: 1.0, seed, ..Default::default() });
+        let key = [PairKey::new(0, 0)];
+        platform.label_all(&gold, &key, Scheme::TwoPlusOne);
+        let labeled_before = platform.ledger().pairs_labeled;
+        platform.label_all(&gold, &key, Scheme::StrongMajority);
+        prop_assert!(platform.ledger().pairs_labeled > labeled_before);
+        // Now a strong label exists; further strong requests are free.
+        let labeled_mid = platform.ledger().pairs_labeled;
+        platform.label_all(&gold, &key, Scheme::StrongMajority);
+        prop_assert_eq!(platform.ledger().pairs_labeled, labeled_mid);
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration tests: the full hands-off pipeline over the
+//! synthetic datasets, crossing every crate (datagen → similarity →
+//! forest → crowd → corleone).
+
+use corleone::task::task_from_parts;
+use corleone::{CorleoneConfig, Engine, MatchTask};
+use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
+use datagen::{EmDataset, GenConfig};
+
+fn setup(name: &str, scale: f64, seed: u64) -> (MatchTask, GoldOracle, EmDataset) {
+    let ds = datagen::by_name(name, GenConfig { scale, seed }).unwrap();
+    let task = task_from_parts(
+        ds.table_a.clone(),
+        ds.table_b.clone(),
+        &ds.instruction,
+        ds.seeds.positive,
+        ds.seeds.negative,
+    );
+    let gold = GoldOracle::from_pairs(ds.gold.iter().copied());
+    (task, gold, ds)
+}
+
+fn platform(ds: &EmDataset, error: f64, seed: u64) -> CrowdPlatform {
+    let pool = if error == 0.0 {
+        WorkerPool::perfect(25)
+    } else {
+        WorkerPool::uniform(25, error)
+    };
+    CrowdPlatform::new(pool, CrowdConfig { price_cents: ds.price_cents, seed, ..Default::default() })
+}
+
+#[test]
+fn restaurants_end_to_end_no_blocking() {
+    let (task, gold, ds) = setup("restaurants", 0.12, 5);
+    let mut p = platform(&ds, 0.05, 5);
+    let mut cfg = CorleoneConfig::default();
+    cfg.blocker.t_b = 100_000; // restaurants stays under: no blocking
+    let report = Engine::new(cfg).with_seed(5).run(&task, &mut p, &gold, Some(gold.matches()));
+    assert!(!report.blocker.triggered, "restaurants must not trigger blocking");
+    let f1 = report.final_true.unwrap().f1;
+    assert!(f1 > 0.75, "restaurants F1 {f1}");
+    assert!(report.total_cost_cents > 0.0);
+}
+
+#[test]
+fn citations_end_to_end_with_blocking() {
+    let (task, gold, ds) = setup("citations", 0.03, 6);
+    let mut p = platform(&ds, 0.05, 6);
+    let mut cfg = CorleoneConfig::default();
+    cfg.blocker.t_b = 50_000; // cartesian ~ 150k ⇒ blocking triggers
+    let report = Engine::new(cfg).with_seed(6).run(&task, &mut p, &gold, Some(gold.matches()));
+    assert!(report.blocker.triggered);
+    assert!(
+        report.blocker.umbrella_size < report.blocker.cartesian as usize,
+        "blocking must shrink the candidate set"
+    );
+    assert!(
+        report.blocking_recall.unwrap() > 0.8,
+        "blocking recall {}",
+        report.blocking_recall.unwrap()
+    );
+    let f1 = report.final_true.unwrap().f1;
+    assert!(f1 > 0.75, "citations F1 {f1}");
+}
+
+#[test]
+fn estimates_track_truth_within_reason() {
+    let (task, gold, ds) = setup("products", 0.02, 7);
+    let mut p = platform(&ds, 0.05, 7);
+    let report = Engine::new(CorleoneConfig::default())
+        .with_seed(7)
+        .run(&task, &mut p, &gold, Some(gold.matches()));
+    let est = report.final_estimate.unwrap();
+    let truth = report.final_true.unwrap();
+    // Paper Table 4: estimates land within ~0.5-5.4% of truth; allow a
+    // wider band for the small scale + noisy crowd.
+    assert!(
+        (est.f1 - truth.f1).abs() < 0.2,
+        "estimated F1 {} vs true {}",
+        est.f1,
+        truth.f1
+    );
+}
+
+#[test]
+fn perfect_crowd_beats_noisy_crowd() {
+    let (task, gold, ds) = setup("products", 0.02, 8);
+    let f1_at = |error: f64| {
+        let mut p = platform(&ds, error, 8);
+        Engine::new(CorleoneConfig::default())
+            .with_seed(8)
+            .run(&task, &mut p, &gold, Some(gold.matches()))
+            .final_true
+            .unwrap()
+            .f1
+    };
+    let perfect = f1_at(0.0);
+    let noisy = f1_at(0.3);
+    assert!(
+        perfect >= noisy - 0.05,
+        "perfect crowd ({perfect}) should not lose clearly to a 30%-error crowd ({noisy})"
+    );
+}
+
+#[test]
+fn hands_off_contract_no_gold_needed() {
+    // Corleone itself must run without ever touching the gold standard —
+    // the defining hands-off property. Only the simulated workers see it.
+    let (task, gold, ds) = setup("restaurants", 0.06, 9);
+    let mut p = platform(&ds, 0.05, 9);
+    let report = Engine::new(CorleoneConfig::default())
+        .with_seed(9)
+        .run(&task, &mut p, &gold, None);
+    assert!(report.final_true.is_none());
+    assert!(report.blocking_recall.is_none());
+    assert!(report.final_estimate.is_some(), "estimate must come from the crowd");
+    assert!(!report.predicted_matches.is_empty());
+}
+
+#[test]
+fn run_report_serializes() {
+    let (task, gold, ds) = setup("restaurants", 0.06, 10);
+    let mut p = platform(&ds, 0.0, 10);
+    let report = Engine::new(CorleoneConfig::default())
+        .with_seed(10)
+        .run(&task, &mut p, &gold, Some(gold.matches()));
+    let json = serde_json::to_string(&report).expect("report must serialize");
+    assert!(json.contains("blocker"));
+    let back: corleone::RunReport = serde_json::from_str(&json).expect("roundtrip");
+    assert_eq!(back.predicted_matches, report.predicted_matches);
+}
