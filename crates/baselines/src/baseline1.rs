@@ -36,7 +36,8 @@ pub fn run(
     let predicted: HashSet<PairKey> = preds
         .iter()
         .enumerate()
-        .filter_map(|(i, &p)| p.then(|| cand.pair(i)))
+        .filter(|&(_, &p)| p)
+        .map(|(i, _)| cand.pair(i))
         .collect();
     BaselineResult {
         prf: evaluate(&predicted, gold.matches()),

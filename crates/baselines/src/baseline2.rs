@@ -24,7 +24,8 @@ pub fn run(task: &MatchTask, dataset_name: &str, gold: &GoldOracle, seed: u64) -
     let predicted: HashSet<PairKey> = preds
         .iter()
         .enumerate()
-        .filter_map(|(i, &p)| p.then(|| cand.pair(i)))
+        .filter(|&(_, &p)| p)
+        .map(|(i, _)| cand.pair(i))
         .collect();
     BaselineResult {
         prf: evaluate(&predicted, gold.matches()),

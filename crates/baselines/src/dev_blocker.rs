@@ -64,7 +64,7 @@ pub fn apply(task: &MatchTask, rule: Option<KeepRule>) -> Vec<PairKey> {
     let mut kept = Vec::new();
     for a in &task.table_a.records {
         for b in &task.table_b.records {
-            let keep = rule.map_or(true, |r| r(a, b));
+            let keep = rule.is_none_or(|r| r(a, b));
             if keep {
                 kept.push(PairKey::new(a.id, b.id));
             }

@@ -10,7 +10,7 @@
 //! whole hands-off pipeline is built on).
 
 use bench::{dataset, make_platform, make_task, mean, parse_args, pct, render_table};
-use corleone::{run_active_learning, CandidateSet, CorleoneConfig};
+use corleone::{run_active_learning, CandidateSet, CorleoneConfig, Threads};
 use crowd::TruthOracle;
 use forest::{extract_rules, Dataset, LogRegConfig, LogisticRegression};
 use rand::rngs::StdRng;
@@ -55,8 +55,15 @@ fn main() {
                 .map(|&(k, l)| (task.vectorize(k), l))
                 .collect();
             let cfg = CorleoneConfig::default();
-            let learn =
-                run_active_learning(&cand, &seeds, &mut platform, &gold, &cfg.matcher, &mut rng);
+            let learn = run_active_learning(
+                &cand,
+                &seeds,
+                &mut platform,
+                &gold,
+                &cfg.matcher,
+                &mut rng,
+                Threads::auto(),
+            );
             n_rules.push(extract_rules(&learn.forest).len() as f64);
 
             // Logistic regression on exactly the same labeled data.

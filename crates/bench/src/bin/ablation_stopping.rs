@@ -7,7 +7,7 @@
 //! can *decrease* accuracy.
 
 use bench::{dataset, dollars, make_platform, make_task, mean, parse_args, pct, render_table};
-use corleone::{run_active_learning, CandidateSet, CorleoneConfig, StoppingConfig};
+use corleone::{run_active_learning, CandidateSet, CorleoneConfig, StoppingConfig, Threads};
 use crowd::TruthOracle;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -28,7 +28,8 @@ fn main() {
 
     // never_stop pushes min_iterations past max_iterations so only the
     // hard cap ends the loop.
-    let variants: Vec<(&str, Box<dyn Fn(&mut corleone::MatcherConfig)>)> = vec![
+    type Tweak = Box<dyn Fn(&mut corleone::MatcherConfig)>;
+    let variants: Vec<(&str, Tweak)> = vec![
         ("paper stopping rules", Box::new(|_m| {})),
         (
             "fixed 5 iterations",
@@ -81,8 +82,15 @@ fn main() {
             let mut mcfg = CorleoneConfig::default().matcher;
             tweak(&mut mcfg);
             let cents_before = platform.ledger().total_cents;
-            let learn =
-                run_active_learning(&cand, &seeds, &mut platform, &gold, &mcfg, &mut rng);
+            let learn = run_active_learning(
+                &cand,
+                &seeds,
+                &mut platform,
+                &gold,
+                &mcfg,
+                &mut rng,
+                Threads::auto(),
+            );
             costs.push(platform.ledger().total_cents - cents_before);
             iters.push(learn.iterations as f64);
 

@@ -8,7 +8,7 @@
 //! accuracy at close to `2+1` cost.
 
 use bench::{dataset, dollars, make_platform, make_task, mean, parse_args, pct, render_table};
-use corleone::{estimate_accuracy, run_active_learning, CandidateSet, CorleoneConfig};
+use corleone::{estimate_accuracy, run_active_learning, CandidateSet, CorleoneConfig, RunEnv, Threads};
 use crowd::TruthOracle;
 use crowd::Scheme;
 use rand::rngs::StdRng;
@@ -66,8 +66,15 @@ fn main() {
                 .map(|&(k, l)| (task.vectorize(k), l))
                 .collect();
             let cfg = CorleoneConfig::default();
-            let learn =
-                run_active_learning(&cand, &seeds, &mut platform, &gold, &cfg.matcher, &mut rng);
+            let learn = run_active_learning(
+                &cand,
+                &seeds,
+                &mut platform,
+                &gold,
+                &cfg.matcher,
+                &mut rng,
+                Threads::auto(),
+            );
             let predictions: Vec<bool> =
                 (0..cand.len()).map(|i| learn.forest.predict(cand.row(i))).collect();
             let known: HashMap<usize, bool> = learn.crowd_labels().collect();
@@ -84,14 +91,15 @@ fn main() {
                 &gold,
                 &est_cfg,
                 &mut rng,
+                &RunEnv::default(),
             );
             // Ground truth over the same population.
             let mut tp = 0;
             let mut pp = 0;
             let mut ap = 0;
-            for i in 0..cand.len() {
+            for (i, &pred) in predictions.iter().enumerate() {
                 let a = gold.true_label(cand.pair(i));
-                if predictions[i] {
+                if pred {
                     pp += 1;
                     if a {
                         tp += 1;

@@ -6,7 +6,7 @@
 
 use bench::{make_platform, make_task, parse_args};
 use corleone::stopping::smooth;
-use corleone::{run_active_learning, CandidateSet, MatcherConfig};
+use corleone::{run_active_learning, CandidateSet, MatcherConfig, Threads};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -66,7 +66,15 @@ fn main() {
             .map(|&(k, l)| (task.vectorize(k), l))
             .collect();
         let cfg = MatcherConfig::default();
-        let out = run_active_learning(&cand, &seeds, &mut platform, &gold, &cfg, &mut rng);
+        let out = run_active_learning(
+            &cand,
+            &seeds,
+            &mut platform,
+            &gold,
+            &cfg,
+            &mut rng,
+            Threads::auto(),
+        );
         let smoothed = smooth(&out.conf_history, cfg.stopping.window);
         println!("{label}");
         println!("  iterations: {}, stop: {:?}", out.iterations, out.stop);

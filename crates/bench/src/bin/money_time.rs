@@ -44,7 +44,11 @@ fn main() {
             );
             let report = Engine::new(bench::experiment_config())
                 .with_seed(opts.seed + 1000 * run as u64)
-                .run(&task, &mut platform, &gold, Some(gold.matches()));
+                .session(&task)
+                .platform(&mut platform)
+                .oracle(&gold)
+                .gold(gold.matches())
+                .run();
             costs.push(report.total_cost_cents);
             hours.push(platform.ledger().simulated_secs / 3600.0);
             f1s.push(report.final_true.expect("gold").f1);

@@ -18,7 +18,12 @@ fn run_with(
         let (task, gold) = make_task(&ds);
         let mut platform = make_platform(&ds, opts.error_rate, opts.seed + run as u64);
         let engine = Engine::new(cfg).with_seed(opts.seed + 1000 * run as u64);
-        let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+        let report = engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .run();
         f1s.push(report.final_true.expect("gold").f1);
         costs.push(report.total_cost_cents);
     }

@@ -10,7 +10,7 @@
 use bench::{dataset, make_platform, make_task, parse_args, pct, render_table};
 use corleone::ruleeval::RuleEvalConfig;
 use corleone::{
-    locate_difficult_pairs, run_active_learning, CandidateSet, CorleoneConfig,
+    locate_difficult_pairs, run_active_learning, CandidateSet, CorleoneConfig, RunEnv, Threads,
 };
 use crowd::TruthOracle;
 use rand::rngs::StdRng;
@@ -93,7 +93,15 @@ fn main() {
             .collect();
 
         // Iteration 1.
-        let m1 = run_active_learning(&cand, &seeds, &mut platform, &gold, &cfg.matcher, &mut rng);
+        let m1 = run_active_learning(
+            &cand,
+            &seeds,
+            &mut platform,
+            &gold,
+            &cfg.matcher,
+            &mut rng,
+            Threads::auto(),
+        );
         let known: HashMap<usize, bool> = m1.crowd_labels().collect();
         let within: Vec<usize> = (0..cand.len()).collect();
         let located = locate_difficult_pairs(
@@ -106,6 +114,7 @@ fn main() {
             &corleone::LocatorConfig { min_difficult: 20, ..Default::default() },
             &RuleEvalConfig::default(),
             &mut rng,
+            &RunEnv::default(),
         );
         let Some(difficult) = located.difficult else {
             println!(
@@ -120,7 +129,15 @@ fn main() {
 
         // Iteration 2: dedicated matcher on the difficult pairs.
         let sub = cand.subset(&difficult);
-        let m2 = run_active_learning(&sub, &seeds, &mut platform, &gold, &cfg.matcher, &mut rng);
+        let m2 = run_active_learning(
+            &sub,
+            &seeds,
+            &mut platform,
+            &gold,
+            &cfg.matcher,
+            &mut rng,
+            Threads::auto(),
+        );
         let sub_pred: Vec<bool> = (0..sub.len()).map(|j| m2.forest.predict(sub.row(j))).collect();
         let pos_in_sub: HashMap<usize, bool> = difficult
             .iter()

@@ -9,7 +9,7 @@
 
 use bench::{dataset, make_platform, make_task, mean, parse_args, render_table};
 use corleone::ruleeval::{evaluate_rules_jointly, select_top_rules, RuleEvalConfig};
-use corleone::{run_active_learning, CandidateSet, CorleoneConfig};
+use corleone::{run_active_learning, CandidateSet, CorleoneConfig, Threads};
 use crowd::TruthOracle;
 use forest::{negative_rules, positive_rules, Rule};
 use rand::rngs::StdRng;
@@ -70,7 +70,15 @@ fn main() {
             .map(|&(k, l)| (task.vectorize(k), l))
             .collect();
         let learn =
-            run_active_learning(&cand, &seeds, &mut platform, &gold, &cfg.matcher, &mut rng);
+            run_active_learning(
+                &cand,
+                &seeds,
+                &mut platform,
+                &gold,
+                &cfg.matcher,
+                &mut rng,
+                Threads::auto(),
+            );
         let known: HashMap<usize, bool> = learn.crowd_labels().collect();
         let known_pos: HashSet<usize> =
             known.iter().filter_map(|(&i, &l)| l.then_some(i)).collect();
@@ -78,7 +86,14 @@ fn main() {
             known.iter().filter_map(|(&i, &l)| (!l).then_some(i)).collect();
 
         let mut audit = |rules: Vec<Rule>, opposite: &HashSet<usize>| -> (usize, Vec<f64>) {
-            let scored = select_top_rules(rules, &cand, None, opposite, cfg.blocker.k_rules);
+            let scored = select_top_rules(
+                rules,
+                &cand,
+                None,
+                opposite,
+                cfg.blocker.k_rules,
+                Threads::auto(),
+            );
             let mut pool = known.clone();
             let kept: Vec<_> = evaluate_rules_jointly(
                 scored,

@@ -137,7 +137,12 @@ pub fn run_corleone(name: &str, opts: &ExpOptions, run: usize) -> (RunReport, Em
     let (task, gold) = make_task(&ds);
     let mut platform = make_platform(&ds, opts.error_rate, opts.seed + run as u64);
     let engine = Engine::new(experiment_config()).with_seed(opts.seed + 1000 * run as u64);
-    let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+    let report = engine
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     (report, ds)
 }
 

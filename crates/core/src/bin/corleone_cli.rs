@@ -284,7 +284,7 @@ fn main() {
             CrowdConfig { price_cents: args.price_cents, seed: args.seed, ..Default::default() },
         );
         eprintln!("interactive mode: you will be asked to label pairs.\n");
-        engine.run(&task, &mut platform, &oracle, None)
+        engine.session(&task).platform(&mut platform).oracle(&oracle).run()
     } else {
         let gold = load_gold(args.gold.as_deref().expect("checked"));
         let oracle = GoldOracle::new(gold.clone());
@@ -297,7 +297,12 @@ fn main() {
             pool,
             CrowdConfig { price_cents: args.price_cents, seed: args.seed, ..Default::default() },
         );
-        engine.run(&task, &mut platform, &oracle, Some(&gold))
+        engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&oracle)
+            .gold(&gold)
+            .run()
     };
 
     println!("matches: {}", report.predicted_matches.len());

@@ -11,12 +11,14 @@
 
 use crate::candidates::CandidateSet;
 use crate::config::{BlockerConfig, MatcherConfig};
+use crate::env::RunEnv;
 use crate::learner::{run_active_learning, LearnOutcome};
 use crate::ruleeval::{
     coverage_of, evaluate_rules_jointly, select_top_rules, EvaluatedRule, RuleEvalConfig,
 };
 use crate::task::MatchTask;
 use crowd::{CrowdPlatform, PairKey, TruthOracle};
+use exec::Threads;
 use forest::{negative_rules, Rule};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -62,7 +64,8 @@ pub struct BlockerOutcome {
     pub applied_rules: Vec<Rule>,
 }
 
-/// Run the Blocker.
+/// Run the Blocker. `env` carries the run's thread budget and shared
+/// feature cache (use `RunEnv::default()` for a standalone call).
 pub fn run_blocker(
     task: &MatchTask,
     platform: &mut CrowdPlatform,
@@ -70,13 +73,14 @@ pub fn run_blocker(
     cfg: &BlockerConfig,
     matcher_cfg: &MatcherConfig,
     rng: &mut StdRng,
+    env: &RunEnv<'_>,
 ) -> BlockerOutcome {
     let cartesian = task.cartesian_size();
     let ledger_start = *platform.ledger();
 
     // 1. Decide whether to block (§4.1 step 1).
     if cartesian <= cfg.t_b {
-        let candidates = CandidateSet::full_cartesian(task);
+        let candidates = CandidateSet::full_cartesian_with(task, env.threads, env.cache);
         let umbrella_size = candidates.len();
         return BlockerOutcome {
             candidates,
@@ -115,16 +119,23 @@ pub fn run_blocker(
             sample_pairs.push(seed);
         }
     }
-    let sample = CandidateSet::build(task, sample_pairs);
+    let sample = CandidateSet::build_with(task, sample_pairs, env.threads, env.cache);
 
     // 3. Crowdsourced active learning on S (§4.1 step 3).
     let seed_vectors: Vec<(Vec<f64>, bool)> = task
         .seeds
         .iter()
-        .map(|&(k, l)| (task.vectorize(k), l))
+        .map(|&(k, l)| (env.vectorize(task, k), l))
         .collect();
-    let learn: LearnOutcome =
-        run_active_learning(&sample, &seed_vectors, platform, oracle, matcher_cfg, rng);
+    let learn: LearnOutcome = run_active_learning(
+        &sample,
+        &seed_vectors,
+        platform,
+        oracle,
+        matcher_cfg,
+        rng,
+        env.threads,
+    );
 
     // 4. Extract candidate blocking rules (§4.1 step 4) and select top k
     //    by the precision upper bound (§4.2 step 1), with T = examples the
@@ -132,7 +143,14 @@ pub fn run_blocker(
     let candidates_rules = negative_rules(&learn.forest);
     let rules_extracted = candidates_rules.len();
     let known_pos: HashSet<usize> = learn.crowd_positives.iter().copied().collect();
-    let scored = select_top_rules(candidates_rules, &sample, None, &known_pos, cfg.k_rules);
+    let scored = select_top_rules(
+        candidates_rules,
+        &sample,
+        None,
+        &known_pos,
+        cfg.k_rules,
+        env.threads,
+    );
     let rules_evaluated = scored.len();
 
     // 5. Crowd evaluation (§4.2 step 2), seeded with the labels gathered
@@ -189,18 +207,23 @@ pub fn run_blocker(
     let mut remaining = kept;
     let mut applied: Vec<EvaluatedRule> = Vec::new();
     while current.len() as f64 > target && !remaining.is_empty() {
-        // Score every remaining rule on the current residue of S.
-        let mut scored: Vec<(usize, f64, Vec<usize>)> = Vec::new();
-        for (i, er) in remaining.iter().enumerate() {
-            let cov = coverage_of(&er.rule, &sample, Some(&current));
-            if cov.is_empty() {
-                continue;
-            }
-            let cov_frac = cov.len() as f64 / current.len() as f64;
-            let cost = er.rule.eval_cost(&costs);
-            let score = er.est_precision * cov_frac / (1.0 + cost / 10.0);
-            scored.push((i, score, cov));
-        }
+        // Score every remaining rule on the current residue of S; each
+        // rule's coverage scan is independent, so fan out across rules.
+        let scored: Vec<(usize, f64, Vec<usize>)> =
+            exec::indexed_par_map(env.threads, remaining.len(), |i| {
+                let er = &remaining[i];
+                let cov = coverage_of(&er.rule, &sample, Some(&current));
+                if cov.is_empty() {
+                    return None;
+                }
+                let cov_frac = cov.len() as f64 / current.len() as f64;
+                let cost = er.rule.eval_cost(&costs);
+                let score = er.est_precision * cov_frac / (1.0 + cost / 10.0);
+                Some((i, score, cov))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         if scored.is_empty() {
             break;
         }
@@ -243,10 +266,9 @@ pub fn run_blocker(
                 er.est_precision, er.coverage.len(), er.rule.display_with(&names));
         }
     }
-    let survivors = apply_rules_parallel(task, &rules);
-    let _ = &survivors;
+    let survivors = apply_rules_with(task, &rules, env.threads);
     let umbrella_size = survivors.len();
-    let candidates = CandidateSet::build(task, survivors);
+    let candidates = CandidateSet::build_with(task, survivors, env.threads, env.cache);
 
     let names = task.feature_names();
     let ledger_end = *platform.ledger();
@@ -272,10 +294,16 @@ pub fn run_blocker(
     }
 }
 
-/// Apply blocking rules over the full Cartesian product, in parallel,
-/// computing only the features the rules mention (lazy + memoized per
-/// pair). Returns the surviving pairs.
+/// Apply blocking rules over the full Cartesian product on the machine's
+/// available parallelism. Engine runs use [`apply_rules_with`].
 pub fn apply_rules_parallel(task: &MatchTask, rules: &[Rule]) -> Vec<PairKey> {
+    apply_rules_with(task, rules, Threads::auto())
+}
+
+/// Apply blocking rules over the full Cartesian product with an explicit
+/// thread budget, computing only the features the rules mention (lazy +
+/// memoized per pair). Returns the surviving pairs, in row-major order.
+pub fn apply_rules_with(task: &MatchTask, rules: &[Rule], threads: Threads) -> Vec<PairKey> {
     let n_a = task.table_a.len() as u32;
     let n_b = task.table_b.len() as u32;
     if rules.is_empty() {
@@ -287,53 +315,37 @@ pub fn apply_rules_parallel(task: &MatchTask, rules: &[Rule]) -> Vec<PairKey> {
         }
         return all;
     }
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let chunk = (n_a as usize).div_ceil(n_threads).max(1);
-    let a_ids: Vec<u32> = (0..n_a).collect();
-    let mut partials: Vec<Vec<PairKey>> = Vec::new();
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = a_ids
-            .chunks(chunk)
-            .map(|as_chunk| {
-                s.spawn(move |_| {
-                    let n_features = task.n_features();
-                    let mut memo: Vec<f64> = vec![f64::NAN; n_features];
-                    let mut computed: Vec<bool> = vec![false; n_features];
-                    let mut out = Vec::new();
-                    for &a in as_chunk {
-                        for b in 0..n_b {
-                            let pair = PairKey::new(a, b);
-                            computed.iter_mut().for_each(|c| *c = false);
-                            let mut blocked = false;
-                            'rules: for rule in rules {
-                                for p in &rule.predicates {
-                                    if !computed[p.feature] {
-                                        memo[p.feature] = task.feature(p.feature, pair);
-                                        computed[p.feature] = true;
-                                    }
-                                }
-                                if rule.matches(&memo) {
-                                    blocked = true;
-                                    break 'rules;
-                                }
-                            }
-                            if !blocked {
-                                out.push(pair);
-                            }
-                        }
+    // One work item per A-row; the exec core chunks and self-schedules
+    // them. Scratch buffers live per item (n_features is small).
+    let n_features = task.n_features();
+    let per_row: Vec<Vec<PairKey>> = exec::indexed_par_map(threads, n_a as usize, |a| {
+        let a = a as u32;
+        let mut memo: Vec<f64> = vec![f64::NAN; n_features];
+        let mut computed: Vec<bool> = vec![false; n_features];
+        let mut out = Vec::new();
+        for b in 0..n_b {
+            let pair = PairKey::new(a, b);
+            computed.iter_mut().for_each(|c| *c = false);
+            let mut blocked = false;
+            'rules: for rule in rules {
+                for p in &rule.predicates {
+                    if !computed[p.feature] {
+                        memo[p.feature] = task.feature(p.feature, pair);
+                        computed[p.feature] = true;
                     }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("blocking thread must not panic"));
+                }
+                if rule.matches(&memo) {
+                    blocked = true;
+                    break 'rules;
+                }
+            }
+            if !blocked {
+                out.push(pair);
+            }
         }
-    })
-    .expect("blocking scope");
-    partials.into_iter().flatten().collect()
+        out
+    });
+    per_row.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -382,7 +394,15 @@ mod tests {
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
         let mut rng = StdRng::seed_from_u64(1);
         let cfg = BlockerConfig { t_b: 1000, ..Default::default() };
-        let out = run_blocker(&task, &mut platform, &gold, &cfg, &small_matcher_cfg(), &mut rng);
+        let out = run_blocker(
+            &task,
+            &mut platform,
+            &gold,
+            &cfg,
+            &small_matcher_cfg(),
+            &mut rng,
+            &RunEnv::default(),
+        );
         assert!(!out.report.triggered);
         assert_eq!(out.candidates.len(), 100);
         assert_eq!(out.report.cost_cents, 0.0);
@@ -394,7 +414,15 @@ mod tests {
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = BlockerConfig { t_b: 400, ..Default::default() };
-        let out = run_blocker(&task, &mut platform, &gold, &cfg, &small_matcher_cfg(), &mut rng);
+        let out = run_blocker(
+            &task,
+            &mut platform,
+            &gold,
+            &cfg,
+            &small_matcher_cfg(),
+            &mut rng,
+            &RunEnv::default(),
+        );
         assert!(out.report.triggered);
         assert!(out.report.sample_size >= 400);
         assert!(out.report.rules_extracted > 0);
@@ -445,7 +473,7 @@ mod tests {
             n_pos: 0,
             n_neg: 0,
         };
-        let survivors = apply_rules_parallel(&task, &[rule.clone()]);
+        let survivors = apply_rules_parallel(&task, std::slice::from_ref(&rule));
         // Sequential reference.
         let mut expected = Vec::new();
         for a in 0..8u32 {

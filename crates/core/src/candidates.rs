@@ -4,11 +4,15 @@
 //! The blocking threshold `t_B` is chosen so that "we can fit the feature
 //! vectors of all these pairs in memory" (§4.1) — this type is that
 //! in-memory materialization: a dense row-major matrix parallel to the
-//! pair list. Vectorization is parallelized across a crossbeam scope since
-//! it is the dominant cost when `C` is large.
+//! pair list. Vectorization runs through the shared [`exec`] core since it
+//! is the dominant cost when `C` is large, and consults the run's
+//! [`FeatureCache`] when one is attached, so a pair vectorized by an
+//! earlier phase is never recomputed.
 
+use crate::cache::FeatureCache;
 use crate::task::MatchTask;
 use crowd::PairKey;
+use exec::Threads;
 
 /// Pairs plus their feature vectors.
 #[derive(Debug, Clone)]
@@ -20,42 +24,52 @@ pub struct CandidateSet {
 
 impl CandidateSet {
     /// Materialize feature vectors for `pairs` using the task's
-    /// vectorizer, in parallel.
+    /// vectorizer, in parallel on the machine's available parallelism and
+    /// without a cache. Engine runs use [`CandidateSet::build_with`].
     pub fn build(task: &MatchTask, pairs: Vec<PairKey>) -> Self {
+        Self::build_with(task, pairs, Threads::auto(), None)
+    }
+
+    /// Materialize feature vectors for `pairs` with an explicit thread
+    /// budget, consulting `cache` (read-through) when given.
+    pub fn build_with(
+        task: &MatchTask,
+        pairs: Vec<PairKey>,
+        threads: Threads,
+        cache: Option<&FeatureCache>,
+    ) -> Self {
         let n_features = task.n_features();
-        let mut matrix = vec![0.0f64; pairs.len() * n_features];
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(pairs.len().max(1));
-        let chunk = pairs.len().div_ceil(n_threads).max(1);
-        crossbeam::scope(|s| {
-            for (rows, keys) in matrix
-                .chunks_mut(chunk * n_features)
-                .zip(pairs.chunks(chunk))
-            {
-                s.spawn(move |_| {
-                    for (row, &key) in rows.chunks_mut(n_features).zip(keys) {
-                        let v = task.vectorize(key);
-                        row.copy_from_slice(&v);
-                    }
-                });
-            }
-        })
-        .expect("vectorization threads must not panic");
+        let rows: Vec<Vec<f64>> = exec::par_map(threads, &pairs, |&key| match cache {
+            Some(c) => c.get_or_compute(key, || task.vectorize(key)).as_ref().clone(),
+            None => task.vectorize(key),
+        });
+        let mut matrix = Vec::with_capacity(pairs.len() * n_features);
+        for row in &rows {
+            matrix.extend_from_slice(row);
+        }
         CandidateSet { pairs, n_features, matrix }
     }
 
     /// All `|A| × |B|` pairs, vectorized. Only sensible when the Cartesian
     /// product is at most `t_B` (the no-blocking path).
     pub fn full_cartesian(task: &MatchTask) -> Self {
+        Self::full_cartesian_with(task, Threads::auto(), None)
+    }
+
+    /// [`CandidateSet::full_cartesian`] with an explicit thread budget and
+    /// optional feature cache.
+    pub fn full_cartesian_with(
+        task: &MatchTask,
+        threads: Threads,
+        cache: Option<&FeatureCache>,
+    ) -> Self {
         let mut pairs = Vec::with_capacity(task.table_a.len() * task.table_b.len());
         for a in 0..task.table_a.len() as u32 {
             for b in 0..task.table_b.len() as u32 {
                 pairs.push(PairKey::new(a, b));
             }
         }
-        Self::build(task, pairs)
+        Self::build_with(task, pairs, threads, cache)
     }
 
     /// Number of pairs.
@@ -76,6 +90,11 @@ impl CandidateSet {
     /// The feature row of pair `i`.
     pub fn row(&self, i: usize) -> &[f64] {
         &self.matrix[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The full row-major feature matrix (`len × n_features`).
+    pub fn matrix(&self) -> &[f64] {
+        &self.matrix
     }
 
     /// The key of pair `i`.
@@ -171,5 +190,20 @@ mod tests {
         let t = task();
         let c = CandidateSet::build(&t, vec![]);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn build_with_cache_vectorizes_each_pair_once() {
+        let t = task();
+        let cache = FeatureCache::with_capacity(1000);
+        let pairs: Vec<PairKey> = (0..5u32)
+            .flat_map(|a| (0..7u32).map(move |b| PairKey::new(a, b)))
+            .collect();
+        let c1 = CandidateSet::build_with(&t, pairs.clone(), Threads::new(2), Some(&cache));
+        assert_eq!(cache.stats().misses, 35);
+        let c2 = CandidateSet::build_with(&t, pairs, Threads::new(1), Some(&cache));
+        assert_eq!(cache.stats().hits, 35, "second build served from cache");
+        let bits = |m: &[f64]| m.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(c1.matrix()), bits(c2.matrix()));
     }
 }

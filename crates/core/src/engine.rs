@@ -11,8 +11,10 @@
 //! exhausted", §3).
 
 use crate::blocker::{run_blocker, BlockerReport};
+use crate::cache::{CacheStats, FeatureCache};
 use crate::candidates::CandidateSet;
 use crate::config::CorleoneConfig;
+use crate::env::RunEnv;
 use crate::estimator::{estimate_accuracy, AccuracyEstimate};
 use crate::learner::{run_active_learning, StopReason};
 use crate::locator::{locate_difficult_pairs, LocatorReport};
@@ -20,10 +22,12 @@ use crate::metrics::{blocking_recall, evaluate, Prf};
 use crate::ruleeval::RuleEvalConfig;
 use crate::task::MatchTask;
 use crowd::{CrowdPlatform, PairKey, TruthOracle};
+use exec::Threads;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Per-iteration record (paper Table 4 rows).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -55,6 +59,31 @@ pub struct IterationReport {
     pub locator: Option<LocatorReport>,
 }
 
+/// Wall-clock spent in one pipeline phase, summed over iterations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name: `blocker`, `matcher`, `estimator`, or `locator`.
+    pub phase: String,
+    /// Total wall-clock milliseconds spent in the phase.
+    pub millis: f64,
+}
+
+/// Execution telemetry for one run: thread budget, feature-cache
+/// counters, and per-phase wall-clock.
+///
+/// Everything here depends on the machine and scheduling, never on the
+/// matching outcome — [`RunReport::deterministic_json`] zeroes this block
+/// so the rest of the report can be compared byte-for-byte across runs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Worker threads the run was given.
+    pub threads: usize,
+    /// Feature-cache hit/miss/occupancy counters.
+    pub cache: CacheStats,
+    /// Per-phase wall-clock, in pipeline order.
+    pub phases: Vec<PhaseTiming>,
+}
+
 /// Full run record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -74,6 +103,8 @@ pub struct RunReport {
     pub total_cost_cents: f64,
     /// Total distinct pairs labeled by the crowd.
     pub total_pairs_labeled: u64,
+    /// Execution telemetry (threads, cache counters, phase wall-clock).
+    pub perf: PerfReport,
 }
 
 impl RunReport {
@@ -81,13 +112,24 @@ impl RunReport {
     pub fn total_cost_dollars(&self) -> f64 {
         self.total_cost_cents / 100.0
     }
+
+    /// JSON with the machine-dependent [`PerfReport`] zeroed out.
+    ///
+    /// Two same-seed runs produce byte-identical output from this method
+    /// regardless of thread count or cache configuration; plain
+    /// `serde_json::to_string` output differs in the `perf` block.
+    pub fn deterministic_json(&self) -> String {
+        let mut stripped = self.clone();
+        stripped.perf = PerfReport::default();
+        serde_json::to_string(&stripped).expect("report serializes")
+    }
 }
 
 /// The hands-off EM engine.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    cfg: CorleoneConfig,
-    seed: u64,
+    pub(crate) cfg: CorleoneConfig,
+    pub(crate) seed: u64,
 }
 
 impl Engine {
@@ -102,8 +144,15 @@ impl Engine {
         self
     }
 
-    /// Run the full hands-off workflow. `gold` is used only to fill the
-    /// `true_*` report fields for experiments; pass `None` in production.
+    /// Run the full hands-off workflow.
+    ///
+    /// Deprecated compatibility shim over the session API; it runs with
+    /// auto-detected threads and the default cache capacity. Use
+    /// [`Engine::session`] to control both.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::session(&task).platform(&mut p).oracle(&o).run()"
+    )]
     pub fn run(
         &self,
         task: &MatchTask,
@@ -111,8 +160,34 @@ impl Engine {
         oracle: &dyn TruthOracle,
         gold: Option<&HashSet<PairKey>>,
     ) -> RunReport {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut session = self.session(task).platform(platform).oracle(oracle);
+        if let Some(g) = gold {
+            session = session.gold(g);
+        }
+        session.run()
+    }
+
+    /// Execute one full run. All session knobs arrive resolved: the
+    /// thread budget, the shared feature cache (`None` disables caching),
+    /// and the RNG seed.
+    #[allow(clippy::too_many_arguments)] // internal; callers go through RunSession
+    pub(crate) fn run_inner(
+        &self,
+        task: &MatchTask,
+        platform: &mut CrowdPlatform,
+        oracle: &dyn TruthOracle,
+        gold: Option<&HashSet<PairKey>>,
+        threads: Threads,
+        cache: Option<&FeatureCache>,
+        seed: u64,
+    ) -> RunReport {
+        let env = RunEnv { threads, cache };
+        let mut rng = StdRng::seed_from_u64(seed);
         let ledger_start = *platform.ledger();
+        let mut t_blocker = 0.0f64;
+        let mut t_matcher = 0.0f64;
+        let mut t_estimator = 0.0f64;
+        let mut t_locator = 0.0f64;
 
         // Per-phase cumulative caps when a budget split is configured
         // (§10 budget-allocation extension).
@@ -127,6 +202,7 @@ impl Engine {
             blocker_matcher_cfg.budget_cents_cap =
                 Some(ledger_start.total_cents + p.after_blocking);
         }
+        let t0 = Instant::now();
         let blocked = run_blocker(
             task,
             platform,
@@ -134,7 +210,9 @@ impl Engine {
             &self.cfg.blocker,
             &blocker_matcher_cfg,
             &mut rng,
+            &env,
         );
+        t_blocker += t0.elapsed().as_secs_f64() * 1000.0;
         let cand: CandidateSet = blocked.candidates;
         let blocker_report = blocked.report;
         let blocking_rec = gold.map(|g| {
@@ -145,7 +223,7 @@ impl Engine {
         let seed_vectors: Vec<(Vec<f64>, bool)> = task
             .seeds
             .iter()
-            .map(|&(k, l)| (task.vectorize(k), l))
+            .map(|&(k, l)| (env.vectorize(task, k), l))
             .collect();
 
         let mut predictions: Vec<bool> = vec![false; cand.len()];
@@ -155,7 +233,7 @@ impl Engine {
         let mut best: Option<(AccuracyEstimate, Vec<bool>)> = None;
 
         let budget_left = |platform: &CrowdPlatform| {
-            self.cfg.engine.budget_cents.map_or(true, |b| {
+            self.cfg.engine.budget_cents.is_none_or(|b| {
                 platform.ledger().total_cents - ledger_start.total_cents < b
             })
         };
@@ -175,6 +253,7 @@ impl Engine {
                 matcher_cfg.budget_cents_cap =
                     Some(ledger_start.total_cents + p.after_matching);
             }
+            let t0 = Instant::now();
             let learn = run_active_learning(
                 &sub,
                 &seed_vectors,
@@ -182,14 +261,20 @@ impl Engine {
                 oracle,
                 &matcher_cfg,
                 &mut rng,
+                env.threads,
             );
             let ledger_m_end = *platform.ledger();
             for (sub_idx, label) in learn.crowd_labels() {
                 known_labels.insert(region[sub_idx], label);
             }
+            let region_preds =
+                learn
+                    .forest
+                    .predict_batch(sub.matrix(), sub.n_features(), env.threads);
             for (j, &global) in region.iter().enumerate() {
-                predictions[global] = learn.forest.predict(sub.row(j));
+                predictions[global] = region_preds[j];
             }
+            t_matcher += t0.elapsed().as_secs_f64() * 1000.0;
 
             // ---- Accuracy Estimator (§6) over the combined predictions.
             // Under a monetary budget, cap the estimator's label budget by
@@ -214,6 +299,7 @@ impl Engine {
                         + plan.as_ref().map_or(budget, |p| p.after_estimation),
                 );
             }
+            let t0 = Instant::now();
             let estimate = estimate_accuracy(
                 &cand,
                 &predictions,
@@ -223,7 +309,9 @@ impl Engine {
                 oracle,
                 &est_cfg,
                 &mut rng,
+                &env,
             );
+            t_estimator += t0.elapsed().as_secs_f64() * 1000.0;
             // Fold the estimator's uniform sample back into the shared
             // label pool (it is cached crowd knowledge either way).
 
@@ -262,7 +350,7 @@ impl Engine {
             // improves; keep the previous iteration's result.)
             let improved = best
                 .as_ref()
-                .map_or(true, |(b, _)| estimate.f1 > b.f1);
+                .is_none_or(|(b, _)| estimate.f1 > b.f1);
             if improved {
                 best = Some((estimate.clone(), predictions.clone()));
             } else {
@@ -286,6 +374,7 @@ impl Engine {
                 confidence: self.cfg.blocker.confidence,
                 ..Default::default()
             };
+            let t0 = Instant::now();
             let located = locate_difficult_pairs(
                 &cand,
                 &region,
@@ -296,7 +385,9 @@ impl Engine {
                 &self.cfg.locator,
                 &eval_cfg,
                 &mut rng,
+                &env,
             );
+            t_locator += t0.elapsed().as_secs_f64() * 1000.0;
             report.locator = Some(located.report.clone());
             iterations.push(report);
             match located.difficult {
@@ -315,6 +406,7 @@ impl Engine {
         let mut predicted_matches: Vec<PairKey> = predicted.into_iter().collect();
         predicted_matches.sort();
 
+        let phase = |name: &str, millis: f64| PhaseTiming { phase: name.to_string(), millis };
         RunReport {
             blocker: blocker_report,
             blocking_recall: blocking_rec,
@@ -324,6 +416,16 @@ impl Engine {
             predicted_matches,
             total_cost_cents: ledger_end.total_cents - ledger_start.total_cents,
             total_pairs_labeled: ledger_end.pairs_labeled - ledger_start.pairs_labeled,
+            perf: PerfReport {
+                threads: threads.get(),
+                cache: cache.map(FeatureCache::stats).unwrap_or_default(),
+                phases: vec![
+                    phase("blocker", t_blocker),
+                    phase("matcher", t_matcher),
+                    phase("estimator", t_estimator),
+                    phase("locator", t_locator),
+                ],
+            },
         }
     }
 }
@@ -332,7 +434,8 @@ fn predicted_pairs(cand: &CandidateSet, predictions: &[bool]) -> HashSet<PairKey
     predictions
         .iter()
         .enumerate()
-        .filter_map(|(i, &p)| p.then(|| cand.pair(i)))
+        .filter(|&(_, &p)| p)
+        .map(|(i, _)| cand.pair(i))
         .collect()
 }
 
@@ -374,7 +477,12 @@ mod tests {
         let (task, gold) = toy();
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
         let engine = Engine::new(CorleoneConfig::small()).with_seed(3);
-        let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+        let report = engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .run();
         assert!(!report.iterations.is_empty());
         let f1 = report.final_true.expect("gold supplied").f1;
         assert!(f1 > 0.85, "final F1 {f1}");
@@ -384,6 +492,12 @@ mod tests {
         // Estimate should be in the ballpark of the truth.
         let est = report.final_estimate.as_ref().unwrap();
         assert!((est.f1 - f1).abs() < 0.25, "est {} vs true {}", est.f1, f1);
+        // Telemetry is populated: phase timings exist, the cache saw
+        // traffic (seed pairs alone guarantee lookups).
+        assert_eq!(report.perf.phases.len(), 4);
+        assert!(report.perf.threads >= 1);
+        let c = report.perf.cache;
+        assert!(c.hits + c.misses > 0, "cache must have been consulted");
     }
 
     #[test]
@@ -393,7 +507,12 @@ mod tests {
         let mut cfg = CorleoneConfig::small();
         cfg.engine.budget_cents = Some(50.0);
         let engine = Engine::new(cfg).with_seed(4);
-        let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+        let report = engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .run();
         // One in-flight phase can overshoot, but not by orders of
         // magnitude.
         assert!(
@@ -408,7 +527,11 @@ mod tests {
         let (task, gold) = toy();
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
         let engine = Engine::new(CorleoneConfig::small()).with_seed(5);
-        let report = engine.run(&task, &mut platform, &gold, None);
+        let report = engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .run();
         assert!(report.final_true.is_none());
         assert!(report.blocking_recall.is_none());
         assert!(report.final_estimate.is_some());
@@ -422,11 +545,33 @@ mod tests {
                 CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
             Engine::new(CorleoneConfig::small())
                 .with_seed(seed)
-                .run(&task, &mut platform, &gold, Some(gold.matches()))
+                .session(&task)
+                .platform(&mut platform)
+                .oracle(&gold)
+                .gold(gold.matches())
+                .run()
         };
         let r1 = run(7);
         let r2 = run(7);
         assert_eq!(r1.predicted_matches, r2.predicted_matches);
         assert_eq!(r1.total_cost_cents, r2.total_cost_cents);
+        assert_eq!(r1.deterministic_json(), r2.deterministic_json());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shim_matches_session_api() {
+        let (task, gold) = toy();
+        let engine = Engine::new(CorleoneConfig::small()).with_seed(6);
+        let mut p1 = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let old = engine.run(&task, &mut p1, &gold, Some(gold.matches()));
+        let mut p2 = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let new = engine
+            .session(&task)
+            .platform(&mut p2)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .run();
+        assert_eq!(old.deterministic_json(), new.deterministic_json());
     }
 }

@@ -1,0 +1,55 @@
+//! Shared execution resources for one engine run.
+//!
+//! A [`RunEnv`] bundles the two things every phase of the pipeline needs
+//! but no phase should own: the parallelism budget and the (optional)
+//! shared [`FeatureCache`]. The engine constructs one per run from the
+//! session settings and threads it through the Blocker, Matcher,
+//! Accuracy Estimator, and Difficult Pairs' Locator, so a pair
+//! vectorized in one phase is never re-vectorized in another.
+
+use crate::cache::FeatureCache;
+use crate::task::MatchTask;
+use crowd::PairKey;
+pub use exec::Threads;
+
+/// Per-run execution context: thread budget plus shared feature cache.
+#[derive(Debug, Clone, Copy)]
+pub struct RunEnv<'c> {
+    /// Parallelism budget for every hot loop in this run.
+    pub threads: Threads,
+    /// Shared feature-vector cache, if the run owns one.
+    pub cache: Option<&'c FeatureCache>,
+}
+
+impl<'c> RunEnv<'c> {
+    /// An environment with the given budget and no cache.
+    pub fn with_threads(threads: Threads) -> Self {
+        RunEnv { threads, cache: None }
+    }
+
+    /// Single-threaded, uncached — the conservative default for
+    /// standalone phase calls outside an engine run.
+    pub fn serial() -> Self {
+        RunEnv { threads: Threads::new(1), cache: None }
+    }
+
+    /// Attach a shared feature cache.
+    pub fn with_cache(mut self, cache: &'c FeatureCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Vectorize one pair through the cache when one is attached.
+    pub fn vectorize(&self, task: &MatchTask, key: PairKey) -> Vec<f64> {
+        match self.cache {
+            Some(c) => c.get_or_compute(key, || task.vectorize(key)).as_ref().clone(),
+            None => task.vectorize(key),
+        }
+    }
+}
+
+impl Default for RunEnv<'_> {
+    fn default() -> Self {
+        RunEnv { threads: Threads::auto(), cache: None }
+    }
+}

@@ -24,6 +24,7 @@
 
 use crate::candidates::CandidateSet;
 use crate::config::EstimatorConfig;
+use crate::env::RunEnv;
 use crate::metrics::Prf;
 use crate::ruleeval::{evaluate_rules_jointly, select_top_rules, RuleEvalConfig, ScoredRule};
 use crowd::stats::{fpc_margin, required_sample_size, z_for_confidence};
@@ -110,6 +111,7 @@ pub fn estimate_accuracy(
     oracle: &dyn TruthOracle,
     cfg: &EstimatorConfig,
     rng: &mut StdRng,
+    env: &RunEnv<'_>,
 ) -> AccuracyEstimate {
     assert_eq!(predictions.len(), cand.len(), "one prediction per candidate");
     let z = z_for_confidence(cfg.confidence);
@@ -146,6 +148,7 @@ pub fn estimate_accuracy(
         None,
         &known_pos,
         cfg.k_rules,
+        env.threads,
     );
 
     let mut active: Vec<usize> = (0..cand.len()).collect();
@@ -244,16 +247,13 @@ pub fn estimate_accuracy(
         let r_guess = if s.n_ap > 0 { r.clamp(0.1, 0.9) } else { 0.5 };
         let p_guess = if s.n_pp > 0 { p_in.clamp(0.1, 0.9) } else { 0.5 };
 
-        let coverages: Vec<Vec<usize>> = remaining
-            .iter()
-            .map(|sr| {
-                sr.coverage
-                    .iter()
-                    .copied()
-                    .filter(|i| active_set.contains(i))
-                    .collect()
-            })
-            .collect();
+        let coverages: Vec<Vec<usize>> = exec::par_map(env.threads, &remaining, |sr| {
+            sr.coverage
+                .iter()
+                .copied()
+                .filter(|i| active_set.contains(i))
+                .collect()
+        });
 
         let sampling_labels = |active_len: usize, pp_len: usize, ap_est: f64, have: usize| {
             if active_len == 0 {
@@ -414,7 +414,15 @@ mod tests {
             },
             ..Default::default()
         };
-        let learn = run_active_learning(&cand, &seeds, &mut platform, &gold, &mcfg, &mut rng);
+        let learn = run_active_learning(
+            &cand,
+            &seeds,
+            &mut platform,
+            &gold,
+            &mcfg,
+            &mut rng,
+            exec::Threads::new(2),
+        );
         let predictions: Vec<bool> =
             (0..cand.len()).map(|i| learn.forest.predict(cand.row(i))).collect();
         let known: HashMap<usize, bool> = learn.crowd_labels().collect();
@@ -427,13 +435,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let cfg = EstimatorConfig { eps_max: 0.1, ..Default::default() };
         let est = estimate_accuracy(
-            &cand, &predictions, &forest, &known, &mut platform, &gold, &cfg, &mut rng,
+            &cand,
+            &predictions,
+            &forest,
+            &known,
+            &mut platform,
+            &gold,
+            &cfg,
+            &mut rng,
+            &RunEnv::default(),
         );
         // True metrics.
         let mut tp = 0;
         let mut pp = 0;
-        for i in 0..cand.len() {
-            if predictions[i] {
+        for (i, &pred) in predictions.iter().enumerate() {
+            if pred {
                 pp += 1;
                 if gold.true_label(cand.pair(i)) {
                     tp += 1;
@@ -472,6 +488,7 @@ mod tests {
             &gold,
             &EstimatorConfig::default(),
             &mut rng,
+            &RunEnv::default(),
         );
         assert!(est.converged);
         assert_eq!(est.recall, 0.0);
@@ -484,7 +501,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let cfg = EstimatorConfig { eps_max: 0.1, ..Default::default() };
         let est = estimate_accuracy(
-            &cand, &predictions, &forest, &known, &mut platform, &gold, &cfg, &mut rng,
+            &cand,
+            &predictions,
+            &forest,
+            &known,
+            &mut platform,
+            &gold,
+            &cfg,
+            &mut rng,
+            &RunEnv::default(),
         );
         assert!(
             (est.sample_labels as f64) < 0.7 * cand.len() as f64,
@@ -505,7 +530,15 @@ mod tests {
             ..Default::default()
         };
         let est = estimate_accuracy(
-            &cand, &predictions, &forest, &known, &mut platform, &gold, &cfg, &mut rng,
+            &cand,
+            &predictions,
+            &forest,
+            &known,
+            &mut platform,
+            &gold,
+            &cfg,
+            &mut rng,
+            &RunEnv::default(),
         );
         // Either the budget stopped the loop, or reduction shrank the
         // population enough for the sample to exhaust it — in both cases

@@ -54,7 +54,7 @@ pub fn hands_off_join(
     platform: &mut CrowdPlatform,
     oracle: &dyn TruthOracle,
 ) -> JoinResult {
-    let report = engine.run(task, platform, oracle, None);
+    let report = engine.session(task).platform(platform).oracle(oracle).run();
     let rows = report
         .predicted_matches
         .iter()

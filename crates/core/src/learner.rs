@@ -12,6 +12,7 @@ use crate::candidates::CandidateSet;
 use crate::config::MatcherConfig;
 use crate::stopping::{check, peak_index, StopDecision};
 use crowd::{CrowdPlatform, PairKey, Scheme, TruthOracle};
+use exec::Threads;
 use forest::{Dataset, RandomForest};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -65,26 +66,16 @@ impl LearnOutcome {
 
 /// Compute vote entropies of the given candidate indices, in parallel for
 /// large sets.
-pub fn entropies(forest: &RandomForest, cand: &CandidateSet, indices: &[usize]) -> Vec<f64> {
-    if indices.len() < 8192 {
+pub fn entropies(
+    forest: &RandomForest,
+    cand: &CandidateSet,
+    indices: &[usize],
+    threads: Threads,
+) -> Vec<f64> {
+    if indices.len() < 8192 || threads.get() <= 1 {
         return indices.iter().map(|&i| forest.entropy(cand.row(i))).collect();
     }
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let chunk = indices.len().div_ceil(n_threads).max(1);
-    let mut out = vec![0.0f64; indices.len()];
-    crossbeam::scope(|s| {
-        for (dst, src) in out.chunks_mut(chunk).zip(indices.chunks(chunk)) {
-            s.spawn(move |_| {
-                for (d, &i) in dst.iter_mut().zip(src) {
-                    *d = forest.entropy(cand.row(i));
-                }
-            });
-        }
-    })
-    .expect("entropy threads must not panic");
-    out
+    exec::par_map(threads, indices, |&i| forest.entropy(cand.row(i)))
 }
 
 /// Run crowdsourced active learning over `cand`.
@@ -99,6 +90,7 @@ pub fn run_active_learning(
     oracle: &dyn TruthOracle,
     cfg: &MatcherConfig,
     rng: &mut StdRng,
+    threads: Threads,
 ) -> LearnOutcome {
     assert!(!seed_examples.is_empty(), "need initial labeled examples");
     let n_features = cand.n_features();
@@ -123,7 +115,7 @@ pub fn run_active_learning(
     }
     let train_all = |t: &Dataset, rng: &mut StdRng| {
         let idx: Vec<usize> = (0..t.len()).collect();
-        RandomForest::train(t, &idx, &cfg.forest, rng)
+        RandomForest::train_par(t, &idx, &cfg.forest, rng, threads)
     };
 
     let mut selected: HashSet<usize> = HashSet::new();
@@ -139,9 +131,9 @@ pub fn run_active_learning(
         let conf = if monitor.is_empty() {
             1.0
         } else {
-            monitor
+            forest
+                .confidence_batch(cand.matrix(), cand.n_features(), &monitor, threads)
                 .iter()
-                .map(|&i| forest.confidence(cand.row(i)))
                 .sum::<f64>()
                 / monitor.len() as f64
         };
@@ -170,7 +162,7 @@ pub fn run_active_learning(
             break;
         }
         let forest = snapshots.last().expect("just pushed");
-        let ent = entropies(forest, cand, &selectable);
+        let ent = entropies(forest, cand, &selectable, threads);
         let mut pool: Vec<(usize, f64)> =
             selectable.iter().copied().zip(ent).collect();
         pool.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("entropy is finite"));
@@ -292,7 +284,15 @@ mod tests {
         };
         let mut platform = CrowdPlatform::new(pool, CrowdConfig::default());
         let mut rng = StdRng::seed_from_u64(77);
-        let out = run_active_learning(&cand, &seeds, &mut platform, &gold, cfg, &mut rng);
+        let out = run_active_learning(
+            &cand,
+            &seeds,
+            &mut platform,
+            &gold,
+            cfg,
+            &mut rng,
+            Threads::new(2),
+        );
         (out, cand, gold)
     }
 

@@ -23,27 +23,50 @@
 //!   accuracy stops improving, routing each pair to the matcher trained
 //!   on its region.
 //!
+//! Every hot loop — vectorization, rule application over `A × B`, forest
+//! training and prediction, entropy scans — runs on the shared [`exec`]
+//! work-stealing core, and each run owns a sharded
+//! [`FeatureCache`](cache::FeatureCache) so no pair is vectorized twice.
+//!
 //! ## Quick start
 //!
 //! ```no_run
-//! use corleone::{Engine, CorleoneConfig, MatchTask};
-//! use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
+//! use corleone::prelude::*;
 //!
 //! # fn get_task() -> (MatchTask, GoldOracle) { unimplemented!() }
 //! let (task, oracle) = get_task(); // tables + instruction + 4 seeds
 //! let workers = WorkerPool::uniform(50, 0.05);       // simulated crowd
 //! let mut platform = CrowdPlatform::new(workers, CrowdConfig::default());
 //! let report = Engine::new(CorleoneConfig::default())
-//!     .run(&task, &mut platform, &oracle, None);
+//!     .session(&task)
+//!     .platform(&mut platform)
+//!     .oracle(&oracle)
+//!     .threads(8)
+//!     .run();
 //! println!("estimated F1: {:?}", report.final_estimate);
+//! println!("cache hit rate: {:.1}%", report.perf.cache.hit_rate() * 100.0);
 //! ```
+//!
+//! ## Naming convention
+//!
+//! Phase results come in two shapes, named consistently:
+//!
+//! * `*Outcome` — in-memory result of a phase, carrying live objects the
+//!   next phase consumes (candidate sets, forests, index lists). Not
+//!   serializable. [`BlockerOutcome`], [`LearnOutcome`],
+//!   [`LocatorOutcome`].
+//! * `*Report` — the serializable record of what a phase did, embedded in
+//!   the run's [`RunReport`]. [`BlockerReport`], [`LocatorReport`],
+//!   [`IterationReport`], [`PerfReport`].
 
 pub mod blocker;
 pub mod budget;
+pub mod cache;
 pub mod candidates;
 pub mod cleaner;
 pub mod config;
 pub mod engine;
+pub mod env;
 pub mod estimator;
 pub mod join;
 pub mod learner;
@@ -51,21 +74,42 @@ pub mod locator;
 pub mod metrics;
 pub mod report;
 pub mod ruleeval;
+pub mod session;
 pub mod stopping;
 pub mod task;
 
 pub use blocker::{run_blocker, BlockerOutcome, BlockerReport};
 pub use budget::{BudgetPlan, BudgetSplit};
+pub use cache::{CacheStats, FeatureCache};
 pub use cleaner::{clean_forest, CleanedForest, CleanerConfig, CleaningReport};
 pub use candidates::CandidateSet;
 pub use config::{
     BlockerConfig, CorleoneConfig, EngineConfig, EstimatorConfig, LocatorConfig, MatcherConfig,
     StoppingConfig,
 };
-pub use engine::{Engine, IterationReport, RunReport};
+pub use engine::{Engine, IterationReport, PerfReport, PhaseTiming, RunReport};
+pub use env::{RunEnv, Threads};
 pub use estimator::{estimate_accuracy, AccuracyEstimate};
 pub use join::{hands_off_join, JoinResult, JoinedRow};
 pub use learner::{run_active_learning, LearnOutcome, StopReason};
-pub use locator::{locate_difficult_pairs, LocatorOutcome};
+pub use locator::{locate_difficult_pairs, LocatorOutcome, LocatorReport};
 pub use metrics::{evaluate, Prf};
+pub use session::RunSession;
 pub use task::MatchTask;
+
+/// Everything needed to configure and launch a hands-off matching run.
+///
+/// ```
+/// use corleone::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::cache::{CacheStats, FeatureCache};
+    pub use crate::config::CorleoneConfig;
+    pub use crate::engine::{Engine, RunReport};
+    pub use crate::env::{RunEnv, Threads};
+    pub use crate::session::RunSession;
+    pub use crate::task::{task_from_parts, MatchTask};
+    pub use crowd::{
+        CrowdConfig, CrowdPlatform, GoldOracle, PairKey, TruthOracle, WorkerPool,
+    };
+}

@@ -10,6 +10,7 @@
 
 use crate::candidates::CandidateSet;
 use crate::config::LocatorConfig;
+use crate::env::RunEnv;
 use crate::ruleeval::{evaluate_rules_jointly, select_top_rules, RuleEvalConfig};
 use crowd::{CrowdPlatform, TruthOracle};
 use forest::{negative_rules, positive_rules, RandomForest};
@@ -62,6 +63,7 @@ pub fn locate_difficult_pairs(
     cfg: &LocatorConfig,
     eval_cfg: &RuleEvalConfig,
     rng: &mut StdRng,
+    env: &RunEnv<'_>,
 ) -> LocatorOutcome {
     let ledger_start = *platform.ledger();
     let known_pos: HashSet<usize> = known_labels
@@ -82,6 +84,7 @@ pub fn locate_difficult_pairs(
         Some(within),
         &known_pos,
         cfg.k_rules,
+        env.threads,
     );
     let pos_scored = select_top_rules(
         positive_rules(matcher_forest),
@@ -89,6 +92,7 @@ pub fn locate_difficult_pairs(
         Some(within),
         &known_neg,
         cfg.k_rules,
+        env.threads,
     );
     let neg_eval = evaluate_rules_jointly(
         neg_scored, cand, platform, oracle, eval_cfg, rng, &mut label_pool,
@@ -189,7 +193,15 @@ mod tests {
             },
             ..Default::default()
         };
-        let learn = run_active_learning(&cand, &seeds, &mut platform, &gold, &mcfg, &mut rng);
+        let learn = run_active_learning(
+            &cand,
+            &seeds,
+            &mut platform,
+            &gold,
+            &mcfg,
+            &mut rng,
+            exec::Threads::new(2),
+        );
         let known: HashMap<usize, bool> = learn.crowd_labels().collect();
         (cand, learn.forest, known, gold, platform)
     }
@@ -211,6 +223,7 @@ mod tests {
             &LocatorConfig { min_difficult: 50, ..Default::default() },
             &RuleEvalConfig::default(),
             &mut rng,
+            &RunEnv::default(),
         );
         assert!(
             out.report.negative_rules_used + out.report.positive_rules_used > 0,
@@ -239,6 +252,7 @@ mod tests {
             &LocatorConfig { min_difficult: cand.len() + 1, ..Default::default() },
             &RuleEvalConfig::default(),
             &mut rng,
+            &RunEnv::default(),
         );
         assert!(out.difficult.is_none());
         assert!(out.report.termination.is_some());
@@ -259,6 +273,7 @@ mod tests {
             &LocatorConfig { min_difficult: 1, max_keep_ratio: 1.1, ..Default::default() },
             &RuleEvalConfig::default(),
             &mut rng,
+            &RunEnv::default(),
         );
         if let Some(d) = out.difficult {
             let within_set: HashSet<usize> = within.iter().copied().collect();

@@ -135,7 +135,11 @@ mod tests {
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
         let report = Engine::new(CorleoneConfig::small())
             .with_seed(1)
-            .run(&task, &mut platform, &gold, Some(gold.matches()));
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .run();
         let text = report.render_text();
         assert!(text.contains("Blocker:"));
         assert!(text.contains("Iteration 1:"));

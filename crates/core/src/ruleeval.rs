@@ -15,6 +15,7 @@
 use crate::candidates::CandidateSet;
 use crowd::stats::{fpc_margin, z_for_confidence};
 use crowd::{CrowdPlatform, PairKey, Scheme, TruthOracle};
+use exec::Threads;
 use forest::Rule;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -59,26 +60,34 @@ pub fn select_top_rules(
     within: Option<&[usize]>,
     known_opposite: &HashSet<usize>,
     k: usize,
+    threads: Threads,
 ) -> Vec<ScoredRule> {
     let mut seen: Vec<(Vec<forest::Predicate>, bool)> = Vec::new();
-    let mut scored: Vec<ScoredRule> = Vec::new();
+    let mut unique: Vec<Rule> = Vec::new();
     for rule in rules {
         let sig = (rule.predicates.clone(), rule.label);
         if seen.contains(&sig) {
             continue;
         }
         seen.push(sig);
-        let coverage = coverage_of(&rule, cand, within);
+        unique.push(rule);
+    }
+    // Coverage scans are the expensive part and independent per rule.
+    let mut scored: Vec<ScoredRule> = exec::par_map(threads, &unique, |rule| {
+        let coverage = coverage_of(rule, cand, within);
         if coverage.is_empty() {
-            continue;
+            return None;
         }
         let violations = coverage
             .iter()
             .filter(|i| known_opposite.contains(i))
             .count();
         let ub_precision = (coverage.len() - violations) as f64 / coverage.len() as f64;
-        scored.push(ScoredRule { rule, coverage, ub_precision });
-    }
+        Some(ScoredRule { rule: rule.clone(), coverage, ub_precision })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     scored.sort_by(|a, b| {
         b.ub_precision
             .partial_cmp(&a.ub_precision)
@@ -330,7 +339,8 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let top = select_top_rules(vec![bad, good.clone()], &cand, None, &known_pos, 2);
+        let top =
+            select_top_rules(vec![bad, good.clone()], &cand, None, &known_pos, 2, Threads::new(2));
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].rule, good, "clean rule must rank first");
         assert_eq!(top[0].ub_precision, 1.0);
@@ -347,6 +357,7 @@ mod tests {
             None,
             &HashSet::new(),
             10,
+            Threads::new(1),
         );
         assert_eq!(top.len(), 1);
     }
@@ -379,6 +390,7 @@ mod tests {
             None,
             &HashSet::new(),
             2,
+            Threads::new(2),
         );
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
         let mut rng = StdRng::seed_from_u64(3);
@@ -404,7 +416,7 @@ mod tests {
     fn positive_rules_judged_against_positive_labels() {
         let (task, gold, cand) = toy();
         let pos = exact_rule(&task, true); // exact > 0.5 → MATCH, covers diagonal
-        let scored = select_top_rules(vec![pos], &cand, None, &HashSet::new(), 1);
+        let scored = select_top_rules(vec![pos], &cand, None, &HashSet::new(), 1, Threads::new(1));
         assert_eq!(scored[0].coverage.len(), 12);
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
         let mut rng = StdRng::seed_from_u64(4);
@@ -426,7 +438,7 @@ mod tests {
     fn evaluation_is_frugal_with_labels() {
         let (task, gold, cand) = toy();
         let good = exact_rule(&task, false);
-        let scored = select_top_rules(vec![good], &cand, None, &HashSet::new(), 1);
+        let scored = select_top_rules(vec![good], &cand, None, &HashSet::new(), 1, Threads::new(1));
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
         let mut rng = StdRng::seed_from_u64(5);
         let mut labels = HashMap::new();

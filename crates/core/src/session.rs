@@ -1,0 +1,208 @@
+//! The session-based run API.
+//!
+//! A [`RunSession`] is a builder for one engine run. It separates two
+//! kinds of settings that the old `Engine::run(task, platform, oracle,
+//! gold)` signature conflated with the algorithmic configuration:
+//!
+//! * **collaborators** — the crowd platform, the truth oracle, and an
+//!   optional gold standard for experiment metrics;
+//! * **execution settings** — worker threads, feature-cache capacity,
+//!   and the RNG seed. These affect how fast a run goes, never what it
+//!   computes, so they live on the session rather than on
+//!   [`CorleoneConfig`](crate::config::CorleoneConfig).
+//!
+//! ```no_run
+//! # use corleone::{Engine, CorleoneConfig, MatchTask};
+//! # use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
+//! # fn get_task() -> (MatchTask, GoldOracle) { unimplemented!() }
+//! let (task, oracle) = get_task();
+//! let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+//! let report = Engine::new(CorleoneConfig::default())
+//!     .session(&task)
+//!     .platform(&mut platform)
+//!     .oracle(&oracle)
+//!     .threads(8)
+//!     .run();
+//! ```
+
+use crate::cache::{FeatureCache, DEFAULT_CACHE_CAPACITY};
+use crate::engine::{Engine, RunReport};
+use crate::task::MatchTask;
+use crowd::{CrowdPlatform, PairKey, TruthOracle};
+use exec::Threads;
+use std::collections::HashSet;
+
+impl Engine {
+    /// Start configuring a run of this engine over `task`.
+    ///
+    /// The returned builder needs [`RunSession::platform`] and
+    /// [`RunSession::oracle`] before [`RunSession::run`]; everything else
+    /// has defaults (auto threads, default cache capacity, the engine's
+    /// seed).
+    pub fn session<'s>(&'s self, task: &'s MatchTask) -> RunSession<'s> {
+        RunSession {
+            engine: self,
+            task,
+            platform: None,
+            oracle: None,
+            gold: None,
+            threads: Threads::auto(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            seed: None,
+        }
+    }
+}
+
+/// Builder for one engine run; see the [module docs](self).
+pub struct RunSession<'s> {
+    engine: &'s Engine,
+    task: &'s MatchTask,
+    platform: Option<&'s mut CrowdPlatform>,
+    oracle: Option<&'s dyn TruthOracle>,
+    gold: Option<&'s HashSet<PairKey>>,
+    threads: Threads,
+    cache_capacity: usize,
+    seed: Option<u64>,
+}
+
+impl<'s> RunSession<'s> {
+    /// The crowd platform to label pairs with (required).
+    pub fn platform(mut self, platform: &'s mut CrowdPlatform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// The truth oracle the simulated crowd consults (required).
+    pub fn oracle(mut self, oracle: &'s dyn TruthOracle) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Gold matches, used only to fill the `true_*` report fields for
+    /// experiments. Omit in production.
+    pub fn gold(mut self, gold: &'s HashSet<PairKey>) -> Self {
+        self.gold = Some(gold);
+        self
+    }
+
+    /// Worker-thread budget for every parallel loop in the run.
+    /// Defaults to the machine's available parallelism; results are
+    /// identical at every thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Threads::new(n);
+        self
+    }
+
+    /// Entry capacity of the run's shared feature-vector cache.
+    /// `0` disables the cache entirely.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// Override the engine's RNG seed for this run only.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Execute the run.
+    ///
+    /// # Panics
+    /// Panics if [`RunSession::platform`] or [`RunSession::oracle`] was
+    /// not provided.
+    pub fn run(self) -> RunReport {
+        let platform = self
+            .platform
+            .expect("RunSession::run called without a platform; call .platform(&mut p) first");
+        let oracle = self
+            .oracle
+            .expect("RunSession::run called without an oracle; call .oracle(&o) first");
+        let cache = (self.cache_capacity > 0)
+            .then(|| FeatureCache::with_capacity(self.cache_capacity));
+        self.engine.run_inner(
+            self.task,
+            platform,
+            oracle,
+            self.gold,
+            self.threads,
+            cache.as_ref(),
+            self.seed.unwrap_or(self.engine.seed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorleoneConfig;
+    use crate::task::task_from_parts;
+    use crowd::{CrowdConfig, GoldOracle, WorkerPool};
+    use similarity::{Attribute, Schema, Table, Value};
+    use std::sync::Arc;
+
+    fn toy() -> (MatchTask, GoldOracle) {
+        let schema = Arc::new(Schema::new(vec![Attribute::text("name")]));
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::Text(format!("session test row {i}"))])
+            .collect();
+        let a = Table::new("a", schema.clone(), rows.clone());
+        let b = Table::new("b", schema, rows);
+        let task = task_from_parts(a, b, "same?", [(0, 0), (1, 1)], [(0, 19), (2, 17)]);
+        let gold = GoldOracle::from_pairs((0..20).map(|i| (i, i)));
+        (task, gold)
+    }
+
+    #[test]
+    #[should_panic(expected = "without a platform")]
+    fn run_without_platform_panics() {
+        let (task, _) = toy();
+        let engine = Engine::new(CorleoneConfig::small());
+        engine.session(&task).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "without an oracle")]
+    fn run_without_oracle_panics() {
+        let (task, _) = toy();
+        let engine = Engine::new(CorleoneConfig::small());
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        engine.session(&task).platform(&mut platform).run();
+    }
+
+    #[test]
+    fn session_seed_overrides_engine_seed() {
+        let (task, gold) = toy();
+        let engine = Engine::new(CorleoneConfig::small()).with_seed(1);
+        let run_with = |seed: Option<u64>| {
+            let mut platform =
+                CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+            let mut s = engine.session(&task).platform(&mut platform).oracle(&gold);
+            if let Some(v) = seed {
+                s = s.seed(v);
+            }
+            s.run()
+        };
+        let default_seed = run_with(None);
+        let same_engine_seed = run_with(Some(1));
+        assert_eq!(
+            default_seed.deterministic_json(),
+            same_engine_seed.deterministic_json()
+        );
+    }
+
+    #[test]
+    fn zero_cache_capacity_disables_cache() {
+        let (task, gold) = toy();
+        let engine = Engine::new(CorleoneConfig::small()).with_seed(2);
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        let report = engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .cache_capacity(0)
+            .run();
+        let c = report.perf.cache;
+        assert_eq!((c.hits, c.misses, c.entries, c.capacity), (0, 0, 0, 0));
+    }
+}

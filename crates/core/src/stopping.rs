@@ -136,7 +136,7 @@ mod tests {
     fn converged_pattern_fires() {
         // Rise then a flat plateau of 25 identical values (Fig. 3a).
         let mut v: Vec<f64> = (0..10).map(|i| 0.5 + 0.03 * i as f64).collect();
-        v.extend(std::iter::repeat(0.8).take(25));
+        v.extend(std::iter::repeat_n(0.8, 25));
         assert_eq!(check(&v, &cfg()), StopDecision::Converged);
     }
 
@@ -183,7 +183,7 @@ mod tests {
         // A single-iteration spike is absorbed by the w=5 smoothing.
         let mut v: Vec<f64> = (0..20).map(|_| 0.7).collect();
         v[10] = 0.9;
-        v.extend(std::iter::repeat(0.7).take(15));
+        v.extend(std::iter::repeat_n(0.7, 15));
         // (The converged pattern may fire; degrading must not.)
         assert_ne!(check(&v, &cfg()), StopDecision::Degrading);
     }

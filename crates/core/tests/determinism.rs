@@ -1,0 +1,80 @@
+//! The tentpole guarantee of the execution layer: a run's result is a
+//! function of the task and the seed alone — never of the worker-thread
+//! count, and never of whether the feature cache is enabled.
+
+use corleone::prelude::*;
+use corleone::task::task_from_parts;
+use proptest::prelude::*;
+use similarity::{Attribute, Schema, Table, Value};
+use std::sync::Arc;
+
+fn toy_task() -> (MatchTask, GoldOracle) {
+    let schema = Arc::new(Schema::new(vec![
+        Attribute::text("name"),
+        Attribute::text("city"),
+    ]));
+    let rows = |prefix: &str, n: usize| -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Text(format!("{prefix} shop number {i}")),
+                    Value::Text(if i % 3 == 0 { "madison" } else { "chicago" }.into()),
+                ]
+            })
+            .collect()
+    };
+    let a = Table::new("a", schema.clone(), rows("corner", 24));
+    let b = Table::new("b", schema, rows("Corner", 24));
+    let task = task_from_parts(a, b, "same shop?", [(0, 0), (1, 1)], [(0, 23), (2, 19)]);
+    let gold = GoldOracle::from_pairs((0..24).map(|i| (i, i)));
+    (task, gold)
+}
+
+fn run_json(task: &MatchTask, gold: &GoldOracle, seed: u64, threads: usize, cache: usize) -> String {
+    let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+    let engine = Engine::new(CorleoneConfig::small());
+    engine
+        .session(task)
+        .platform(&mut platform)
+        .oracle(gold)
+        .gold(gold.matches())
+        .seed(seed)
+        .threads(threads)
+        .cache_capacity(cache)
+        .run()
+        .deterministic_json()
+}
+
+#[test]
+fn report_is_byte_identical_at_1_2_and_8_threads() {
+    let (task, gold) = toy_task();
+    let t1 = run_json(&task, &gold, 7, 1, 1 << 14);
+    let t2 = run_json(&task, &gold, 7, 2, 1 << 14);
+    let t8 = run_json(&task, &gold, 7, 8, 1 << 14);
+    assert_eq!(t1, t2, "2 threads diverged from serial");
+    assert_eq!(t1, t8, "8 threads diverged from serial");
+}
+
+#[test]
+fn cache_configuration_never_changes_results() {
+    let (task, gold) = toy_task();
+    let uncached = run_json(&task, &gold, 11, 4, 0);
+    let cached = run_json(&task, &gold, 11, 4, 1 << 14);
+    let tiny = run_json(&task, &gold, 11, 4, 8); // constant eviction pressure
+    assert_eq!(uncached, cached);
+    assert_eq!(uncached, tiny);
+}
+
+proptest! {
+    // Full engine runs are not cheap; a handful of random seeds is plenty
+    // to catch a scheduling-dependent code path.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn any_seed_is_thread_count_invariant(seed in 0u64..1_000_000) {
+        let (task, gold) = toy_task();
+        let serial = run_json(&task, &gold, seed, 1, 1 << 14);
+        let parallel = run_json(&task, &gold, seed, 8, 1 << 14);
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -119,7 +119,7 @@ mod tests {
         let mut c = LabelCache::new();
         c.insert(k(2, 2), true, Strength::Strong);
         for s in [Scheme::TwoPlusOne, Scheme::StrongMajority, Scheme::Hybrid] {
-            assert_eq!(c.lookup(k(2, 2), s).unwrap().label, true);
+            assert!(c.lookup(k(2, 2), s).unwrap().label);
         }
     }
 

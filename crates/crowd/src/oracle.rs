@@ -24,6 +24,21 @@ impl PairKey {
     }
 }
 
+impl serde::MapKey for PairKey {
+    fn to_key_string(&self) -> String {
+        format!("{}:{}", self.a, self.b)
+    }
+
+    fn from_key_string(s: &str) -> Result<Self, serde::Error> {
+        let bad = || serde::Error::msg(format!("invalid PairKey map key `{s}`"));
+        let (a, b) = s.split_once(':').ok_or_else(bad)?;
+        Ok(PairKey {
+            a: a.parse().map_err(|_| bad())?,
+            b: b.parse().map_err(|_| bad())?,
+        })
+    }
+}
+
 /// Source of true match labels, consulted only by the simulated workers.
 pub trait TruthOracle {
     /// True label of the pair: `true` = the records match.
@@ -81,7 +96,7 @@ mod tests {
 
     #[test]
     fn pair_key_ordering_and_hash() {
-        let mut v = vec![PairKey::new(2, 1), PairKey::new(1, 2), PairKey::new(1, 1)];
+        let mut v = [PairKey::new(2, 1), PairKey::new(1, 2), PairKey::new(1, 1)];
         v.sort();
         assert_eq!(v[0], PairKey::new(1, 1));
         assert_eq!(v[2], PairKey::new(2, 1));

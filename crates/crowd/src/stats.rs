@@ -9,6 +9,7 @@
 ///
 /// # Panics
 /// Panics if `p` is not strictly inside `(0, 1)`.
+#[allow(clippy::excessive_precision)] // Acklam's published coefficients, verbatim
 pub fn inverse_normal_cdf(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
 

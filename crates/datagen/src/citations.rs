@@ -68,7 +68,7 @@ impl EntityModel for CitationModel {
         words.shuffle(rng);
         let year = base[3]
             .as_number()
-            .map(|y| (y as i32 + rng.gen_range(-3..=3)).clamp(1988, 2014) as f64)
+            .map(|y| (y as i32 + rng.gen_range(-3i32..=3)).clamp(1988, 2014) as f64)
             .unwrap_or(2005.0);
         let venue = if rng.gen_bool(0.5) {
             base[2].clone()

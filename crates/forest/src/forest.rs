@@ -2,6 +2,8 @@
 
 use crate::data::Dataset;
 use crate::tree::{DecisionTree, TreeConfig};
+use exec::Threads;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -77,6 +79,40 @@ impl RandomForest {
         Self::train(ds, &idx, cfg, rng)
     }
 
+    /// [`RandomForest::train`] with the trees trained in parallel.
+    ///
+    /// Each tree draws a seed *serially* from `rng` and then trains on its
+    /// own `StdRng`, so the resulting forest is identical at every thread
+    /// count (though not identical to the serial [`RandomForest::train`],
+    /// whose trees share one generator stream).
+    pub fn train_par(
+        ds: &Dataset,
+        idx: &[usize],
+        cfg: &ForestConfig,
+        rng: &mut StdRng,
+        threads: Threads,
+    ) -> Self {
+        assert!(!idx.is_empty(), "cannot train a forest on zero samples");
+        assert!(cfg.n_trees > 0, "need at least one tree");
+        assert!(
+            cfg.bagging_fraction > 0.0 && cfg.bagging_fraction <= 1.0,
+            "bagging fraction must be in (0, 1]"
+        );
+        let mut tree_cfg = cfg.tree;
+        tree_cfg.m_features = cfg
+            .m_features
+            .unwrap_or_else(|| (ds.n_features() as f64).log2() as usize + 1);
+        let portion = ((idx.len() as f64 * cfg.bagging_fraction).round() as usize)
+            .clamp(1, idx.len());
+        let tree_ids: Vec<usize> = (0..cfg.n_trees).collect();
+        let trees = exec::par_map_seeded(threads, &tree_ids, rng, |_, tree_rng| {
+            let mut pool = idx.to_vec();
+            pool.shuffle(tree_rng);
+            DecisionTree::train(ds, &pool[..portion], &tree_cfg, tree_rng)
+        });
+        RandomForest { trees }
+    }
+
     /// Fraction of trees voting "matched" for `x` — `P₊(e)` in Eq. 1.
     pub fn positive_fraction(&self, x: &[f64]) -> f64 {
         let pos = self.trees.iter().filter(|t| t.predict(x)).count();
@@ -107,6 +143,43 @@ impl RandomForest {
     /// Confidence `conf(e) = 1 − entropy(e)` (paper §5.3).
     pub fn confidence(&self, x: &[f64]) -> f64 {
         1.0 - self.entropy(x)
+    }
+
+    /// Majority-vote predictions for every row of a row-major `matrix`
+    /// (`matrix.len() / n_features` rows), in parallel.
+    pub fn predict_batch(&self, matrix: &[f64], n_features: usize, threads: Threads) -> Vec<bool> {
+        let n_rows = matrix.len().checked_div(n_features).unwrap_or(0);
+        exec::indexed_par_map(threads, n_rows, |i| {
+            self.predict(&matrix[i * n_features..(i + 1) * n_features])
+        })
+    }
+
+    /// Confidences of the rows `indices` of a row-major `matrix`, in
+    /// parallel, preserving the order of `indices`.
+    pub fn confidence_batch(
+        &self,
+        matrix: &[f64],
+        n_features: usize,
+        indices: &[usize],
+        threads: Threads,
+    ) -> Vec<f64> {
+        exec::par_map(threads, indices, |&i| {
+            self.confidence(&matrix[i * n_features..(i + 1) * n_features])
+        })
+    }
+
+    /// Vote entropies of the rows `indices` of a row-major `matrix`, in
+    /// parallel, preserving the order of `indices`.
+    pub fn entropy_batch(
+        &self,
+        matrix: &[f64],
+        n_features: usize,
+        indices: &[usize],
+        threads: Threads,
+    ) -> Vec<f64> {
+        exec::par_map(threads, indices, |&i| {
+            self.entropy(&matrix[i * n_features..(i + 1) * n_features])
+        })
     }
 
     /// The component trees.
@@ -217,6 +290,43 @@ mod tests {
         let ds = separable(10);
         let cfg = ForestConfig { bagging_fraction: 0.0, ..Default::default() };
         RandomForest::train_all(&ds, &cfg, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn train_par_is_thread_count_invariant() {
+        let ds = separable(120);
+        let cfg = ForestConfig::default();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let forests: Vec<RandomForest> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                let mut rng = StdRng::seed_from_u64(11);
+                RandomForest::train_par(&ds, &idx, &cfg, &mut rng, Threads::new(t))
+            })
+            .collect();
+        for i in 0..ds.len() {
+            let p = forests[0].positive_fraction(ds.row(i));
+            assert_eq!(p, forests[1].positive_fraction(ds.row(i)));
+            assert_eq!(p, forests[2].positive_fraction(ds.row(i)));
+        }
+    }
+
+    #[test]
+    fn batch_helpers_agree_with_scalar_calls() {
+        let ds = separable(80);
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = RandomForest::train_all(&ds, &ForestConfig::default(), &mut rng);
+        let matrix: Vec<f64> = (0..ds.len()).flat_map(|i| ds.row(i).to_vec()).collect();
+        let n = ds.n_features();
+        let preds = f.predict_batch(&matrix, n, Threads::new(3));
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let confs = f.confidence_batch(&matrix, n, &idx, Threads::new(3));
+        let ents = f.entropy_batch(&matrix, n, &idx, Threads::new(3));
+        for i in 0..ds.len() {
+            assert_eq!(preds[i], f.predict(ds.row(i)));
+            assert_eq!(confs[i], f.confidence(ds.row(i)));
+            assert_eq!(ents[i], f.entropy(ds.row(i)));
+        }
     }
 
     #[test]

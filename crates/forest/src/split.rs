@@ -106,7 +106,7 @@ pub fn best_split(ds: &Dataset, idx: &[usize], features: &[usize]) -> Option<Spl
                 let nr = rp + rn;
                 let imp = (nl as f64 * gini(lp, ln) + nr as f64 * gini(rp, rn))
                     / n_all as f64;
-                if best.map_or(true, |b| imp < b.impurity) {
+                if best.is_none_or(|b| imp < b.impurity) {
                     best = Some(Split { feature: f, threshold, nan_left, impurity: imp });
                 }
             }

@@ -14,7 +14,7 @@ fn dataset(max_rows: usize, n_features: usize) -> impl Strategy<Value = Dataset>
     prop::collection::vec(
         (
             prop::collection::vec(
-                prop_oneof![9 => (0.0f64..1.0), 1 => Just(f64::NAN)],
+                prop_oneof![9 => 0.0f64..1.0, 1 => Just(f64::NAN)],
                 n_features,
             ),
             any::<bool>(),
@@ -52,7 +52,7 @@ proptest! {
     #[test]
     fn rules_partition_on_unseen_vectors(ds in dataset(30, 3),
                                          probe in prop::collection::vec(
-                                             prop_oneof![9 => (0.0f64..1.0), 1 => Just(f64::NAN)], 3),
+                                             prop_oneof![9 => 0.0f64..1.0, 1 => Just(f64::NAN)], 3),
                                          seed in 0u64..1000) {
         let cfg = ForestConfig { n_trees: 2, ..ForestConfig::default() };
         let f = RandomForest::train_all(&ds, &cfg, &mut StdRng::seed_from_u64(seed));

@@ -48,10 +48,18 @@ impl TfIdfModel {
         self.n_docs
     }
 
-    fn weights(&self, s: &str) -> HashMap<String, f64> {
-        let mut tf: HashMap<String, f64> = HashMap::new();
-        for t in words(s) {
-            *tf.entry(t).or_insert(0.0) += 1.0;
+    /// Sparse TF/IDF vector of a string, sorted by token. Sorted order
+    /// (not hash-map order) matters: float sums below must accumulate in
+    /// a fixed order or the low bits of the similarity vary per process.
+    fn weights(&self, s: &str) -> Vec<(String, f64)> {
+        let mut toks = words(s);
+        toks.sort_unstable();
+        let mut tf: Vec<(String, f64)> = Vec::new();
+        for t in toks {
+            match tf.last_mut() {
+                Some(last) if last.0 == t => last.1 += 1.0,
+                _ => tf.push((t, 1.0)),
+            }
         }
         for (t, w) in tf.iter_mut() {
             *w *= self.idf(t);
@@ -70,12 +78,22 @@ impl TfIdfModel {
         if wa.is_empty() || wb.is_empty() {
             return 0.0;
         }
-        let dot: f64 = wa
-            .iter()
-            .filter_map(|(t, x)| wb.get(t).map(|y| x * y))
-            .sum();
-        let na: f64 = wa.values().map(|x| x * x).sum::<f64>().sqrt();
-        let nb: f64 = wb.values().map(|x| x * x).sum::<f64>().sqrt();
+        // Merge-join over the token-sorted vectors.
+        let mut dot = 0.0f64;
+        let (mut i, mut j) = (0, 0);
+        while i < wa.len() && j < wb.len() {
+            match wa[i].0.cmp(&wb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += wa[i].1 * wb[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let na: f64 = wa.iter().map(|(_, x)| x * x).sum::<f64>().sqrt();
+        let nb: f64 = wb.iter().map(|(_, x)| x * x).sum::<f64>().sqrt();
         (dot / (na * nb)).clamp(0.0, 1.0)
     }
 }

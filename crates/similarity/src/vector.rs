@@ -220,10 +220,10 @@ mod tests {
         let (a, b) = tables();
         let v = FeatureVectorizer::fit(&a, &b);
         let full = v.vectorize(a.record(0), b.record(1));
-        for i in 0..v.n_features() {
+        for (i, &expect) in full.iter().enumerate() {
             let single = v.feature(i, a.record(0), b.record(1));
             assert!(
-                (single == full[i]) || (single.is_nan() && full[i].is_nan()),
+                (single == expect) || (single.is_nan() && expect.is_nan()),
                 "feature {i} mismatch"
             );
         }

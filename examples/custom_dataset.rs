@@ -92,7 +92,13 @@ fn main() {
     // been exhausted" is a supported mode).
     let mut cfg = CorleoneConfig::small();
     cfg.engine.budget_cents = Some(500.0);
-    let report = Engine::new(cfg).with_seed(3).run(&task, &mut platform, &gold, Some(gold.matches()));
+    let report = Engine::new(cfg)
+        .with_seed(3)
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
 
     println!("donor matches found: {}", report.predicted_matches.len());
     for p in report.predicted_matches.iter().take(8) {

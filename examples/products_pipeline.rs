@@ -24,11 +24,11 @@ fn main() {
     let ds = products::generate(GenConfig { scale: 0.05, seed: 7 });
     let stats = ds.stats();
     println!(
-        "catalog A: {} products, catalog B: {} products, gold matches: {} ({}% of A × B)",
+        "catalog A: {} products, catalog B: {} products, gold matches: {} ({:.4}% of A × B)",
         stats.n_a,
         stats.n_b,
         stats.n_matches,
-        format!("{:.4}", stats.positive_density * 100.0),
+        stats.positive_density * 100.0,
     );
 
     let task = task_from_parts(
@@ -53,7 +53,13 @@ fn main() {
         blocker: BlockerConfig { t_b: 40_000, ..Default::default() },
         ..Default::default()
     };
-    let report = Engine::new(cfg).with_seed(7).run(&task, &mut platform, &gold, Some(gold.matches()));
+    let report = Engine::new(cfg)
+        .with_seed(7)
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
 
     println!("\n== Blocker ==");
     println!(

@@ -47,7 +47,12 @@ fn main() {
 
     // 4. Run hands-off.
     let engine = Engine::new(CorleoneConfig::small()).with_seed(1);
-    let report = engine.run(&task, &mut platform, &gold, Some(gold.matches()));
+    let report = engine
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
 
     println!("matches found: {}", report.predicted_matches.len());
     for pair in report.predicted_matches.iter().take(5) {

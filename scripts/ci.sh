@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local CI: release build, test suite, lint wall, and a one-dataset
+# end-to-end smoke run. Run from anywhere; exits non-zero on first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> smoke run (restaurants, scale 0.05, 1 run)"
+cargo run --release -q -p bench --bin smoke -- \
+    --datasets restaurants --scale 0.05 --runs 1
+
+echo "==> CI OK"

@@ -5,7 +5,7 @@ use corleone::ruleeval::RuleEvalConfig;
 use corleone::task::task_from_parts;
 use corleone::{
     locate_difficult_pairs, run_active_learning, run_blocker, CandidateSet, CorleoneConfig,
-    LocatorConfig, MatchTask,
+    LocatorConfig, MatchTask, RunEnv, Threads,
 };
 use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
 use datagen::GenConfig;
@@ -44,6 +44,7 @@ fn blocker_keeps_most_gold_on_citations() {
         &blocker_cfg,
         &cfg.matcher,
         &mut rng,
+        &RunEnv::default(),
     );
     assert!(out.report.triggered);
     assert!(!out.applied_rules.is_empty());
@@ -75,8 +76,15 @@ fn label_cache_reused_across_modules() {
         .collect();
     let mut rng = StdRng::seed_from_u64(22);
     let cfg = CorleoneConfig::small();
-    let learn =
-        run_active_learning(&cand, &seeds, &mut platform, &gold, &cfg.matcher, &mut rng);
+    let learn = run_active_learning(
+        &cand,
+        &seeds,
+        &mut platform,
+        &gold,
+        &cfg.matcher,
+        &mut rng,
+        Threads::auto(),
+    );
     let known: HashMap<usize, bool> = learn.crowd_labels().collect();
     let within: Vec<usize> = (0..cand.len()).collect();
     let run_locator = |platform: &mut CrowdPlatform, rng: &mut StdRng| {
@@ -90,6 +98,7 @@ fn label_cache_reused_across_modules() {
             &LocatorConfig::default(),
             &RuleEvalConfig::default(),
             rng,
+            &RunEnv::default(),
         )
     };
     let mut rng_first = StdRng::seed_from_u64(122);
@@ -121,7 +130,11 @@ fn corleone_outperforms_baseline1_on_citations() {
     );
     let report = corleone::Engine::new(CorleoneConfig::default())
         .with_seed(23)
-        .run(&task, &mut platform, &gold, Some(gold.matches()));
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     let corleone_f1 = report.final_true.unwrap().f1;
     let b1 = baselines::baseline1::run(
         &task,
@@ -156,6 +169,7 @@ fn forest_rules_route_like_forest_on_real_features() {
         &gold,
         &CorleoneConfig::small().matcher,
         &mut rng,
+        Threads::auto(),
     );
     for (ti, tree) in learn.forest.trees().iter().enumerate() {
         let rules = forest::rules::extract_tree_rules(tree, ti);

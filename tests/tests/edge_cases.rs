@@ -45,7 +45,11 @@ fn survives_a_nearly_adversarial_crowd() {
     );
     let report = Engine::new(CorleoneConfig::small())
         .with_seed(1)
-        .run(&task, &mut platform, &gold, Some(gold.matches()));
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     // No panic, a report exists, and spend stayed bounded by the phase caps.
     assert!(report.total_cost_cents > 0.0);
     assert!(report.total_cost_cents < 100_000.0);
@@ -82,7 +86,11 @@ fn single_row_table_a_works() {
     let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
     let report = Engine::new(CorleoneConfig::small())
         .with_seed(2)
-        .run(&task, &mut platform, &gold, Some(gold.matches()));
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     assert!(report.final_true.unwrap().recall > 0.4);
 }
 
@@ -95,7 +103,11 @@ fn gold_with_only_the_seed_matches() {
     let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
     let report = Engine::new(CorleoneConfig::small())
         .with_seed(3)
-        .run(&task, &mut platform, &gold, Some(gold.matches()));
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     // With identical-name negatives that the oracle calls non-matches,
     // whatever is predicted must not crash metrics; recall over 2 golds is
     // well-defined.
@@ -114,7 +126,11 @@ fn one_cent_budget_stops_almost_immediately() {
     let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
     let report = Engine::new(cfg)
         .with_seed(4)
-        .run(&task, &mut platform, &gold, Some(gold.matches()));
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     // One AL batch (~20 pairs × 2 answers) plus one estimator probe batch
     // is the worst-case in-flight overshoot.
     assert!(
@@ -142,7 +158,11 @@ fn all_null_attribute_does_not_panic() {
     let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
     let report = Engine::new(CorleoneConfig::small())
         .with_seed(5)
-        .run(&task, &mut platform, &gold, Some(gold.matches()));
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     // The price features are all NaN; learning must still work off names.
     assert!(report.final_true.unwrap().f1 > 0.8);
 }
@@ -181,7 +201,11 @@ fn near_duplicate_tables_with_unicode() {
     // Must not panic on multi-byte characters anywhere in the pipeline.
     let report = Engine::new(CorleoneConfig::small())
         .with_seed(6)
-        .run(&task, &mut platform, &gold, Some(gold.matches()));
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     assert!(report.final_estimate.is_some());
 }
 
@@ -196,7 +220,11 @@ fn budget_split_respects_phase_caps() {
     let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
     let report = Engine::new(cfg)
         .with_seed(9)
-        .run(&task, &mut platform, &gold, Some(gold.matches()));
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
     // Matching may not exceed its cumulative cap (65% of $3) by more than
     // one in-flight batch.
     let matcher_spend: f64 = report.iterations.iter().map(|i| i.matcher_cost_cents).sum();

@@ -35,7 +35,7 @@ fn restaurants_end_to_end_no_blocking() {
     let mut p = platform(&ds, 0.05, 5);
     let mut cfg = CorleoneConfig::default();
     cfg.blocker.t_b = 100_000; // restaurants stays under: no blocking
-    let report = Engine::new(cfg).with_seed(5).run(&task, &mut p, &gold, Some(gold.matches()));
+    let report = Engine::new(cfg).with_seed(5).session(&task).platform(&mut p).oracle(&gold).gold(gold.matches()).run();
     assert!(!report.blocker.triggered, "restaurants must not trigger blocking");
     let f1 = report.final_true.unwrap().f1;
     assert!(f1 > 0.75, "restaurants F1 {f1}");
@@ -48,7 +48,7 @@ fn citations_end_to_end_with_blocking() {
     let mut p = platform(&ds, 0.05, 6);
     let mut cfg = CorleoneConfig::default();
     cfg.blocker.t_b = 50_000; // cartesian ~ 150k ⇒ blocking triggers
-    let report = Engine::new(cfg).with_seed(6).run(&task, &mut p, &gold, Some(gold.matches()));
+    let report = Engine::new(cfg).with_seed(6).session(&task).platform(&mut p).oracle(&gold).gold(gold.matches()).run();
     assert!(report.blocker.triggered);
     assert!(
         report.blocker.umbrella_size < report.blocker.cartesian as usize,
@@ -69,7 +69,7 @@ fn estimates_track_truth_within_reason() {
     let mut p = platform(&ds, 0.05, 7);
     let report = Engine::new(CorleoneConfig::default())
         .with_seed(7)
-        .run(&task, &mut p, &gold, Some(gold.matches()));
+        .session(&task).platform(&mut p).oracle(&gold).gold(gold.matches()).run();
     let est = report.final_estimate.unwrap();
     let truth = report.final_true.unwrap();
     // Paper Table 4: estimates land within ~0.5-5.4% of truth; allow a
@@ -89,7 +89,7 @@ fn perfect_crowd_beats_noisy_crowd() {
         let mut p = platform(&ds, error, 8);
         Engine::new(CorleoneConfig::default())
             .with_seed(8)
-            .run(&task, &mut p, &gold, Some(gold.matches()))
+            .session(&task).platform(&mut p).oracle(&gold).gold(gold.matches()).run()
             .final_true
             .unwrap()
             .f1
@@ -110,7 +110,7 @@ fn hands_off_contract_no_gold_needed() {
     let mut p = platform(&ds, 0.05, 9);
     let report = Engine::new(CorleoneConfig::default())
         .with_seed(9)
-        .run(&task, &mut p, &gold, None);
+        .session(&task).platform(&mut p).oracle(&gold).run();
     assert!(report.final_true.is_none());
     assert!(report.blocking_recall.is_none());
     assert!(report.final_estimate.is_some(), "estimate must come from the crowd");
@@ -123,7 +123,7 @@ fn run_report_serializes() {
     let mut p = platform(&ds, 0.0, 10);
     let report = Engine::new(CorleoneConfig::default())
         .with_seed(10)
-        .run(&task, &mut p, &gold, Some(gold.matches()));
+        .session(&task).platform(&mut p).oracle(&gold).gold(gold.matches()).run();
     let json = serde_json::to_string(&report).expect("report must serialize");
     assert!(json.contains("blocker"));
     let back: corleone::RunReport = serde_json::from_str(&json).expect("roundtrip");

@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Throughput::Elements`], and
+//! [`black_box`] — with a simple adaptive-iteration timer instead of
+//! criterion's statistical machinery. Results print as plain text:
+//!
+//! ```text
+//! similarity/jaccard_words      842 ns/iter  (1.19 M elem/s)
+//! ```
+//!
+//! Honors `--bench` (ignored filter args are fine) and runs everything by
+//! default, so `cargo bench` and the CI smoke script work unchanged.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside time-per-iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark context handed to each registered function.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measure_for: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` narrows which benchmarks run.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { measure_for: Duration::from_millis(300), filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Raise or lower the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, _time: Duration) {
+        // The stand-in keeps its fixed budget; accepted for API parity.
+    }
+
+    /// Set the sample count (accepted for API parity; unused).
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Time one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up and iteration-count calibration: grow until one batch
+        // takes a measurable slice of the budget.
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= self.criterion.measure_for / 10 || bencher.iters >= 1 << 24 {
+                break;
+            }
+            bencher.iters *= 8;
+        }
+
+        // Measurement: repeat batches until the budget is spent, keep best.
+        let mut best = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        let start = Instant::now();
+        while start.elapsed() < self.criterion.measure_for {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+
+        let mut line = format!("{full:<40} {}", format_time(best));
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = count as f64 / (best * 1e-9);
+            line.push_str(&format!("  ({} {unit}/s)", format_rate(per_sec)));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `body` over the calibrated number of iterations.
+    pub fn iter<T>(&mut self, mut body: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:>8.0} ns/iter")
+    } else if nanos < 1_000_000.0 {
+        format!("{:>8.2} µs/iter", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:>8.2} ms/iter", nanos / 1_000_000.0)
+    } else {
+        format!("{:>8.2}  s/iter", nanos / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// Bundle benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { measure_for: Duration::from_millis(5), filter: None };
+        let mut ran = false;
+        c.benchmark_group("t").bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+            filter: Some("other".to_string()),
+        };
+        let mut ran = false;
+        c.benchmark_group("t").bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(250.0).contains("ns"));
+        assert!(format_time(2_500.0).contains("µs"));
+        assert!(format_time(2_500_000.0).contains("ms"));
+        assert!(format_rate(2.0e6).starts_with("2.00 M"));
+    }
+}

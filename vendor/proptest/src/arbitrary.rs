@@ -1,0 +1,96 @@
+//! `any::<T>()` — default strategies per type.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a default generation recipe.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Mostly moderate magnitudes, occasionally special values — enough
+        // spread to exercise numeric code without real proptest's full
+        // bit-pattern sampling.
+        match rng.gen_range(0..20u32) {
+            0 => f64::NAN,
+            1 => 0.0,
+            2 => -1.0,
+            n if n < 10 => rng.gen_range(-1.0e6..1.0e6),
+            _ => rng.gen_range(-1.0..1.0),
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Bias toward ASCII with a slice of non-ASCII to catch UTF-8 bugs.
+        const EXTRAS: &[char] = &['é', 'ß', 'λ', '中', '🙂', '\u{0}', '\t'];
+        if rng.gen_bool(0.85) {
+            rng.gen_range(0x20u32..0x7F) as u8 as char
+        } else {
+            EXTRAS[rng.gen_range(0..EXTRAS.len())]
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let len = rng.gen_range(0..32usize);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_string_varies() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = any::<String>().gen_value(&mut rng).unwrap();
+        let b = any::<String>().gen_value(&mut rng).unwrap();
+        let c = any::<String>().gen_value(&mut rng).unwrap();
+        assert!(a != b || b != c, "three identical draws are vanishingly unlikely");
+    }
+}

@@ -1,0 +1,160 @@
+//! Collection strategies: `prop::collection::{vec, hash_set}`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A size specification: an exact length or a range of lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Vectors of values from an element strategy.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let len = self.size.sample(rng);
+        let mut out = Vec::with_capacity(len);
+        // A filtered element strategy gets a few retries before the whole
+        // vector draw is rejected.
+        let mut rejects = 0;
+        while out.len() < len {
+            match self.element.gen_value(rng) {
+                Some(v) => out.push(v),
+                None => {
+                    rejects += 1;
+                    if rejects > 100 + len * 10 {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Hash sets of values from an element strategy. The size range bounds the
+/// number of *distinct* elements; if the element domain is too small to
+/// reach the minimum, the draw is rejected.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<HashSet<S::Value>> {
+        let target = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0;
+        while out.len() < target {
+            attempts += 1;
+            if attempts > 100 + target * 20 {
+                return None;
+            }
+            if let Some(v) = self.element.gen_value(rng) {
+                out.insert(v);
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = vec(0u32..100, 2..6);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng).unwrap();
+            assert!((2..6).contains(&v.len()), "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let v = vec(0.0f64..1.0, 3).gen_value(&mut rng).unwrap();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn hash_set_reaches_distinct_count() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let s = hash_set((0u32..30, 0u32..30), 1..40);
+        for _ in 0..50 {
+            let set = s.gen_value(&mut rng).unwrap();
+            assert!((1..40).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_rejects_impossible_minimum() {
+        let mut rng = StdRng::seed_from_u64(15);
+        // Domain has 2 distinct values; asking for 10 must reject, not hang.
+        assert!(hash_set(0u32..2, 10..12).gen_value(&mut rng).is_none());
+    }
+}

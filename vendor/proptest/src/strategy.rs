@@ -1,0 +1,345 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values of one type.
+///
+/// `gen_value` returns `None` when a `prop_filter` (or a collection
+/// strategy that could not satisfy its constraints) rejects the draw; the
+/// runner counts the case as rejected and retries with fresh randomness.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value, or `None` if a filter rejected it.
+    fn gen_value(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Transform generated values with a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard values the predicate rejects. The label is kept for parity
+    /// with real proptest's diagnostics but unused here.
+    fn prop_filter<F>(self, label: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, _label: label.into(), pred }
+    }
+
+    /// Type-erase the strategy (needed by `prop_oneof!` arms of mixed
+    /// concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<T> {
+        self.0.gen_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    _label: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.gen_value(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// Weighted choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positively weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<T> {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.gen_value(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("pick is always below the total weight")
+    }
+}
+
+// ---- ranges --------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---- tuples --------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                Some(($(self.$idx.gen_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---- regex-subset string strategies --------------------------------------
+
+/// One parsed atom of the pattern plus its repetition bounds.
+struct PatternAtom {
+    /// The characters this atom can produce.
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// `&str` patterns are strategies producing `String`, like real proptest's
+/// regex strategies — restricted to literal chars and `[...]` classes with
+/// optional `{n}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Option<String> {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported regex pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+            }
+        }
+        Some(out)
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<PatternAtom>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or("unterminated char class")?
+                    + i;
+                let class = parse_class(&chars[i + 1..end])?;
+                i = end + 1;
+                class
+            }
+            '\\' => {
+                let c = *chars.get(i + 1).ok_or("trailing backslash")?;
+                i += 2;
+                vec![c]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                return Err(format!("unsupported metacharacter `{}`", chars[i]));
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i)?;
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    Ok(atoms)
+}
+
+fn parse_class(body: &[char]) -> Result<Vec<char>, String> {
+    if body.first() == Some(&'^') {
+        return Err("negated classes are unsupported".to_string());
+    }
+    let mut choices = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == '\\' {
+            choices.push(*body.get(i + 1).ok_or("trailing backslash in class")?);
+            i += 2;
+        } else if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            if lo > hi {
+                return Err(format!("inverted range `{lo}-{hi}`"));
+            }
+            choices.extend((lo..=hi).filter(|c| c.is_ascii() || *c as u32 <= 0x10FFFF));
+            i += 3;
+        } else {
+            choices.push(body[i]);
+            i += 1;
+        }
+    }
+    if choices.is_empty() {
+        return Err("empty char class".to_string());
+    }
+    Ok(choices)
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize) -> Result<(usize, usize), String> {
+    match chars.get(*i) {
+        Some('{') => {
+            let end = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated quantifier")?
+                + *i;
+            let body: String = chars[*i + 1..end].iter().collect();
+            *i = end + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                let lo: usize = lo.trim().parse().map_err(|_| "bad quantifier")?;
+                let hi: usize = hi.trim().parse().map_err(|_| "bad quantifier")?;
+                Ok((lo, hi))
+            } else {
+                let n: usize = body.trim().parse().map_err(|_| "bad quantifier")?;
+                Ok((n, n))
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            Ok((0, 1))
+        }
+        Some('*') => {
+            *i += 1;
+            Ok((0, 8))
+        }
+        Some('+') => {
+            *i += 1;
+            Ok((1, 8))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_pattern_respects_class_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = "[a-c0-1 ]{2,5}".gen_value(&mut rng).unwrap();
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "{s:?}");
+            assert!(s.chars().all(|c| "abc01 ".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_escape_atoms() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = "ab\\.c".gen_value(&mut rng).unwrap();
+        assert_eq!(s, "ab.c");
+    }
+
+    #[test]
+    fn union_honors_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = crate::prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let ones = (0..10_000)
+            .filter(|_| u.gen_value(&mut rng) == Some(1))
+            .count();
+        assert!((8_500..9_500).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = (0u32..10).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            if let Some(v) = s.gen_value(&mut rng) {
+                assert_eq!(v % 2, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this stand-in trims that for
+        // wall-clock on small CI machines while keeping useful coverage.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A strategy filter rejected the inputs; the case is retried.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Build a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// FNV-1a over the test name: a stable, platform-independent seed so every
+/// run of a given test draws the same cases (failures always reproduce).
+fn seed_for(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drive one property test: run `case` until `config.cases` successes.
+///
+/// # Panics
+/// Panics when a case fails (assertion) or when rejections swamp the run.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed_for(test_name));
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let reject_budget = config.cases as u64 * 50 + 1_000;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "{test_name}: {rejected} rejected cases with only {passed}/{} passed — \
+                         filter is too strict",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{test_name}: property failed after {passed} passing cases: {message}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_case_count() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics() {
+        run_cases(&ProptestConfig::with_cases(5), "fails", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "filter is too strict")]
+    fn reject_storm_panics() {
+        run_cases(&ProptestConfig::with_cases(1), "rejects", |_| {
+            Err(TestCaseError::reject("never"))
+        });
+    }
+}

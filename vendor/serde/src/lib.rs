@@ -1,0 +1,473 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of serde it uses: `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums, serialized through an in-memory JSON
+//! [`Value`] tree that `serde_json` renders and parses.
+//!
+//! The data model is deliberately simple:
+//!
+//! * structs serialize to objects with fields in declaration order
+//!   (serialization is therefore deterministic for map-free types);
+//! * unit enum variants serialize to strings, data variants to
+//!   single-key objects (`{"Variant": ...}`), matching serde's external
+//!   tagging;
+//! * non-finite floats serialize to `null` (as real `serde_json` does)
+//!   and deserialize back to `NaN`.
+//!
+//! This is *not* wire-compatible with upstream serde for every type — it
+//! is compatible with itself, which is all the workspace's report
+//! round-trips require.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory JSON value. Objects preserve insertion order so struct
+/// serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+
+    /// "expected X while deserializing Y" helper.
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error(format!("expected {what} while deserializing {context}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Look up a required struct field during deserialization.
+pub fn field<'v>(v: &'v Value, name: &str, ty: &str) -> Result<&'v Value, Error> {
+    v.get(name)
+        .ok_or_else(|| Error::msg(format!("missing field `{name}` while deserializing {ty}")))
+}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    /// Convert to a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitives ----------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    _ => Err(Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Num(*self)
+        } else {
+            // Real serde_json also writes null for NaN/±inf.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(Error::expected("single-char string", "char")),
+        }
+    }
+}
+
+// ---- containers ----------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_arr().ok_or_else(|| Error::expected("array", "fixed array"))?;
+        if arr.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of {N} elements, got {}",
+                arr.len()
+            )));
+        }
+        let items: Vec<T> = arr.iter().map(T::from_json_value).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| Error::msg("array length changed during deserialization"))
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::expected("array", "HashSet"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::expected("array", "BTreeSet"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+/// Types usable as JSON object keys.
+///
+/// JSON objects only have string keys, so map keys round-trip through a
+/// string form — real serde_json does the same for integer-keyed maps.
+/// Downstream crates may implement this for their own key types (e.g. a
+/// packed pair identifier).
+pub trait MapKey: Sized {
+    /// Render the key as a JSON object key.
+    fn to_key_string(&self) -> String;
+    /// Parse the key back from a JSON object key.
+    fn from_key_string(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key_string(&self) -> String {
+        self.clone()
+    }
+    fn from_key_string(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_mapkey_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key_string(&self) -> String {
+                self.to_string()
+            }
+            fn from_key_string(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| {
+                    Error::msg(format!(
+                        "invalid {} map key `{s}`", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_mapkey_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // Sort keys so map serialization is deterministic.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key_string(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_obj()
+            .ok_or_else(|| Error::expected("object", "HashMap"))?
+            .iter()
+            .map(|(k, val)| {
+                Ok((K::from_key_string(k)?, V::from_json_value(val)?))
+            })
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_obj()
+            .ok_or_else(|| Error::expected("object", "BTreeMap"))?
+            .iter()
+            .map(|(k, val)| {
+                Ok((K::from_key_string(k)?, V::from_json_value(val)?))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Rc::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let arr = v.as_arr().ok_or_else(|| Error::expected("array", "tuple"))?;
+                if arr.len() != LEN {
+                    return Err(Error::msg(format!(
+                        "expected array of {LEN} elements, got {}", arr.len()
+                    )));
+                }
+                Ok(($($t::from_json_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::expected("null", "()")),
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace serializes: non-generic
+//! structs with named fields (or unit structs), and non-generic enums
+//! whose variants are unit, tuple, or struct-like. Anything else gets a
+//! clear `compile_error!`.
+//!
+//! No `syn`/`quote` (crates.io is unreachable in this environment): the
+//! item is parsed directly from the `proc_macro` token stream — which is
+//! easy because field *types* are never needed, only field and variant
+//! names.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed struct or enum shape.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("generated impl must parse")
+}
+
+// ---- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+
+    // Scan "… (struct|enum) Name" skipping attributes and visibility.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the attribute group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                // `pub`, `crate`, etc. — skip (a following `(crate)` group
+                // is consumed by the Group arm below).
+            }
+            TokenTree::Group(_) => {} // `(crate)` after pub
+            _ => {}
+        }
+    }
+    let kind = kind.ok_or("derive input is not a struct or enum")?;
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected an item name".to_string()),
+    };
+
+    // Generics are unsupported; the body must be the next group.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde stand-in cannot derive for generic type `{name}`"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break Some(g),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break None, // unit struct
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stand-in cannot derive for tuple struct `{name}`"
+                ));
+            }
+            Some(_) => {}
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+
+    if kind == "struct" {
+        match body {
+            None => Ok(Item::UnitStruct { name }),
+            Some(g) => Ok(Item::Struct { name, fields: parse_named_fields(g.stream())? }),
+        }
+    } else {
+        let g = body.ok_or_else(|| format!("enum `{name}` has no body"))?;
+        Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+    }
+}
+
+/// Parse `a: T, b: U, …` capturing only the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("unexpected token `{other}` in struct fields"))
+                }
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth: i64 = 0;
+        loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Parse enum variants, capturing names and payload shape.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+            }
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_types(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                return Err(format!(
+                    "serde stand-in cannot derive for enum with explicit discriminant on `{name}`"
+                ));
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+/// Number of comma-separated types at angle-depth 0 in a tuple-variant body.
+fn count_top_level_types(stream: TokenStream) -> usize {
+    let mut depth: i64 = 0;
+    let mut commas = 0;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+// ---- codegen -------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{}])\n\
+                 }}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Obj(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_json_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Obj(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_json_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![\
+                                 ({vn:?}.to_string(), ::serde::Value::Obj(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(_v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             ::core::result::Result::Ok({name})\n\
+             }}\n}}"
+        ),
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(\
+                         ::serde::field(v, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 if v.as_obj().is_none() {{\n\
+                 return ::core::result::Result::Err(::serde::Error::expected(\"object\", {name:?}));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name} {{ {} }})\n\
+                 }}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => return ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        obj_arms.push_str(&format!(
+                            "{vn:?} => return ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_json_value(payload)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&arr[{i}])?")
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let arr = payload.as_arr().ok_or_else(|| \
+                             ::serde::Error::expected(\"array\", {name:?}))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::expected(\
+                             \"{n}-element array\", {name:?}));\n\
+                             }}\n\
+                             return ::core::result::Result::Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(\
+                                     ::serde::field(payload, {f:?}, {name:?})?)?"
+                                )
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "{vn:?} => return ::core::result::Result::Ok(\
+                             {name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => {{\n\
+                 match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n{obj_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 _ => {{}}\n\
+                 }}\n\
+                 ::core::result::Result::Err(::serde::Error::expected(\"known variant\", {name:?}))\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
