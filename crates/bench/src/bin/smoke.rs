@@ -1,20 +1,58 @@
 //! Quick end-to-end smoke run: one Corleone run per dataset at the given
 //! scale, printing headline numbers. Not a paper table — a sanity tool.
+//!
+//! With `--fault-expiry`/`--fault-abandon`/`--fault-outage` the simulated
+//! marketplace injects failures; the run then reports its `termination`
+//! label and fault counters, or a typed error if it could not complete —
+//! never a panic. CI uses this as the fault-injection smoke test.
 
-use bench::{dollars, parse_args, pct, run_corleone};
+use bench::{dollars, parse_args, pct, try_run_corleone};
 
 fn main() {
     let opts = parse_args();
+    let mut failed = false;
     for name in &opts.datasets {
         let t0 = std::time::Instant::now();
-        let (report, ds) = run_corleone(name, &opts, 0);
+        let (result, ds) = try_run_corleone(name, &opts, 0);
         let stats = ds.stats();
-        let t = report.final_true.expect("gold supplied");
-        let e = report.final_estimate.as_ref().expect("estimate present");
+        let report = match result {
+            Ok(r) => r,
+            Err(e) => {
+                // A typed failure is a legitimate outcome under faults;
+                // report it and move on.
+                println!(
+                    "{name}: |A|={} |B|={} gold={} | run failed: {e} | {:.1}s",
+                    stats.n_a,
+                    stats.n_b,
+                    stats.n_matches,
+                    t0.elapsed().as_secs_f64(),
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let truth = report
+            .final_true
+            .map(|t| format!("{}/{}/{}", pct(t.precision), pct(t.recall), pct(t.f1)))
+            .unwrap_or_else(|| "-".into());
+        let est = report
+            .final_estimate
+            .as_ref()
+            .map(|e| format!("{} (±p {:.3} ±r {:.3})", pct(e.f1), e.eps_p, e.eps_r))
+            .unwrap_or_else(|| "-".into());
+        let fs = &report.perf.faults;
+        let fault_note = if fs.any() {
+            format!(
+                " | faults: {} expired {} abandoned {} outages, {} reposts {} failed",
+                fs.hits_expired, fs.assignments_abandoned, fs.outages, fs.reposts, fs.hits_failed,
+            )
+        } else {
+            String::new()
+        };
         println!(
             "{name}: |A|={} |B|={} gold={} | blocked={} umbrella={} recall={} | \
-             iters={} | true P/R/F1 = {}/{}/{} | est F1 = {} (±p {:.3} ±r {:.3}) | \
-             cost {} labels {} | {:.1}s",
+             iters={} | true P/R/F1 = {truth} | est F1 = {est} | \
+             cost {} labels {} | termination={:?}{fault_note} | {:.1}s",
             stats.n_a,
             stats.n_b,
             stats.n_matches,
@@ -25,15 +63,15 @@ fn main() {
                 .map(pct)
                 .unwrap_or_else(|| "-".into()),
             report.iterations.len(),
-            pct(t.precision),
-            pct(t.recall),
-            pct(t.f1),
-            pct(e.f1),
-            e.eps_p,
-            e.eps_r,
             dollars(report.total_cost_cents),
             report.total_pairs_labeled,
+            report.termination,
             t0.elapsed().as_secs_f64(),
         );
+    }
+    // A typed failure is tolerated when faults were requested — that is
+    // the scenario being smoked — but a clean run must always succeed.
+    if failed && !opts.fault_config().enabled() {
+        std::process::exit(1);
     }
 }

@@ -9,16 +9,20 @@
 //! All binaries accept the same flags:
 //!
 //! ```text
-//! --scale <f>    dataset scale factor (default 0.1; 1.0 = paper sizes)
-//! --runs <n>     independent runs to average (default 3, like the paper)
-//! --error <f>    mean worker error rate (default 0.05)
-//! --seed <n>     base RNG seed (default 42)
-//! --datasets a,b comma-separated subset of restaurants,citations,products
+//! --scale <f>         dataset scale factor (default 0.1; 1.0 = paper sizes)
+//! --runs <n>          independent runs to average (default 3, like the paper)
+//! --error <f>         mean worker error rate (default 0.05)
+//! --seed <n>          base RNG seed (default 42)
+//! --datasets a,b      comma-separated subset of restaurants,citations,products
+//! --fault-expiry <f>  per-HIT expiry probability (default 0: no faults)
+//! --fault-abandon <f> per-assignment abandonment probability (default 0)
+//! --fault-outage <f>  per-posting transient-outage probability (default 0)
 //! ```
 
+use corleone::error::CorleoneError;
 use corleone::task::task_from_parts;
 use corleone::{BlockerConfig, CorleoneConfig, Engine, MatchTask, RunReport};
-use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, WorkerPool};
+use crowd::{CrowdConfig, CrowdPlatform, FaultConfig, GoldOracle, RetryPolicy, WorkerPool};
 use datagen::{EmDataset, GenConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,6 +40,12 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Datasets to run.
     pub datasets: Vec<String>,
+    /// Per-HIT expiry probability (0 disables fault injection).
+    pub fault_expiry: f64,
+    /// Per-assignment abandonment probability.
+    pub fault_abandon: f64,
+    /// Per-posting transient-outage probability.
+    pub fault_outage: f64,
 }
 
 impl Default for ExpOptions {
@@ -46,6 +56,23 @@ impl Default for ExpOptions {
             error_rate: 0.05,
             seed: 42,
             datasets: datagen::DATASET_NAMES.iter().map(|s| s.to_string()).collect(),
+            fault_expiry: 0.0,
+            fault_abandon: 0.0,
+            fault_outage: 0.0,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// The fault configuration the flags describe (all-zero when no
+    /// `--fault-*` flag was given, which disables injection entirely).
+    pub fn fault_config(&self) -> FaultConfig {
+        FaultConfig {
+            hit_expiry_prob: self.fault_expiry,
+            abandonment_prob: self.fault_abandon,
+            outage_prob: self.fault_outage,
+            seed: self.seed,
+            ..Default::default()
         }
     }
 }
@@ -71,9 +98,19 @@ pub fn parse_args() -> ExpOptions {
             "--datasets" => {
                 opts.datasets = need_value(i).split(',').map(|s| s.to_string()).collect()
             }
+            "--fault-expiry" => {
+                opts.fault_expiry = need_value(i).parse().expect("bad --fault-expiry")
+            }
+            "--fault-abandon" => {
+                opts.fault_abandon = need_value(i).parse().expect("bad --fault-abandon")
+            }
+            "--fault-outage" => {
+                opts.fault_outage = need_value(i).parse().expect("bad --fault-outage")
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --scale <f> --runs <n> --error <f> --seed <n> --datasets a,b,c"
+                    "flags: --scale <f> --runs <n> --error <f> --seed <n> --datasets a,b,c \
+                     --fault-expiry <f> --fault-abandon <f> --fault-outage <f>"
                 );
                 std::process::exit(0);
             }
@@ -113,13 +150,29 @@ pub fn make_task(ds: &EmDataset) -> (MatchTask, GoldOracle) {
 /// around the requested mean error rate, paid the dataset's per-question
 /// price.
 pub fn make_platform(ds: &EmDataset, error_rate: f64, seed: u64) -> CrowdPlatform {
+    make_faulty_platform(ds, error_rate, seed, FaultConfig::default())
+}
+
+/// [`make_platform`] with fault injection. A zeroed `faults` is exactly
+/// `make_platform` (the fault layer is pay-for-what-you-use).
+pub fn make_faulty_platform(
+    ds: &EmDataset,
+    error_rate: f64,
+    seed: u64,
+    faults: FaultConfig,
+) -> CrowdPlatform {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
     let pool = if error_rate == 0.0 {
         WorkerPool::perfect(50)
     } else {
         WorkerPool::heterogeneous(50, error_rate, error_rate / 2.0, &mut rng)
     };
-    CrowdPlatform::new(pool, CrowdConfig { price_cents: ds.price_cents, seed, ..Default::default() })
+    CrowdPlatform::with_faults(
+        pool,
+        CrowdConfig { price_cents: ds.price_cents, seed, ..Default::default() },
+        faults,
+        RetryPolicy::default(),
+    )
 }
 
 /// The Corleone configuration used by the experiments: paper parameters
@@ -131,19 +184,37 @@ pub fn experiment_config() -> CorleoneConfig {
     }
 }
 
-/// Run Corleone once on a dataset and return the report.
+/// Run Corleone once on a dataset and return the report. Honors the
+/// options' `--fault-*` flags; panics if the run fails outright (use
+/// [`try_run_corleone`] to handle that).
 pub fn run_corleone(name: &str, opts: &ExpOptions, run: usize) -> (RunReport, EmDataset) {
+    let (result, ds) = try_run_corleone(name, opts, run);
+    (result.unwrap_or_else(|e| panic!("run on {name} failed: {e}")), ds)
+}
+
+/// Fallible form of [`run_corleone`]: a run that cannot complete (e.g.
+/// under injected faults) comes back as `Err` instead of panicking.
+pub fn try_run_corleone(
+    name: &str,
+    opts: &ExpOptions,
+    run: usize,
+) -> (Result<RunReport, CorleoneError>, EmDataset) {
     let ds = dataset(name, opts, run);
     let (task, gold) = make_task(&ds);
-    let mut platform = make_platform(&ds, opts.error_rate, opts.seed + run as u64);
+    let mut platform = make_faulty_platform(
+        &ds,
+        opts.error_rate,
+        opts.seed + run as u64,
+        opts.fault_config(),
+    );
     let engine = Engine::new(experiment_config()).with_seed(opts.seed + 1000 * run as u64);
-    let report = engine
+    let result = engine
         .session(&task)
         .platform(&mut platform)
         .oracle(&gold)
         .gold(gold.matches())
-        .run();
-    (report, ds)
+        .try_run();
+    (result, ds)
 }
 
 /// Mean of a slice.

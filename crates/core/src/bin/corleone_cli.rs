@@ -284,7 +284,11 @@ fn main() {
             CrowdConfig { price_cents: args.price_cents, seed: args.seed, ..Default::default() },
         );
         eprintln!("interactive mode: you will be asked to label pairs.\n");
-        engine.session(&task).platform(&mut platform).oracle(&oracle).run()
+        engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&oracle)
+            .try_run()
     } else {
         let gold = load_gold(args.gold.as_deref().expect("checked"));
         let oracle = GoldOracle::new(gold.clone());
@@ -302,8 +306,13 @@ fn main() {
             .platform(&mut platform)
             .oracle(&oracle)
             .gold(&gold)
-            .run()
+            .try_run()
     };
+
+    let report = report.unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        exit(1)
+    });
 
     println!("matches: {}", report.predicted_matches.len());
     for p in report.predicted_matches.iter().take(20) {
@@ -331,12 +340,16 @@ fn main() {
         );
     }
     println!(
-        "crowd cost: ${:.2}, pairs labeled: {}",
+        "crowd cost: ${:.2}, pairs labeled: {}, termination: {:?}",
         report.total_cost_dollars(),
-        report.total_pairs_labeled
+        report.total_pairs_labeled,
+        report.termination
     );
     if let Some(out) = args.out {
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
+            eprintln!("cannot serialize report: {e}");
+            exit(1)
+        });
         std::fs::write(&out, json).unwrap_or_else(|e| {
             eprintln!("cannot write {out}: {e}");
             exit(1)

@@ -49,26 +49,31 @@ impl BudgetSplit {
     ///
     /// # Panics
     /// Panics if any share is negative or the shares do not sum to 1.
+    /// The engine's run path uses [`Self::try_plan`] instead.
     pub fn plan(&self, total_cents: f64) -> BudgetPlan {
-        assert!(
-            self.blocking >= 0.0
-                && self.matching >= 0.0
-                && self.estimation >= 0.0
-                && self.locating >= 0.0,
-            "budget shares must be non-negative"
-        );
-        let sum = self.blocking + self.matching + self.estimation + self.locating;
-        assert!(
-            (sum - 1.0).abs() < 1e-6,
-            "budget shares must sum to 1, got {sum}"
-        );
-        assert!(total_cents >= 0.0, "budget must be non-negative");
-        BudgetPlan {
+        self.try_plan(total_cents).unwrap_or_else(|msg| panic!("{msg}"))
+    }
+
+    /// Fallible form of [`Self::plan`]: returns the validation failure as
+    /// a message instead of panicking.
+    pub fn try_plan(&self, total_cents: f64) -> Result<BudgetPlan, String> {
+        let shares = [self.blocking, self.matching, self.estimation, self.locating];
+        if shares.iter().any(|s| s.is_nan() || *s < 0.0) {
+            return Err("budget shares must be non-negative".to_string());
+        }
+        let sum: f64 = shares.iter().sum();
+        if (sum - 1.0).abs() >= 1e-6 || !sum.is_finite() {
+            return Err(format!("budget shares must sum to 1, got {sum}"));
+        }
+        if total_cents < 0.0 || total_cents.is_nan() {
+            return Err("budget must be non-negative".to_string());
+        }
+        Ok(BudgetPlan {
             after_blocking: total_cents * self.blocking,
             after_matching: total_cents * (self.blocking + self.matching),
             after_estimation: total_cents * (self.blocking + self.matching + self.estimation),
             total: total_cents,
-        }
+        })
     }
 }
 

@@ -60,6 +60,10 @@ impl CacheStats {
 pub struct FeatureCache {
     shards: Vec<RwLock<HashMap<PairKey, Arc<Vec<f64>>>>>,
     shard_capacity: usize,
+    /// The capacity the caller asked for. Per-shard enforcement rounds up
+    /// (`shard_capacity * N_SHARDS` may exceed this), but stats report the
+    /// requested number.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -82,6 +86,7 @@ impl FeatureCache {
         FeatureCache {
             shards: (0..N_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             shard_capacity: capacity.div_ceil(N_SHARDS),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -137,7 +142,7 @@ impl FeatureCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.read().len()).sum(),
-            capacity: self.shard_capacity * N_SHARDS,
+            capacity: self.capacity,
         }
     }
 
@@ -226,6 +231,18 @@ mod tests {
             assert_eq!(**r, vec![7.0]);
         }
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn stats_report_requested_capacity() {
+        // Regression: per-shard rounding used to leak into stats —
+        // with_capacity(100) reported ceil(100/16)*16 = 112.
+        assert_eq!(FeatureCache::with_capacity(100).stats().capacity, 100);
+        assert_eq!(FeatureCache::with_capacity(0).stats().capacity, 0);
+        assert_eq!(
+            FeatureCache::with_capacity(super::DEFAULT_CACHE_CAPACITY).stats().capacity,
+            super::DEFAULT_CACHE_CAPACITY
+        );
     }
 
     #[test]

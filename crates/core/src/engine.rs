@@ -15,13 +15,14 @@ use crate::cache::{CacheStats, FeatureCache};
 use crate::candidates::CandidateSet;
 use crate::config::CorleoneConfig;
 use crate::env::RunEnv;
+use crate::error::CorleoneError;
 use crate::estimator::{estimate_accuracy, AccuracyEstimate};
 use crate::learner::{run_active_learning, StopReason};
 use crate::locator::{locate_difficult_pairs, LocatorReport};
 use crate::metrics::{blocking_recall, evaluate, Prf};
 use crate::ruleeval::RuleEvalConfig;
 use crate::task::MatchTask;
-use crowd::{CrowdPlatform, PairKey, TruthOracle};
+use crowd::{CrowdPlatform, FaultStats, PairKey, TruthOracle};
 use exec::Threads;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,6 +83,29 @@ pub struct PerfReport {
     pub cache: CacheStats,
     /// Per-phase wall-clock, in pipeline order.
     pub phases: Vec<PhaseTiming>,
+    /// Injected crowd faults and the recovery work they caused during
+    /// this run (all zero on a fault-free platform). Unlike the rest of
+    /// this block these counters are seed-deterministic at any thread
+    /// count; they live here because they describe execution, not the
+    /// matching outcome.
+    pub faults: FaultStats,
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// The paper's stopping rule fired: estimated accuracy stopped
+    /// improving (or no difficult region remained to iterate on).
+    Converged,
+    /// The configured iteration cap stopped the run first.
+    MaxIterations,
+    /// The monetary budget ran out before the stopping rule fired.
+    BudgetExhausted,
+    /// The run completed, but injected crowd faults exhausted at least
+    /// one HIT's retry budget — some requested labels were never
+    /// obtained, so the result may be weaker than the estimate suggests.
+    /// Inspect `perf.faults` for the damage.
+    Degraded,
 }
 
 /// Full run record.
@@ -103,7 +127,10 @@ pub struct RunReport {
     pub total_cost_cents: f64,
     /// Total distinct pairs labeled by the crowd.
     pub total_pairs_labeled: u64,
-    /// Execution telemetry (threads, cache counters, phase wall-clock).
+    /// Why the run ended (see [`Termination`]).
+    pub termination: Termination,
+    /// Execution telemetry (threads, cache counters, phase wall-clock,
+    /// fault counters).
     pub perf: PerfReport,
 }
 
@@ -118,10 +145,19 @@ impl RunReport {
     /// Two same-seed runs produce byte-identical output from this method
     /// regardless of thread count or cache configuration; plain
     /// `serde_json::to_string` output differs in the `perf` block.
+    ///
+    /// # Panics
+    /// Panics if the report fails to serialize; use
+    /// [`Self::try_deterministic_json`] to handle that as an error.
     pub fn deterministic_json(&self) -> String {
+        self.try_deterministic_json().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Self::deterministic_json`].
+    pub fn try_deterministic_json(&self) -> Result<String, CorleoneError> {
         let mut stripped = self.clone();
         stripped.perf = PerfReport::default();
-        serde_json::to_string(&stripped).expect("report serializes")
+        serde_json::to_string(&stripped).map_err(|e| CorleoneError::Serialization(e.to_string()))
     }
 }
 
@@ -171,7 +207,7 @@ impl Engine {
     /// thread budget, the shared feature cache (`None` disables caching),
     /// and the RNG seed.
     #[allow(clippy::too_many_arguments)] // internal; callers go through RunSession
-    pub(crate) fn run_inner(
+    pub(crate) fn try_run_inner(
         &self,
         task: &MatchTask,
         platform: &mut CrowdPlatform,
@@ -180,10 +216,11 @@ impl Engine {
         threads: Threads,
         cache: Option<&FeatureCache>,
         seed: u64,
-    ) -> RunReport {
+    ) -> Result<RunReport, CorleoneError> {
         let env = RunEnv { threads, cache };
         let mut rng = StdRng::seed_from_u64(seed);
         let ledger_start = *platform.ledger();
+        let fault_start = *platform.fault_stats();
         let mut t_blocker = 0.0f64;
         let mut t_matcher = 0.0f64;
         let mut t_estimator = 0.0f64;
@@ -192,7 +229,9 @@ impl Engine {
         // Per-phase cumulative caps when a budget split is configured
         // (§10 budget-allocation extension).
         let plan = match (self.cfg.engine.budget_cents, self.cfg.engine.budget_split) {
-            (Some(b), Some(split)) => Some(split.plan(b)),
+            (Some(b), Some(split)) => {
+                Some(split.try_plan(b).map_err(CorleoneError::InvalidBudgetSplit)?)
+            }
             _ => None,
         };
 
@@ -220,6 +259,10 @@ impl Engine {
             blocking_recall(&umbrella, g)
         });
 
+        if cand.is_empty() {
+            return Err(CorleoneError::EmptyCandidates);
+        }
+
         let seed_vectors: Vec<(Vec<f64>, bool)> = task
             .seeds
             .iter()
@@ -238,8 +281,13 @@ impl Engine {
             })
         };
 
+        let mut termination = Termination::Converged;
         for iter_no in 1..=self.cfg.engine.max_iterations {
-            if region.is_empty() || !budget_left(platform) {
+            if region.is_empty() {
+                break;
+            }
+            if !budget_left(platform) {
+                termination = Termination::BudgetExhausted;
                 break;
             }
             // ---- Matcher (§5) on this iteration's region.
@@ -328,8 +376,9 @@ impl Engine {
                 .enumerate()
                 .map(|(i, v)| (feature_names[i].clone(), v))
                 .collect();
-            importance
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("importance is finite"));
+            // total_cmp: a NaN importance (zero-variance feature on a
+            // degenerate sample) must sort, not panic mid-run.
+            importance.sort_by(|a, b| b.1.total_cmp(&a.1));
             importance.truncate(5);
 
             let mut report = IterationReport {
@@ -361,17 +410,29 @@ impl Engine {
                 iterations.push(report);
                 break;
             }
-            if iter_no == self.cfg.engine.max_iterations || !budget_left(platform) {
+            if iter_no == self.cfg.engine.max_iterations {
+                termination = Termination::MaxIterations;
+                iterations.push(report);
+                break;
+            }
+            if !budget_left(platform) {
+                termination = Termination::BudgetExhausted;
                 iterations.push(report);
                 break;
             }
 
-            // ---- Difficult Pairs' Locator (§7).
+            // ---- Difficult Pairs' Locator (§7). Locating is the last
+            // phase, so its cap is the whole budget.
             let eval_cfg = RuleEvalConfig {
                 batch: self.cfg.blocker.eval_batch,
                 p_min: self.cfg.blocker.p_min,
                 eps_max: self.cfg.blocker.eps_max,
                 confidence: self.cfg.blocker.confidence,
+                budget_cents_cap: self
+                    .cfg
+                    .engine
+                    .budget_cents
+                    .map(|b| ledger_start.total_cents + b),
                 ..Default::default()
             };
             let t0 = Instant::now();
@@ -406,8 +467,17 @@ impl Engine {
         let mut predicted_matches: Vec<PairKey> = predicted.into_iter().collect();
         predicted_matches.sort();
 
+        // A HIT that exhausted its retry budget means some requested
+        // labels never arrived: the run finished, but degraded. This
+        // outranks the other labels — a "converged" verdict reached on
+        // missing data is not trustworthy.
+        let fault_delta = platform.fault_stats().delta(&fault_start);
+        if fault_delta.hits_failed > 0 {
+            termination = Termination::Degraded;
+        }
+
         let phase = |name: &str, millis: f64| PhaseTiming { phase: name.to_string(), millis };
-        RunReport {
+        Ok(RunReport {
             blocker: blocker_report,
             blocking_recall: blocking_rec,
             iterations,
@@ -416,6 +486,7 @@ impl Engine {
             predicted_matches,
             total_cost_cents: ledger_end.total_cents - ledger_start.total_cents,
             total_pairs_labeled: ledger_end.pairs_labeled - ledger_start.pairs_labeled,
+            termination,
             perf: PerfReport {
                 threads: threads.get(),
                 cache: cache.map(FeatureCache::stats).unwrap_or_default(),
@@ -425,8 +496,9 @@ impl Engine {
                     phase("estimator", t_estimator),
                     phase("locator", t_locator),
                 ],
+                faults: fault_delta,
             },
-        }
+        })
     }
 }
 
@@ -556,6 +628,88 @@ mod tests {
         assert_eq!(r1.predicted_matches, r2.predicted_matches);
         assert_eq!(r1.total_cost_cents, r2.total_cost_cents);
         assert_eq!(r1.deterministic_json(), r2.deterministic_json());
+    }
+
+    #[test]
+    fn constant_feature_task_survives_importance_sort() {
+        // Regression: every record identical → zero-variance features, so
+        // the forest's split importances can be 0/0 = NaN. The importance
+        // sort used `partial_cmp(..).expect(..)` and panicked mid-run;
+        // total_cmp must order NaNs instead.
+        let schema = Arc::new(Schema::new(vec![Attribute::text("name")]));
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|_| vec![Value::Text("identical widget".to_string())])
+            .collect();
+        let a = Table::new("a", schema.clone(), rows.clone());
+        let b = Table::new("b", schema, rows);
+        let task = task_from_parts(a, b, "same?", [(0, 0), (1, 1)], [(2, 3), (4, 5)]);
+        let gold = GoldOracle::from_pairs((0..20).map(|i| (i, i)));
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        let report = Engine::new(CorleoneConfig::small())
+            .with_seed(8)
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .run();
+        assert!(!report.iterations.is_empty(), "run must complete, not panic");
+        for it in &report.iterations {
+            assert!(it.top_features.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn termination_is_converged_on_a_clean_run() {
+        let (task, gold) = toy();
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let report = Engine::new(CorleoneConfig::small())
+            .with_seed(3)
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .run();
+        assert!(
+            matches!(report.termination, Termination::Converged | Termination::MaxIterations),
+            "clean run ended {:?}",
+            report.termination
+        );
+        assert_eq!(report.perf.faults, crowd::FaultStats::default());
+    }
+
+    #[test]
+    fn tiny_budget_is_labeled_budget_exhausted() {
+        let (task, gold) = toy();
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let mut cfg = CorleoneConfig::small();
+        cfg.engine.budget_cents = Some(30.0);
+        let report = Engine::new(cfg)
+            .with_seed(4)
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .run();
+        assert_eq!(report.termination, Termination::BudgetExhausted);
+    }
+
+    #[test]
+    fn invalid_budget_split_is_a_typed_error() {
+        use crate::budget::BudgetSplit;
+        use crate::error::CorleoneError;
+        let (task, gold) = toy();
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let mut cfg = CorleoneConfig::small();
+        cfg.engine.budget_cents = Some(100.0);
+        cfg.engine.budget_split =
+            Some(BudgetSplit { blocking: 0.5, matching: 0.5, estimation: 0.5, locating: 0.0 });
+        let err = Engine::new(cfg)
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .try_run()
+            .unwrap_err();
+        match err {
+            CorleoneError::InvalidBudgetSplit(msg) => assert!(msg.contains("sum to 1")),
+            other => panic!("expected InvalidBudgetSplit, got {other:?}"),
+        }
     }
 
     #[test]

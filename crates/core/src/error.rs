@@ -1,0 +1,102 @@
+//! Typed failures of the run path.
+//!
+//! [`CorleoneError`] replaces the panics a run used to raise when the
+//! crowd layer could not complete labeling, when a session was
+//! misconfigured, or when inputs were degenerate. The non-panicking entry
+//! point is [`RunSession::try_run`](crate::session::RunSession::try_run);
+//! [`RunSession::run`](crate::session::RunSession::run) remains as a
+//! panicking wrapper for callers that treat all of these as bugs.
+
+use crowd::CrowdError;
+use std::fmt;
+
+/// Everything that can go wrong on the engine's run path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorleoneError {
+    /// The crowd layer failed: labeling gave up with pairs unresolved
+    /// (injected faults past the retry budget) or was misused.
+    Crowd(CrowdError),
+    /// Blocking left zero candidate pairs — there is nothing to match and
+    /// no region to train on.
+    EmptyCandidates,
+    /// The configured [`BudgetSplit`](crate::budget::BudgetSplit) is
+    /// invalid (negative shares, or shares not summing to 1).
+    InvalidBudgetSplit(String),
+    /// [`RunSession::run`](crate::session::RunSession::run) was called
+    /// without a platform.
+    MissingPlatform,
+    /// [`RunSession::run`](crate::session::RunSession::run) was called
+    /// without an oracle.
+    MissingOracle,
+    /// A report could not be serialized.
+    Serialization(String),
+}
+
+impl fmt::Display for CorleoneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorleoneError::Crowd(e) => write!(f, "crowd layer failed: {e}"),
+            CorleoneError::EmptyCandidates => {
+                write!(f, "blocking produced an empty candidate set; nothing to match")
+            }
+            CorleoneError::InvalidBudgetSplit(msg) => {
+                write!(f, "invalid budget split: {msg}")
+            }
+            // These two render as the exact messages the panicking
+            // wrapper has always raised; tests assert the substrings.
+            CorleoneError::MissingPlatform => write!(
+                f,
+                "RunSession::run called without a platform; call .platform(&mut p) first"
+            ),
+            CorleoneError::MissingOracle => write!(
+                f,
+                "RunSession::run called without an oracle; call .oracle(&o) first"
+            ),
+            CorleoneError::Serialization(msg) => write!(f, "report serialization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CorleoneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorleoneError::Crowd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CrowdError> for CorleoneError {
+    fn from(e: CrowdError) -> Self {
+        CorleoneError::Crowd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crowd_errors_wrap_with_source() {
+        let inner = CrowdError::Incomplete { requested: 5, labeled: 2, missing: vec![] };
+        let e: CorleoneError = inner.clone().into();
+        assert!(e.to_string().contains("2 of 5"));
+        let src = std::error::Error::source(&e).expect("source preserved");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn session_misuse_messages_are_stable() {
+        assert!(CorleoneError::MissingPlatform.to_string().contains("without a platform"));
+        assert!(CorleoneError::MissingOracle.to_string().contains("without an oracle"));
+    }
+
+    #[test]
+    fn remaining_variants_render() {
+        assert!(CorleoneError::EmptyCandidates.to_string().contains("empty candidate set"));
+        let b = CorleoneError::InvalidBudgetSplit("shares must sum to 1, got 1.5".into());
+        assert!(b.to_string().contains("sum to 1"));
+        let s = CorleoneError::Serialization("bad float".into());
+        assert!(s.to_string().contains("serialization"));
+    }
+}

@@ -326,6 +326,10 @@ pub fn estimate_accuracy(
             eps_max: cfg.eps_max,
             confidence: cfg.confidence,
             scheme: cfg.scheme,
+            // Rule evaluation is part of the estimation phase: it must
+            // honor the same cumulative ledger cap, or it can spend far
+            // past the phase budget in a single call.
+            budget_cents_cap: cfg.budget_cents_cap,
             ..Default::default()
         };
         let evaluated = evaluate_rules_jointly(

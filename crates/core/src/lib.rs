@@ -67,6 +67,7 @@ pub mod cleaner;
 pub mod config;
 pub mod engine;
 pub mod env;
+pub mod error;
 pub mod estimator;
 pub mod join;
 pub mod learner;
@@ -87,8 +88,9 @@ pub use config::{
     BlockerConfig, CorleoneConfig, EngineConfig, EstimatorConfig, LocatorConfig, MatcherConfig,
     StoppingConfig,
 };
-pub use engine::{Engine, IterationReport, PerfReport, PhaseTiming, RunReport};
+pub use engine::{Engine, IterationReport, PerfReport, PhaseTiming, RunReport, Termination};
 pub use env::{RunEnv, Threads};
+pub use error::CorleoneError;
 pub use estimator::{estimate_accuracy, AccuracyEstimate};
 pub use join::{hands_off_join, JoinResult, JoinedRow};
 pub use learner::{run_active_learning, LearnOutcome, StopReason};
@@ -105,8 +107,9 @@ pub use task::MatchTask;
 pub mod prelude {
     pub use crate::cache::{CacheStats, FeatureCache};
     pub use crate::config::CorleoneConfig;
-    pub use crate::engine::{Engine, RunReport};
+    pub use crate::engine::{Engine, RunReport, Termination};
     pub use crate::env::{RunEnv, Threads};
+    pub use crate::error::CorleoneError;
     pub use crate::session::RunSession;
     pub use crate::task::{task_from_parts, MatchTask};
     pub use crowd::{

@@ -96,11 +96,30 @@ impl RunReport {
 
         let _ = writeln!(
             out,
-            "Result: {} matches, ${:.2} total, {} pairs labeled",
+            "Result: {} matches, ${:.2} total, {} pairs labeled \
+             (termination: {:?})",
             self.predicted_matches.len(),
             self.total_cost_cents / 100.0,
             self.total_pairs_labeled,
+            self.termination,
         );
+        let fs = &self.perf.faults;
+        if fs.any() || fs.hits_failed > 0 {
+            let _ = writeln!(
+                out,
+                "Crowd faults: {} HITs expired, {} assignments abandoned, \
+                 {} no-shows, {} workers lost, {} outages — {} reposts \
+                 ({:.0}s backoff), {} HITs failed",
+                fs.hits_expired,
+                fs.assignments_abandoned,
+                fs.worker_no_shows,
+                fs.workers_attrited,
+                fs.outages,
+                fs.reposts,
+                fs.backoff_secs,
+                fs.hits_failed,
+            );
+        }
         if let Some(t) = self.final_true {
             let _ = writeln!(
                 out,
@@ -146,7 +165,10 @@ mod tests {
         assert!(text.contains("estimate:"));
         assert!(text.contains("truth:"));
         assert!(text.contains("Result:"));
+        assert!(text.contains("termination:"));
         assert!(text.contains("Final truth:"));
         assert!(text.contains("model features:"));
+        // A fault-free platform renders no fault block.
+        assert!(!text.contains("Crowd faults:"));
     }
 }

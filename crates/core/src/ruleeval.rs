@@ -112,6 +112,10 @@ pub struct RuleEvalConfig {
     /// Voting scheme for the labels (rule evaluation is
     /// estimation-sensitive, so the hybrid scheme is the default).
     pub scheme: Scheme,
+    /// Absolute ledger cap (cents): stop soliciting labels once
+    /// `Ledger.total_cents` reaches it, deciding remaining rules from the
+    /// labels in hand. `None` leaves evaluation unbudgeted.
+    pub budget_cents_cap: Option<f64>,
 }
 
 impl Default for RuleEvalConfig {
@@ -122,6 +126,7 @@ impl Default for RuleEvalConfig {
             eps_max: 0.05,
             confidence: 0.95,
             scheme: Scheme::Hybrid,
+            budget_cents_cap: None,
         }
     }
 }
@@ -215,22 +220,13 @@ pub fn evaluate_rules_jointly(
                 });
             }
         }
-        let undecided: Vec<&State> = states.iter().filter(|s| s.decided.is_none()).collect();
-        if undecided.is_empty() || rounds > 500 {
-            break;
-        }
-        // Sample from the union of undecided coverages, unlabeled only.
-        let mut union: Vec<usize> = undecided
-            .iter()
-            .flat_map(|s| s.scored.coverage.iter().copied())
-            .filter(|i| !prior_labels.contains_key(i))
-            .collect();
-        union.sort_unstable();
-        union.dedup();
-        if union.is_empty() {
-            // Exhausted: finalize the stragglers from exact coverage stats.
+        let undecided_any = states.iter().any(|s| s.decided.is_none());
+        // Finalize whatever is still undecided from the labels in hand —
+        // used when sampling must stop (coverage exhausted, budget cap,
+        // round cap, or a crowd that stopped returning labels).
+        let finalize = |states: &mut Vec<State>, labels: &HashMap<usize, bool>| {
             for st in states.iter_mut().filter(|s| s.decided.is_none()) {
-                let (n, ok) = stats(&st.scored, prior_labels);
+                let (n, ok) = stats(&st.scored, labels);
                 let p = if n > 0 { ok as f64 / n as f64 } else { 0.0 };
                 st.decided = Some(EvaluatedRule {
                     rule: st.scored.rule.clone(),
@@ -241,6 +237,32 @@ pub fn evaluate_rules_jointly(
                     kept: p >= cfg.p_min && n > 0,
                 });
             }
+        };
+        if !undecided_any {
+            break;
+        }
+        if rounds > 500 {
+            finalize(&mut states, prior_labels);
+            break;
+        }
+        if let Some(cap) = cfg.budget_cents_cap {
+            if platform.ledger().total_cents >= cap {
+                finalize(&mut states, prior_labels);
+                break;
+            }
+        }
+        // Sample from the union of undecided coverages, unlabeled only.
+        let mut union: Vec<usize> = states
+            .iter()
+            .filter(|s| s.decided.is_none())
+            .flat_map(|s| s.scored.coverage.iter().copied())
+            .filter(|i| !prior_labels.contains_key(i))
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        if union.is_empty() {
+            // Exhausted: finalize the stragglers from exact coverage stats.
+            finalize(&mut states, prior_labels);
             break;
         }
         union.shuffle(rng);

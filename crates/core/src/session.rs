@@ -27,6 +27,7 @@
 
 use crate::cache::{FeatureCache, DEFAULT_CACHE_CAPACITY};
 use crate::engine::{Engine, RunReport};
+use crate::error::CorleoneError;
 use crate::task::MatchTask;
 use crowd::{CrowdPlatform, PairKey, TruthOracle};
 use exec::Threads;
@@ -106,21 +107,31 @@ impl<'s> RunSession<'s> {
         self
     }
 
-    /// Execute the run.
+    /// Execute the run, panicking on any failure.
+    ///
+    /// This is a thin wrapper over [`Self::try_run`] for callers that
+    /// treat every run failure — a misconfigured session, an empty
+    /// candidate set, a crowd that could not finish labeling — as a bug.
+    /// Production callers should prefer `try_run`.
     ///
     /// # Panics
     /// Panics if [`RunSession::platform`] or [`RunSession::oracle`] was
-    /// not provided.
+    /// not provided, or if the run fails (see [`CorleoneError`]).
     pub fn run(self) -> RunReport {
-        let platform = self
-            .platform
-            .expect("RunSession::run called without a platform; call .platform(&mut p) first");
-        let oracle = self
-            .oracle
-            .expect("RunSession::run called without an oracle; call .oracle(&o) first");
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Execute the run, surfacing failures as [`CorleoneError`] instead
+    /// of panicking. Note that a run on a faulty platform that *finishes*
+    /// with labels missing is not an `Err` — it returns `Ok` with
+    /// [`RunReport::termination`](crate::engine::RunReport) set to
+    /// [`Termination::Degraded`](crate::engine::Termination::Degraded).
+    pub fn try_run(self) -> Result<RunReport, CorleoneError> {
+        let platform = self.platform.ok_or(CorleoneError::MissingPlatform)?;
+        let oracle = self.oracle.ok_or(CorleoneError::MissingOracle)?;
         let cache = (self.cache_capacity > 0)
             .then(|| FeatureCache::with_capacity(self.cache_capacity));
-        self.engine.run_inner(
+        self.engine.try_run_inner(
             self.task,
             platform,
             oracle,
@@ -168,6 +179,38 @@ mod tests {
         let engine = Engine::new(CorleoneConfig::small());
         let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
         engine.session(&task).platform(&mut platform).run();
+    }
+
+    #[test]
+    fn try_run_returns_typed_errors_for_missing_collaborators() {
+        let (task, gold) = toy();
+        let engine = Engine::new(CorleoneConfig::small());
+        assert_eq!(
+            engine.session(&task).try_run().unwrap_err(),
+            CorleoneError::MissingPlatform
+        );
+        let mut platform = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        assert_eq!(
+            engine.session(&task).platform(&mut platform).try_run().unwrap_err(),
+            CorleoneError::MissingOracle
+        );
+        let _ = gold;
+    }
+
+    #[test]
+    fn try_run_matches_run_on_success() {
+        let (task, gold) = toy();
+        let engine = Engine::new(CorleoneConfig::small()).with_seed(9);
+        let mut p1 = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        let via_try = engine
+            .session(&task)
+            .platform(&mut p1)
+            .oracle(&gold)
+            .try_run()
+            .expect("clean run succeeds");
+        let mut p2 = CrowdPlatform::new(WorkerPool::perfect(3), CrowdConfig::default());
+        let via_run = engine.session(&task).platform(&mut p2).oracle(&gold).run();
+        assert_eq!(via_try.deterministic_json(), via_run.deterministic_json());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Budget-plan enforcement (§10 budget-allocation extension).
+//!
+//! The engine turns a `BudgetSplit` into *cumulative* ledger caps
+//! (`BudgetPlan`), so money one phase does not spend must roll forward to
+//! the next phase, and no phase may spend past its cumulative cap — only
+//! overshoot by the one batch that was already in flight when the cap was
+//! hit. Before these tests, the plan was only exercised end-to-end via
+//! total spend.
+
+use corleone::budget::BudgetSplit;
+use corleone::prelude::*;
+use corleone::task::task_from_parts;
+use similarity::{Attribute, Schema, Table, Value};
+use std::sync::Arc;
+
+fn toy_task() -> (MatchTask, GoldOracle) {
+    let schema = Arc::new(Schema::new(vec![
+        Attribute::text("name"),
+        Attribute::text("city"),
+    ]));
+    let rows = |prefix: &str, n: usize| -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Text(format!("{prefix} shop number {i}")),
+                    Value::Text(if i % 3 == 0 { "madison" } else { "chicago" }.into()),
+                ]
+            })
+            .collect()
+    };
+    let a = Table::new("a", schema.clone(), rows("corner", 24));
+    let b = Table::new("b", schema, rows("Corner", 24));
+    let task = task_from_parts(a, b, "same shop?", [(0, 0), (1, 1)], [(0, 23), (2, 19)]);
+    let gold = GoldOracle::from_pairs((0..24).map(|i| (i, i)));
+    (task, gold)
+}
+
+/// One labeling batch can already be in flight when a cumulative cap is
+/// hit: 10 questions × up to 7 answers (strong majority) × 1¢.
+const BATCH_SLACK_CENTS: f64 = 100.0;
+
+#[test]
+fn underspent_blocking_rolls_budget_forward_to_matching() {
+    let (task, gold) = toy_task();
+    // Give blocking a huge share it cannot spend (the toy task's
+    // cartesian fits in memory, so the blocker never triggers) and
+    // matching a deliberately tiny one.
+    let split = BudgetSplit { blocking: 0.6, matching: 0.1, estimation: 0.2, locating: 0.1 };
+    let budget = 200.0;
+    let mut cfg = CorleoneConfig::small();
+    cfg.engine.budget_cents = Some(budget);
+    cfg.engine.budget_split = Some(split);
+    let mut platform = CrowdPlatform::new(WorkerPool::uniform(5, 0.1), CrowdConfig::default());
+    let report = Engine::new(cfg)
+        .with_seed(21)
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
+
+    assert!(!report.blocker.triggered, "toy task must not trigger blocking");
+    assert_eq!(report.blocker.cost_cents, 0.0);
+    let matcher_spend: f64 = report.iterations.iter().map(|it| it.matcher_cost_cents).sum();
+    // The matching share alone is 20¢; the cumulative cap after matching
+    // is (0.6 + 0.1) × 200 = 140¢. Spending meaningfully past the bare
+    // share proves blocking's unspent budget rolled forward.
+    assert!(
+        matcher_spend > split.matching * budget,
+        "matcher spent only {matcher_spend}¢ — blocking's unspent share did not roll forward"
+    );
+    let cumulative_cap = (split.blocking + split.matching) * budget;
+    assert!(
+        matcher_spend <= cumulative_cap + BATCH_SLACK_CENTS,
+        "matcher spent {matcher_spend}¢, past its cumulative cap of {cumulative_cap}¢"
+    );
+}
+
+#[test]
+fn estimation_respects_cumulative_cap_under_noisy_crowd() {
+    let (task, gold) = toy_task();
+    let split = BudgetSplit::default(); // 0.15 / 0.50 / 0.25 / 0.10
+    let budget = 300.0;
+    let mut cfg = CorleoneConfig::small();
+    cfg.engine.budget_cents = Some(budget);
+    cfg.engine.budget_split = Some(split);
+    let mut platform = CrowdPlatform::new(WorkerPool::uniform(7, 0.2), CrowdConfig::default());
+    let report = Engine::new(cfg)
+        .with_seed(22)
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
+
+    // Everything spent through the estimation phase — blocking, every
+    // matcher, every estimator round — must sit under the cumulative
+    // estimation cap (modulo one in-flight batch). Locator spend is the
+    // only thing allowed above it.
+    let spend_through_estimation: f64 = report.blocker.cost_cents
+        + report
+            .iterations
+            .iter()
+            .map(|it| it.matcher_cost_cents + it.estimate.cost_cents)
+            .sum::<f64>();
+    let est_cap = (split.blocking + split.matching + split.estimation) * budget;
+    assert!(
+        spend_through_estimation <= est_cap + BATCH_SLACK_CENTS,
+        "spent {spend_through_estimation}¢ through estimation, cap was {est_cap}¢"
+    );
+    assert!(
+        report.total_cost_cents <= budget + BATCH_SLACK_CENTS,
+        "total {}¢ blew the {budget}¢ budget",
+        report.total_cost_cents
+    );
+    // The run must actually have exercised the noisy-crowd path.
+    assert!(report.total_pairs_labeled > 0);
+    assert!(!report.iterations.is_empty());
+}
+
+#[test]
+fn locating_stays_within_total_budget_under_noisy_crowd() {
+    let (task, gold) = toy_task();
+    let split = BudgetSplit { blocking: 0.1, matching: 0.4, estimation: 0.3, locating: 0.2 };
+    let budget = 250.0;
+    let mut cfg = CorleoneConfig::small();
+    cfg.engine.budget_cents = Some(budget);
+    cfg.engine.budget_split = Some(split);
+    let mut platform = CrowdPlatform::new(WorkerPool::uniform(7, 0.3), CrowdConfig::default());
+    let report = Engine::new(cfg)
+        .with_seed(23)
+        .session(&task)
+        .platform(&mut platform)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
+    assert!(
+        report.total_cost_cents <= budget + BATCH_SLACK_CENTS,
+        "total {}¢ blew the {budget}¢ budget",
+        report.total_cost_cents
+    );
+}

@@ -65,6 +65,78 @@ fn cache_configuration_never_changes_results() {
     assert_eq!(uncached, tiny);
 }
 
+/// With a fully zeroed `FaultConfig`, the fault RNG is never drawn: the
+/// run's deterministic JSON must be byte-identical to a platform built
+/// without the fault layer at all (pay-for-what-you-use).
+#[test]
+fn zeroed_fault_config_is_byte_identical_to_plain_platform() {
+    use crowd::{FaultConfig, RetryPolicy};
+    let (task, gold) = toy_task();
+    let engine = Engine::new(CorleoneConfig::small());
+    let run = |mut platform: CrowdPlatform| {
+        engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .seed(13)
+            .threads(4)
+            .run()
+            .deterministic_json()
+    };
+    let plain = run(CrowdPlatform::new(WorkerPool::uniform(3, 0.1), CrowdConfig::default()));
+    let zeroed = run(CrowdPlatform::with_faults(
+        WorkerPool::uniform(3, 0.1),
+        CrowdConfig::default(),
+        FaultConfig::default(),
+        RetryPolicy::default(),
+    ));
+    assert_eq!(plain, zeroed, "disabled fault layer must cost nothing, change nothing");
+}
+
+/// With faults *enabled*, the report — including the fault counters,
+/// which `deterministic_json` zeroes along with the rest of `perf` — must
+/// still be a function of the seeds alone, never of the thread count.
+#[test]
+fn faulty_run_is_thread_count_invariant() {
+    use corleone::engine::RunReport;
+    use crowd::{FaultConfig, FaultStats, RetryPolicy};
+    let (task, gold) = toy_task();
+    let engine = Engine::new(CorleoneConfig::small());
+    let faults = FaultConfig {
+        hit_expiry_prob: 0.2,
+        abandonment_prob: 0.1,
+        outage_prob: 0.05,
+        seed: 99,
+        ..Default::default()
+    };
+    let run = |threads: usize| -> (String, FaultStats) {
+        let mut platform = CrowdPlatform::with_faults(
+            WorkerPool::uniform(3, 0.1),
+            CrowdConfig::default(),
+            faults,
+            RetryPolicy::default(),
+        );
+        let report: RunReport = engine
+            .session(&task)
+            .platform(&mut platform)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .seed(17)
+            .threads(threads)
+            .run();
+        (report.deterministic_json(), report.perf.faults)
+    };
+    let (j1, f1) = run(1);
+    let (j2, f2) = run(2);
+    let (j8, f8) = run(8);
+    assert_eq!(j1, j2, "2 threads diverged from serial under faults");
+    assert_eq!(j1, j8, "8 threads diverged from serial under faults");
+    assert_eq!(f1, f2, "fault counters diverged at 2 threads");
+    assert_eq!(f1, f8, "fault counters diverged at 8 threads");
+    assert!(f1.any(), "the fault config must actually inject faults");
+}
+
 proptest! {
     // Full engine runs are not cheap; a handful of random seeds is plenty
     // to catch a scheduling-dependent code path.

@@ -1,0 +1,293 @@
+//! Fault injection and recovery for the simulated marketplace.
+//!
+//! The paper's platform is idealized: every posted HIT completes and every
+//! assignment is answered. Real marketplaces are not like that — *Human
+//! powered Sorts and Joins* (Marcus et al., VLDB 2011) measures HIT expiry
+//! and abandonment on live Mechanical Turk, and CrowdER (Wang et al.,
+//! VLDB 2012) shows crowd-EM cost and quality hinge on how the system
+//! reacts to that noise. This module injects those failure modes into
+//! [`CrowdPlatform`](crate::platform::CrowdPlatform), seeded and
+//! deterministic, and defines the [`RetryPolicy`] the platform uses to
+//! recover: repost with exponential backoff and optional price escalation
+//! (the §10 money–time model — paying more gets the crowd to answer
+//! faster, and to pick up reposted work at all).
+//!
+//! **Pay for what you use:** a fully zeroed [`FaultConfig`] (the default)
+//! never draws from the fault RNG and takes the exact pre-fault code path,
+//! so fault-free runs are byte-identical to a platform built without the
+//! fault layer.
+
+use crate::oracle::PairKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seeded fault-injection probabilities. All default to zero (no faults);
+/// every draw comes from a dedicated RNG stream seeded by [`Self::seed`],
+/// so enabling faults never perturbs worker-answer randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a posted HIT expires unanswered: no worker picks
+    /// it up within its lifetime, nothing is paid, and the platform only
+    /// notices after waiting out the HIT's nominal duration.
+    pub hit_expiry_prob: f64,
+    /// Per-assignment probability that the worker abandons the question
+    /// mid-flight: the answer is lost (and not paid), the time is not.
+    pub abandonment_prob: f64,
+    /// Per-HIT probability that an assigned worker never shows up; a
+    /// replacement is found after one extra answer-latency of delay.
+    pub worker_no_show_prob: f64,
+    /// Per-HIT probability that a worker permanently leaves the pool
+    /// (attrition). The pool never shrinks below two workers.
+    pub worker_attrition_prob: f64,
+    /// Per-HIT-posting probability of a transient platform outage that
+    /// delays the posting by [`Self::outage_secs`].
+    pub outage_prob: f64,
+    /// Duration of one transient outage, in simulated seconds.
+    pub outage_secs: f64,
+    /// Seed of the dedicated fault RNG stream.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            hit_expiry_prob: 0.0,
+            abandonment_prob: 0.0,
+            worker_no_show_prob: 0.0,
+            worker_attrition_prob: 0.0,
+            outage_prob: 0.0,
+            outage_secs: 300.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether any failure mode can fire. `false` guarantees the platform
+    /// never touches the fault RNG (the pay-for-what-you-use contract).
+    pub fn enabled(&self) -> bool {
+        self.hit_expiry_prob > 0.0
+            || self.abandonment_prob > 0.0
+            || self.worker_no_show_prob > 0.0
+            || self.worker_attrition_prob > 0.0
+            || self.outage_prob > 0.0
+    }
+
+    /// Assert every probability lies in `[0, 1]` and durations are finite.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range probability — construction-time misuse,
+    /// not a runtime fault.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("hit_expiry_prob", self.hit_expiry_prob),
+            ("abandonment_prob", self.abandonment_prob),
+            ("worker_no_show_prob", self.worker_no_show_prob),
+            ("worker_attrition_prob", self.worker_attrition_prob),
+            ("outage_prob", self.outage_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+        }
+        assert!(
+            self.outage_secs.is_finite() && self.outage_secs >= 0.0,
+            "outage_secs must be finite and non-negative"
+        );
+    }
+}
+
+/// How the platform recovers from expired or partially answered HITs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Reposts allowed after the initial attempt. `0` means one attempt
+    /// only; unresolved questions are surfaced as incomplete.
+    pub max_reposts: u32,
+    /// Wait before the first repost, in simulated seconds (added to
+    /// `Ledger.simulated_secs`).
+    pub backoff_base_secs: f64,
+    /// Multiplier applied to the backoff for each subsequent repost.
+    pub backoff_factor: f64,
+    /// Price multiplier applied per repost (the §10 money–time lever:
+    /// escalate the pay to attract workers to work that stalled).
+    /// `1.0` reposts at the original price.
+    pub price_growth: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_reposts: 3,
+            backoff_base_secs: 60.0,
+            backoff_factor: 2.0,
+            price_growth: 1.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before repost number `repost` (0-based): exponential in the
+    /// number of reposts already made.
+    pub fn backoff_secs(&self, repost: u32) -> f64 {
+        self.backoff_base_secs * self.backoff_factor.powi(repost as i32)
+    }
+}
+
+/// Counters for injected faults and the recovery work they caused.
+/// Deterministic for a given seed at any thread count; surfaced in
+/// `RunReport.perf`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// HITs that expired unanswered.
+    pub hits_expired: u64,
+    /// Assignments abandoned mid-question.
+    pub assignments_abandoned: u64,
+    /// Assigned workers that never showed up.
+    pub worker_no_shows: u64,
+    /// Workers that permanently left the pool.
+    pub workers_attrited: u64,
+    /// Transient platform outages encountered.
+    pub outages: u64,
+    /// HITs reposted by the retry policy.
+    pub reposts: u64,
+    /// Simulated seconds spent waiting in retry backoff.
+    pub backoff_secs: f64,
+    /// HITs that exhausted their repost budget with questions still
+    /// unresolved (the run is degraded).
+    pub hits_failed: u64,
+}
+
+impl FaultStats {
+    /// Field-wise difference `self - start` (counters only grow).
+    pub fn delta(&self, start: &FaultStats) -> FaultStats {
+        FaultStats {
+            hits_expired: self.hits_expired - start.hits_expired,
+            assignments_abandoned: self.assignments_abandoned - start.assignments_abandoned,
+            worker_no_shows: self.worker_no_shows - start.worker_no_shows,
+            workers_attrited: self.workers_attrited - start.workers_attrited,
+            outages: self.outages - start.outages,
+            reposts: self.reposts - start.reposts,
+            backoff_secs: self.backoff_secs - start.backoff_secs,
+            hits_failed: self.hits_failed - start.hits_failed,
+        }
+    }
+
+    /// True when any fault fired.
+    pub fn any(&self) -> bool {
+        self.hits_expired > 0
+            || self.assignments_abandoned > 0
+            || self.worker_no_shows > 0
+            || self.workers_attrited > 0
+            || self.outages > 0
+    }
+}
+
+/// Typed failures of the crowd layer. These replace the panics the
+/// platform used to raise when labeling could not complete.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CrowdError {
+    /// Labeling gave up with some requested pairs still unlabeled —
+    /// retries were exhausted or progress stalled.
+    Incomplete {
+        /// Distinct pairs requested.
+        requested: usize,
+        /// Distinct pairs that did get labeled.
+        labeled: usize,
+        /// The pairs left unlabeled (first few; truncated for large sets).
+        missing: Vec<PairKey>,
+    },
+    /// A labeling call was made with an empty request where the protocol
+    /// requires at least one pair.
+    EmptyRequest,
+    /// A HIT exhausted its repost budget with questions unresolved.
+    RetriesExhausted {
+        /// Questions still unresolved when the budget ran out.
+        unresolved: usize,
+        /// Posting attempts made (1 + reposts).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrowdError::Incomplete { requested, labeled, missing } => write!(
+                f,
+                "crowd labeling incomplete: {labeled} of {requested} pairs labeled \
+                 ({} unresolved)",
+                missing.len()
+            ),
+            CrowdError::EmptyRequest => write!(f, "empty labeling request"),
+            CrowdError::RetriesExhausted { unresolved, attempts } => write!(
+                f,
+                "HIT retries exhausted after {attempts} attempts with \
+                 {unresolved} questions unresolved"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_config_is_disabled() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.enabled());
+        cfg.validate();
+    }
+
+    #[test]
+    fn any_positive_probability_enables() {
+        for set in [
+            FaultConfig { hit_expiry_prob: 0.1, ..Default::default() },
+            FaultConfig { abandonment_prob: 0.1, ..Default::default() },
+            FaultConfig { worker_no_show_prob: 0.1, ..Default::default() },
+            FaultConfig { worker_attrition_prob: 0.1, ..Default::default() },
+            FaultConfig { outage_prob: 0.1, ..Default::default() },
+        ] {
+            assert!(set.enabled(), "{set:?}");
+            set.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_probability_rejected() {
+        FaultConfig { hit_expiry_prob: 1.5, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let r = RetryPolicy { backoff_base_secs: 10.0, backoff_factor: 3.0, ..Default::default() };
+        assert_eq!(r.backoff_secs(0), 10.0);
+        assert_eq!(r.backoff_secs(1), 30.0);
+        assert_eq!(r.backoff_secs(2), 90.0);
+    }
+
+    #[test]
+    fn stats_delta_subtracts_fieldwise() {
+        let start = FaultStats { hits_expired: 2, reposts: 1, ..Default::default() };
+        let end = FaultStats { hits_expired: 5, reposts: 4, backoff_secs: 60.0, ..Default::default() };
+        let d = end.delta(&start);
+        assert_eq!(d.hits_expired, 3);
+        assert_eq!(d.reposts, 3);
+        assert_eq!(d.backoff_secs, 60.0);
+        assert!(d.any());
+        assert!(!FaultStats::default().any());
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = CrowdError::Incomplete {
+            requested: 10,
+            labeled: 7,
+            missing: vec![PairKey::new(1, 2)],
+        };
+        assert!(e.to_string().contains("7 of 10"));
+        assert!(CrowdError::EmptyRequest.to_string().contains("empty"));
+        let r = CrowdError::RetriesExhausted { unresolved: 3, attempts: 4 };
+        assert!(r.to_string().contains("4 attempts"));
+    }
+}

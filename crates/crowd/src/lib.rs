@@ -23,6 +23,10 @@
 //! * **Platform** ([`platform`]): ties the above together behind the one
 //!   call Corleone makes — "label this batch of pairs under this scheme" —
 //!   and keeps the money/label ledger the experiment tables report.
+//! * **Faults** ([`fault`]): seeded injection of real-marketplace failure
+//!   modes — HIT expiry, assignment abandonment, worker no-shows and
+//!   attrition, transient outages — plus the retry policy (backoff,
+//!   price escalation) the platform uses to recover from them.
 //! * **Statistics** ([`stats`]): normal quantiles (Acklam's inverse CDF —
 //!   no stats crate is available offline) and the finite-population
 //!   confidence intervals of §4.2 and §6.1.
@@ -42,6 +46,7 @@
 
 pub mod aggregate;
 pub mod cache;
+pub mod fault;
 pub mod hit;
 pub mod oracle;
 pub mod platform;
@@ -52,6 +57,7 @@ pub mod worker;
 
 pub use aggregate::{dawid_skene, EmAggregate};
 pub use cache::{LabelCache, Strength};
+pub use fault::{CrowdError, FaultConfig, FaultStats, RetryPolicy};
 pub use oracle::{GoldOracle, PairKey, TruthOracle};
 pub use platform::{CrowdConfig, CrowdPlatform, Ledger};
 pub use quality::{screen_workers, Qualification, ScreeningReport};

@@ -11,13 +11,29 @@
 //! already produced labels (cached or fresh). When a batch would otherwise
 //! return nothing, one HIT is padded with repeated questions (duplicates
 //! are paid for and discarded) so progress is always made.
+//!
+//! ## Faults and recovery
+//!
+//! A platform built with [`CrowdPlatform::with_faults`] injects the
+//! marketplace failure modes of [`FaultConfig`] — HIT expiry, assignment
+//! abandonment, worker no-shows and attrition, transient outages — from a
+//! dedicated seeded RNG stream, and recovers per its [`RetryPolicy`]:
+//! unresolved questions are repacked and reposted with exponential backoff
+//! (charged to `Ledger.simulated_secs`) and optional price escalation.
+//! A HIT that exhausts its repost budget surfaces its questions as
+//! *unlabeled* (the batch contract already permits subsets) and bumps
+//! `FaultStats.hits_failed`. With the default zeroed [`FaultConfig`] the
+//! fault RNG is never drawn and the platform behaves exactly like one
+//! without the fault layer.
 
 use crate::cache::{LabelCache, Strength};
+use crate::fault::{CrowdError, FaultConfig, FaultStats, RetryPolicy};
 use crate::hit::{Hit, HIT_SIZE};
 use crate::oracle::{PairKey, TruthOracle};
 use crate::voting::{resolve, Scheme};
 use crate::worker::WorkerPool;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -60,18 +76,20 @@ pub struct Ledger {
     /// Individual worker answers solicited (each is paid).
     pub answers_solicited: u64,
     /// Question slots sent to the crowd, including padding duplicates.
+    /// Slots of an expired HIT are not counted (the HIT never ran).
     pub questions_asked: u64,
-    /// HITs posted.
+    /// HITs posted, including reposts of faulted HITs.
     pub hits_posted: u64,
     /// Distinct pairs labeled by the crowd (excludes cache hits).
     pub pairs_labeled: u64,
-    /// Batch requests served entirely or partly from the cache.
+    /// Pairs served from the label cache instead of the crowd.
     pub cache_hits: u64,
     /// Total spend in cents.
     pub total_cents: f64,
-    /// Simulated wall-clock seconds of crowd work. HITs posted in one
-    /// batch run in parallel across workers; questions within a HIT are
-    /// answered sequentially by each assignee.
+    /// Simulated wall-clock seconds of crowd work, including retry
+    /// backoff and outage delays. HITs posted in one batch run in
+    /// parallel across workers; questions within a HIT are answered
+    /// sequentially by each assignee.
     pub simulated_secs: f64,
 }
 
@@ -82,7 +100,20 @@ impl Ledger {
     }
 }
 
-/// The simulated platform: workers + cache + ledger.
+/// Result of driving one HIT to completion or retry exhaustion.
+struct HitRun {
+    /// Labels produced across all attempts. Questions that exhausted the
+    /// repost budget are simply absent (callers requery or give up).
+    labeled: Vec<(PairKey, bool)>,
+    /// Total simulated duration, including backoff between attempts.
+    secs: f64,
+}
+
+/// Consecutive zero-progress rounds after which [`CrowdPlatform::try_label_all`]
+/// reports the remaining pairs as unlabelable.
+const MAX_STALLED_ROUNDS: u32 = 3;
+
+/// The simulated platform: workers + cache + ledger (+ optional faults).
 #[derive(Debug, Clone)]
 pub struct CrowdPlatform {
     workers: WorkerPool,
@@ -90,13 +121,45 @@ pub struct CrowdPlatform {
     cache: LabelCache,
     ledger: Ledger,
     rng: StdRng,
+    faults: FaultConfig,
+    retry: RetryPolicy,
+    fault_rng: StdRng,
+    fault_stats: FaultStats,
 }
 
 impl CrowdPlatform {
-    /// Create a platform over a worker pool.
+    /// Create a fault-free platform over a worker pool.
     pub fn new(workers: WorkerPool, cfg: CrowdConfig) -> Self {
+        Self::with_faults(workers, cfg, FaultConfig::default(), RetryPolicy::default())
+    }
+
+    /// Create a platform with fault injection and a recovery policy.
+    ///
+    /// # Panics
+    /// Panics if a fault probability is outside `[0, 1]` (construction-time
+    /// misuse, not a runtime fault).
+    pub fn with_faults(
+        workers: WorkerPool,
+        cfg: CrowdConfig,
+        faults: FaultConfig,
+        retry: RetryPolicy,
+    ) -> Self {
+        faults.validate();
         let rng = StdRng::seed_from_u64(cfg.seed);
-        CrowdPlatform { workers, cfg, cache: LabelCache::new(), ledger: Ledger::default(), rng }
+        // Dedicated stream: mixing in a constant decorrelates it from the
+        // worker RNG even when both seeds are equal.
+        let fault_rng = StdRng::seed_from_u64(faults.seed ^ 0xFA17_1A3E_C7ED_5EED);
+        CrowdPlatform {
+            workers,
+            cfg,
+            cache: LabelCache::new(),
+            ledger: Ledger::default(),
+            rng,
+            faults,
+            retry,
+            fault_rng,
+            fault_stats: FaultStats::default(),
+        }
     }
 
     /// The running ledger.
@@ -109,9 +172,31 @@ impl CrowdPlatform {
         &self.cache
     }
 
+    /// Fault and recovery counters.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// The fault configuration in effect.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.faults
+    }
+
+    /// The retry policy in effect.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The worker pool (shrinks under attrition faults).
+    pub fn workers(&self) -> &WorkerPool {
+        &self.workers
+    }
+
     /// Label a batch of pairs under `scheme`. Returns `(pair, label)` for
     /// every pair that ended up labeled — possibly a subset of the request
-    /// (see module docs). Duplicate pairs in the request are collapsed.
+    /// (see module docs; under faults, pairs whose HIT exhausted its
+    /// reposts are also missing). Duplicate pairs in the request are
+    /// collapsed.
     pub fn label_batch(
         &mut self,
         oracle: &dyn TruthOracle,
@@ -128,18 +213,16 @@ impl CrowdPlatform {
 
         let mut results: Vec<(PairKey, bool)> = Vec::new();
         let mut uncached: Vec<PairKey> = Vec::new();
-        let mut any_cached = false;
+        let mut cached_pairs = 0u64;
         for &p in &pairs {
             if let Some(hit) = self.cache.lookup(p, scheme) {
                 results.push((p, hit.label));
-                any_cached = true;
+                cached_pairs += 1;
             } else {
                 uncached.push(p);
             }
         }
-        if any_cached {
-            self.ledger.cache_hits += 1;
-        }
+        self.ledger.cache_hits += cached_pairs;
 
         // Pack full HITs; decide about the leftover afterwards. HITs of
         // one batch run concurrently, so batch latency is the slowest HIT.
@@ -147,35 +230,45 @@ impl CrowdPlatform {
         let mut batch_secs = 0.0f64;
         for chunk in uncached[..full].chunks(HIT_SIZE) {
             let hit = Hit::pack(chunk);
-            let (labeled, secs) = self.run_hit(oracle, &hit, scheme);
-            results.extend(labeled);
-            batch_secs = batch_secs.max(secs);
+            let run = self.run_hit(oracle, &hit, scheme);
+            results.extend(run.labeled);
+            batch_secs = batch_secs.max(run.secs);
         }
         let leftover = &uncached[full..];
         if !leftover.is_empty() && results.is_empty() {
             // The batch would produce nothing; pad one HIT so the caller
             // always makes progress (duplicate slots are paid, discarded).
             let hit = Hit::pack(leftover);
-            let (labeled, secs) = self.run_hit(oracle, &hit, scheme);
-            results.extend(labeled);
-            batch_secs = batch_secs.max(secs);
+            let run = self.run_hit(oracle, &hit, scheme);
+            results.extend(run.labeled);
+            batch_secs = batch_secs.max(run.secs);
         }
         self.ledger.simulated_secs += batch_secs;
         results
     }
 
-    /// Label every requested pair, padding HITs as needed. Used where the
-    /// protocol requires a complete batch (e.g. the four seed examples).
-    pub fn label_all(
+    /// Label every requested pair, padding HITs as needed, or report which
+    /// pairs could not be labeled. Used where the protocol requires a
+    /// complete batch (e.g. the four seed examples).
+    ///
+    /// Under fault injection, pairs whose HITs keep failing past the
+    /// retry budget stall the loop; after [`MAX_STALLED_ROUNDS`] rounds
+    /// with zero progress (or an absolute round cap) the call returns
+    /// [`CrowdError::Incomplete`] with the labels gathered so far left in
+    /// the cache/ledger.
+    pub fn try_label_all(
         &mut self,
         oracle: &dyn TruthOracle,
         pairs: &[PairKey],
         scheme: Scheme,
-    ) -> Vec<(PairKey, bool)> {
+    ) -> Result<Vec<(PairKey, bool)>, CrowdError> {
+        let requested = pairs.iter().copied().collect::<HashSet<_>>().len();
         let mut remaining: Vec<PairKey> = pairs.to_vec();
         let mut out = Vec::new();
-        let mut guard = 0;
+        let mut stalled = 0u32;
+        let mut guard = 0u32;
         while !remaining.is_empty() {
+            let before = out.len();
             let got = self.label_batch(oracle, &remaining, scheme);
             let got_keys: HashSet<PairKey> = got.iter().map(|(p, _)| *p).collect();
             out.extend(got.iter().copied());
@@ -187,46 +280,159 @@ impl CrowdPlatform {
             let chunk_len = remaining.len().min(HIT_SIZE);
             let chunk: Vec<PairKey> = remaining[..chunk_len].to_vec();
             let hit = Hit::pack(&chunk);
-            let (fresh, secs) = self.run_hit(oracle, &hit, scheme);
-            self.ledger.simulated_secs += secs;
-            let fresh_keys: HashSet<PairKey> = fresh.iter().map(|(p, _)| *p).collect();
-            out.extend(fresh.iter().copied());
+            let run = self.run_hit(oracle, &hit, scheme);
+            self.ledger.simulated_secs += run.secs;
+            let fresh_keys: HashSet<PairKey> = run.labeled.iter().map(|(p, _)| *p).collect();
+            out.extend(run.labeled.iter().copied());
             remaining.retain(|p| !fresh_keys.contains(p));
+            stalled = if out.len() == before { stalled + 1 } else { 0 };
             guard += 1;
-            assert!(guard < 100_000, "label_all failed to converge");
+            if stalled >= MAX_STALLED_ROUNDS || guard >= 100_000 {
+                let mut missing: Vec<PairKey> =
+                    remaining.iter().copied().collect::<HashSet<_>>().into_iter().collect();
+                missing.sort();
+                missing.truncate(32);
+                return Err(CrowdError::Incomplete { requested, labeled: out.len(), missing });
+            }
         }
-        out
+        Ok(out)
+    }
+
+    /// Panicking wrapper over [`Self::try_label_all`], kept for callers
+    /// that treat incomplete labeling as a programming error.
+    ///
+    /// # Panics
+    /// Panics if labeling cannot complete (e.g. persistent injected
+    /// faults past the retry budget).
+    pub fn label_all(
+        &mut self,
+        oracle: &dyn TruthOracle,
+        pairs: &[PairKey],
+        scheme: Scheme,
+    ) -> Vec<(PairKey, bool)> {
+        self.try_label_all(oracle, pairs, scheme)
+            .unwrap_or_else(|e| panic!("label_all failed to converge: {e}"))
     }
 
     /// Seconds one answer takes at the configured pay rate (the §10
     /// money–time model, without jitter).
     pub fn answer_latency_secs(&self) -> f64 {
+        self.answer_latency_secs_at(self.cfg.price_cents)
+    }
+
+    /// Seconds one answer takes at an arbitrary pay rate — reposted HITs
+    /// with price escalation run faster per the same elasticity model.
+    fn answer_latency_secs_at(&self, price_cents: f64) -> f64 {
         if self.cfg.latency_elasticity == 0.0 || self.cfg.base_latency_secs == 0.0 {
             return self.cfg.base_latency_secs;
         }
-        let ratio = self.cfg.reference_price_cents / self.cfg.price_cents.max(1e-9);
+        let ratio = self.cfg.reference_price_cents / price_cents.max(1e-9);
         self.cfg.base_latency_secs * ratio.powf(self.cfg.latency_elasticity)
     }
 
-    /// Post one HIT and resolve every slot. Duplicate slots (padding) are
-    /// paid for but only the first resolution of a pair produces a label.
-    /// Returns the labels and the HIT's simulated duration.
-    fn run_hit(
+    /// Post one HIT and drive it to completion or retry exhaustion:
+    /// attempt, then repost unresolved questions with exponential backoff
+    /// and optional price escalation until everything resolves or the
+    /// repost budget runs out.
+    fn run_hit(&mut self, oracle: &dyn TruthOracle, hit: &Hit, scheme: Scheme) -> HitRun {
+        let mut price = self.cfg.price_cents;
+        let mut questions = hit.questions.clone();
+        let mut labeled: Vec<(PairKey, bool)> = Vec::new();
+        let mut secs = 0.0f64;
+        let mut reposts = 0u32;
+        loop {
+            let (fresh, unresolved, attempt_secs) =
+                self.attempt_hit(oracle, &questions, scheme, price);
+            labeled.extend(fresh);
+            secs += attempt_secs;
+            if unresolved.is_empty() {
+                return HitRun { labeled, secs };
+            }
+            if reposts >= self.retry.max_reposts {
+                self.fault_stats.hits_failed += 1;
+                return HitRun { labeled, secs };
+            }
+            let backoff = self.retry.backoff_secs(reposts);
+            secs += backoff;
+            self.fault_stats.backoff_secs += backoff;
+            self.fault_stats.reposts += 1;
+            reposts += 1;
+            price *= self.retry.price_growth;
+            questions = Hit::pack(&unresolved).questions;
+        }
+    }
+
+    /// One posting attempt of a HIT at the given price. Duplicate slots
+    /// (padding) are paid for but only the first resolution of a pair
+    /// produces a label. Returns the labels, the distinct questions left
+    /// unresolved by injected faults, and the attempt's duration.
+    fn attempt_hit(
         &mut self,
         oracle: &dyn TruthOracle,
-        hit: &Hit,
+        questions: &[PairKey],
         scheme: Scheme,
-    ) -> (Vec<(PairKey, bool)>, f64) {
+        price: f64,
+    ) -> (Vec<(PairKey, bool)>, Vec<PairKey>, f64) {
         self.ledger.hits_posted += 1;
+        let per_answer = self.answer_latency_secs_at(price);
+        let faulty = self.faults.enabled();
+        let mut secs = 0.0f64;
+
+        if faulty {
+            if self.faults.outage_prob > 0.0 && self.fault_rng.gen_bool(self.faults.outage_prob)
+            {
+                // Transient platform outage: posting is delayed, then
+                // proceeds normally.
+                self.fault_stats.outages += 1;
+                secs += self.faults.outage_secs;
+            }
+            if self.faults.hit_expiry_prob > 0.0
+                && self.fault_rng.gen_bool(self.faults.hit_expiry_prob)
+            {
+                // Nobody picked the HIT up within its lifetime: nothing is
+                // answered or paid, and the platform only notices after
+                // waiting out the HIT's nominal duration.
+                self.fault_stats.hits_expired += 1;
+                secs += per_answer * questions.len() as f64;
+                let mut unresolved = questions.to_vec();
+                unresolved.sort();
+                unresolved.dedup();
+                return (Vec::new(), unresolved, secs);
+            }
+            if self.faults.worker_no_show_prob > 0.0
+                && self.fault_rng.gen_bool(self.faults.worker_no_show_prob)
+            {
+                // An assignee never showed; a replacement picks the HIT up
+                // one answer-latency later.
+                self.fault_stats.worker_no_shows += 1;
+                secs += per_answer;
+            }
+            if self.faults.worker_attrition_prob > 0.0
+                && self.fault_rng.gen_bool(self.faults.worker_attrition_prob)
+                && self.workers.remove_one()
+            {
+                self.fault_stats.workers_attrited += 1;
+            }
+        }
+
         let mut labeled: Vec<(PairKey, bool)> = Vec::new();
         let mut done: HashSet<PairKey> = HashSet::new();
-        let per_answer = self.answer_latency_secs();
         let mut max_assignment_answers = 0u32;
-        for &q in &hit.questions {
+        for &q in questions {
             self.ledger.questions_asked += 1;
+            if faulty
+                && self.faults.abandonment_prob > 0.0
+                && self.fault_rng.gen_bool(self.faults.abandonment_prob)
+            {
+                // The assignee abandons the question mid-flight: the time
+                // is spent, the answer is lost, nothing is paid.
+                self.fault_stats.assignments_abandoned += 1;
+                max_assignment_answers = max_assignment_answers.max(1);
+                continue;
+            }
             let outcome = resolve(scheme, &self.workers, oracle.true_label(q), &mut self.rng);
             self.ledger.answers_solicited += u64::from(outcome.answers);
-            self.ledger.total_cents += f64::from(outcome.answers) * self.cfg.price_cents;
+            self.ledger.total_cents += f64::from(outcome.answers) * price;
             max_assignment_answers = max_assignment_answers.max(outcome.answers);
             if done.insert(q) {
                 let strength = if outcome.strong { Strength::Strong } else { Strength::Weak };
@@ -238,9 +444,16 @@ impl CrowdPlatform {
         // Assignments run in parallel across workers; each assignee
         // answers the HIT's 10 questions sequentially. The HIT finishes
         // when its most-solicited question's last answer lands.
-        let secs = per_answer * hit.questions.len() as f64
+        secs += per_answer * questions.len() as f64
             + per_answer * f64::from(max_assignment_answers.saturating_sub(1));
-        (labeled, secs)
+        let mut unresolved: Vec<PairKey> = questions
+            .iter()
+            .copied()
+            .filter(|q| !done.contains(q))
+            .collect();
+        unresolved.sort();
+        unresolved.dedup();
+        (labeled, unresolved, secs)
     }
 }
 
@@ -303,7 +516,7 @@ mod tests {
         let second = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
         assert_eq!(second.len(), 10);
         assert_eq!(p.ledger().total_cents, cents_before, "all from cache");
-        assert_eq!(p.ledger().cache_hits, 1);
+        assert_eq!(p.ledger().cache_hits, 10, "one per pair served from cache");
     }
 
     #[test]
@@ -370,6 +583,258 @@ mod tests {
         req.extend(keys(10));
         let got = p.label_batch(&oracle, &req, Scheme::TwoPlusOne);
         assert_eq!(got.len(), 10);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::oracle::GoldOracle;
+
+    fn keys(n: u32) -> Vec<PairKey> {
+        (0..n).map(|i| PairKey::new(i, i)).collect()
+    }
+
+    fn faulty(faults: FaultConfig, retry: RetryPolicy, seed: u64) -> CrowdPlatform {
+        CrowdPlatform::with_faults(
+            WorkerPool::perfect(5),
+            CrowdConfig { price_cents: 1.0, seed, ..Default::default() },
+            faults,
+            retry,
+        )
+    }
+
+    #[test]
+    fn zeroed_faults_are_byte_identical_to_plain_platform() {
+        let oracle = GoldOracle::from_pairs([(0, 0), (3, 3)]);
+        let mut plain = CrowdPlatform::new(
+            WorkerPool::uniform(5, 0.2),
+            CrowdConfig { price_cents: 1.0, seed: 11, ..Default::default() },
+        );
+        let mut zeroed = CrowdPlatform::with_faults(
+            WorkerPool::uniform(5, 0.2),
+            CrowdConfig { price_cents: 1.0, seed: 11, ..Default::default() },
+            FaultConfig::default(),
+            RetryPolicy::default(),
+        );
+        let a = plain.label_batch(&oracle, &keys(23), Scheme::Hybrid);
+        let b = zeroed.label_batch(&oracle, &keys(23), Scheme::Hybrid);
+        assert_eq!(a, b, "labels must not depend on the (disabled) fault layer");
+        assert_eq!(plain.ledger(), zeroed.ledger());
+        assert_eq!(*zeroed.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn certain_expiry_without_retries_labels_nothing_and_pays_nothing() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { hit_expiry_prob: 1.0, ..Default::default() },
+            RetryPolicy { max_reposts: 0, ..Default::default() },
+            1,
+        );
+        let got = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert!(got.is_empty());
+        assert_eq!(p.ledger().total_cents, 0.0, "expired HITs are not paid");
+        assert_eq!(p.fault_stats().hits_expired, 1);
+        assert_eq!(p.fault_stats().hits_failed, 1);
+        assert_eq!(p.fault_stats().reposts, 0);
+        assert!(p.ledger().simulated_secs > 0.0, "the expiry window still passes");
+    }
+
+    #[test]
+    fn retries_recover_from_expiry_and_charge_backoff() {
+        let oracle = GoldOracle::from_pairs([]);
+        // ~50% expiry with a generous repost budget: the batch resolves.
+        let mut p = faulty(
+            FaultConfig { hit_expiry_prob: 0.5, ..Default::default() },
+            RetryPolicy { max_reposts: 20, backoff_base_secs: 60.0, ..Default::default() },
+            2,
+        );
+        let got = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 10, "retries must eventually label the batch");
+        let s = p.fault_stats();
+        assert!(s.hits_expired > 0, "seed 2 must draw at least one expiry");
+        assert_eq!(s.reposts, s.hits_expired, "every expiry triggers one repost");
+        assert_eq!(s.hits_failed, 0);
+        assert!(
+            s.backoff_secs >= 60.0 * s.reposts as f64,
+            "exponential backoff is charged per repost"
+        );
+        // And the backoff landed in the ledger's simulated clock.
+        let mut clean = faulty(FaultConfig::default(), RetryPolicy::default(), 2);
+        clean.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert!(p.ledger().simulated_secs > clean.ledger().simulated_secs + s.backoff_secs - 1e-9);
+    }
+
+    #[test]
+    fn abandonment_loses_answers_but_not_money() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { abandonment_prob: 1.0, ..Default::default() },
+            RetryPolicy { max_reposts: 2, ..Default::default() },
+            3,
+        );
+        let got = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert!(got.is_empty(), "every assignment was abandoned");
+        assert_eq!(p.ledger().total_cents, 0.0, "abandoned assignments are unpaid");
+        assert_eq!(p.fault_stats().assignments_abandoned, 30, "10 slots × 3 attempts");
+        assert_eq!(p.fault_stats().hits_failed, 1);
+        assert_eq!(p.ledger().pairs_labeled, 0);
+    }
+
+    #[test]
+    fn partial_abandonment_resolves_via_reposts() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { abandonment_prob: 0.3, ..Default::default() },
+            RetryPolicy { max_reposts: 30, ..Default::default() },
+            4,
+        );
+        let got = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 10);
+        assert!(p.fault_stats().assignments_abandoned > 0);
+        assert_eq!(p.fault_stats().hits_failed, 0);
+    }
+
+    #[test]
+    fn price_escalation_pays_more_on_reposts() {
+        let oracle = GoldOracle::from_pairs([]);
+        let run = |growth: f64| {
+            let mut p = faulty(
+                FaultConfig { abandonment_prob: 0.5, ..Default::default() },
+                RetryPolicy { max_reposts: 30, price_growth: growth, ..Default::default() },
+                5,
+            );
+            p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+            (p.fault_stats().reposts, p.ledger().total_cents)
+        };
+        let (reposts_flat, cents_flat) = run(1.0);
+        let (reposts_esc, cents_esc) = run(2.0);
+        // Same seed → same fault draws → same repost schedule.
+        assert_eq!(reposts_flat, reposts_esc);
+        assert!(reposts_flat > 0, "seed 5 must trigger reposts");
+        assert!(
+            cents_esc > cents_flat,
+            "escalated reposts must cost more ({cents_esc} vs {cents_flat})"
+        );
+    }
+
+    #[test]
+    fn outages_delay_but_do_not_lose_work() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { outage_prob: 1.0, outage_secs: 500.0, ..Default::default() },
+            RetryPolicy::default(),
+            6,
+        );
+        let got = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 10);
+        assert_eq!(p.fault_stats().outages, 1);
+        let mut clean = faulty(FaultConfig::default(), RetryPolicy::default(), 6);
+        clean.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert!(
+            (p.ledger().simulated_secs - clean.ledger().simulated_secs - 500.0).abs() < 1e-9,
+            "outage adds exactly its duration"
+        );
+    }
+
+    #[test]
+    fn attrition_shrinks_the_pool_but_never_empties_it() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { worker_attrition_prob: 1.0, ..Default::default() },
+            RetryPolicy::default(),
+            7,
+        );
+        assert_eq!(p.workers().len(), 5);
+        for round in 0..6u32 {
+            let ks: Vec<PairKey> = (0..10).map(|i| PairKey::new(100 * round + i, i)).collect();
+            p.label_batch(&oracle, &ks, Scheme::TwoPlusOne);
+        }
+        assert_eq!(p.workers().len(), 2, "attrition floors at two workers");
+        assert_eq!(p.fault_stats().workers_attrited, 3);
+    }
+
+    #[test]
+    fn no_shows_are_counted_and_slow_the_hit() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { worker_no_show_prob: 1.0, ..Default::default() },
+            RetryPolicy::default(),
+            8,
+        );
+        let got = p.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert_eq!(got.len(), 10);
+        assert_eq!(p.fault_stats().worker_no_shows, 1);
+        let mut clean = faulty(FaultConfig::default(), RetryPolicy::default(), 8);
+        clean.label_batch(&oracle, &keys(10), Scheme::TwoPlusOne);
+        assert!(p.ledger().simulated_secs > clean.ledger().simulated_secs);
+    }
+
+    #[test]
+    fn try_label_all_surfaces_incomplete_under_total_failure() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { hit_expiry_prob: 1.0, ..Default::default() },
+            RetryPolicy { max_reposts: 1, ..Default::default() },
+            9,
+        );
+        let err = p.try_label_all(&oracle, &keys(7), Scheme::TwoPlusOne).unwrap_err();
+        match err {
+            CrowdError::Incomplete { requested, labeled, missing } => {
+                assert_eq!(requested, 7);
+                assert_eq!(labeled, 0);
+                assert_eq!(missing.len(), 7);
+            }
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_label_all_recovers_under_survivable_faults() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { hit_expiry_prob: 0.3, abandonment_prob: 0.2, ..Default::default() },
+            RetryPolicy::default(),
+            10,
+        );
+        let got = p.try_label_all(&oracle, &keys(25), Scheme::Hybrid).expect("recoverable");
+        let distinct: HashSet<PairKey> = got.iter().map(|(k, _)| *k).collect();
+        assert_eq!(distinct.len(), 25);
+        assert!(p.fault_stats().any(), "faults must actually have fired");
+    }
+
+    #[test]
+    #[should_panic(expected = "label_all failed to converge")]
+    fn label_all_panics_on_unrecoverable_faults() {
+        let oracle = GoldOracle::from_pairs([]);
+        let mut p = faulty(
+            FaultConfig { hit_expiry_prob: 1.0, ..Default::default() },
+            RetryPolicy { max_reposts: 0, ..Default::default() },
+            11,
+        );
+        p.label_all(&oracle, &keys(3), Scheme::TwoPlusOne);
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic_per_seed() {
+        let oracle = GoldOracle::from_pairs([]);
+        let cfg = FaultConfig {
+            hit_expiry_prob: 0.3,
+            abandonment_prob: 0.2,
+            outage_prob: 0.1,
+            ..Default::default()
+        };
+        let run = || {
+            let mut p = faulty(cfg, RetryPolicy::default(), 12);
+            let got = p.label_batch(&oracle, &keys(30), Scheme::Hybrid);
+            (got, *p.fault_stats(), *p.ledger())
+        };
+        let (g1, s1, l1) = run();
+        let (g2, s2, l2) = run();
+        assert_eq!(g1, g2);
+        assert_eq!(s1, s2);
+        assert_eq!(l1, l2);
     }
 }
 

@@ -73,6 +73,26 @@ impl WorkerPool {
         self.error_rates.is_empty()
     }
 
+    /// Remove one worker from the pool (attrition under fault injection).
+    /// The departing worker is the pool's worst (highest error rate) —
+    /// marketplaces shed unreliable workers first. Refuses to shrink below
+    /// two workers so voting always has a quorum; returns whether a worker
+    /// actually left.
+    pub fn remove_one(&mut self) -> bool {
+        if self.error_rates.len() <= 2 {
+            return false;
+        }
+        let worst = self
+            .error_rates
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        self.error_rates.remove(worst);
+        true
+    }
+
     /// Mean error rate of the pool.
     pub fn mean_error_rate(&self) -> f64 {
         self.error_rates.iter().sum::<f64>() / self.error_rates.len() as f64

@@ -45,14 +45,17 @@ fn main() {
     let workers = WorkerPool::uniform(25, 0.05);
     let mut platform = CrowdPlatform::new(workers, CrowdConfig::default());
 
-    // 4. Run hands-off.
+    // 4. Run hands-off. `try_run` is the non-panicking entry point: a run
+    //    that cannot complete (e.g. under an injected-fault crowd) comes
+    //    back as a typed `CorleoneError` instead of a panic.
     let engine = Engine::new(CorleoneConfig::small()).with_seed(1);
     let report = engine
         .session(&task)
         .platform(&mut platform)
         .oracle(&gold)
         .gold(gold.matches())
-        .run();
+        .try_run()
+        .expect("clean simulated crowd always completes");
 
     println!("matches found: {}", report.predicted_matches.len());
     for pair in report.predicted_matches.iter().take(5) {
@@ -77,8 +80,9 @@ fn main() {
         println!("true accuracy:      F1={:.1}%", truth.f1 * 100.0);
     }
     println!(
-        "crowd cost: ${:.2} for {} labeled pairs",
+        "crowd cost: ${:.2} for {} labeled pairs (termination: {:?})",
         report.total_cost_dollars(),
-        report.total_pairs_labeled
+        report.total_pairs_labeled,
+        report.termination
     );
 }

@@ -17,4 +17,16 @@ echo "==> smoke run (restaurants, scale 0.05, 1 run)"
 cargo run --release -q -p bench --bin smoke -- \
     --datasets restaurants --scale 0.05 --runs 1
 
+echo "==> fault-injection smoke (30% HIT expiry, 20% abandonment)"
+# The run must finish without a panic and report a labeled termination
+# (or a typed "run failed" line) — that is the whole acceptance bar.
+fault_out=$(cargo run --release -q -p bench --bin smoke -- \
+    --datasets restaurants --scale 0.05 --runs 1 \
+    --fault-expiry 0.3 --fault-abandon 0.2)
+echo "$fault_out"
+if ! echo "$fault_out" | grep -qE "termination=|run failed:"; then
+    echo "fault smoke produced neither a termination label nor a typed error" >&2
+    exit 1
+fi
+
 echo "==> CI OK"

@@ -1,0 +1,173 @@
+//! Fault-injection integration tests: the full pipeline against a
+//! misbehaving simulated marketplace (HIT expiry, assignment abandonment,
+//! transient outages). The acceptance bar is the one from the fault-model
+//! design: a run under aggressive faults either completes — possibly
+//! labeled `Degraded` — or comes back as a typed error. It never panics.
+
+use corleone::error::CorleoneError;
+use corleone::task::task_from_parts;
+use corleone::{CorleoneConfig, Engine, MatchTask, RunReport, Termination};
+use crowd::{CrowdConfig, CrowdPlatform, FaultConfig, GoldOracle, RetryPolicy, WorkerPool};
+use datagen::{EmDataset, GenConfig};
+
+fn setup(name: &str, scale: f64, seed: u64) -> (MatchTask, GoldOracle, EmDataset) {
+    let ds = datagen::by_name(name, GenConfig { scale, seed }).unwrap();
+    let task = task_from_parts(
+        ds.table_a.clone(),
+        ds.table_b.clone(),
+        &ds.instruction,
+        ds.seeds.positive,
+        ds.seeds.negative,
+    );
+    let gold = GoldOracle::from_pairs(ds.gold.iter().copied());
+    (task, gold, ds)
+}
+
+fn faulty_platform(
+    ds: &EmDataset,
+    seed: u64,
+    faults: FaultConfig,
+    retry: RetryPolicy,
+) -> CrowdPlatform {
+    CrowdPlatform::with_faults(
+        WorkerPool::uniform(25, 0.05),
+        CrowdConfig { price_cents: ds.price_cents, seed, ..Default::default() },
+        faults,
+        retry,
+    )
+}
+
+fn run_faulty(
+    name: &str,
+    seed: u64,
+    faults: FaultConfig,
+    retry: RetryPolicy,
+) -> Result<RunReport, CorleoneError> {
+    let (task, gold, ds) = setup(name, 0.1, seed);
+    let mut p = faulty_platform(&ds, seed, faults, retry);
+    Engine::new(CorleoneConfig::small())
+        .with_seed(seed)
+        .session(&task)
+        .platform(&mut p)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .try_run()
+}
+
+/// The headline acceptance test: 30% HIT expiry + 20% abandonment. The
+/// default retry policy must carry the run to a labeled completion, or the
+/// run must surface a typed error — under no circumstances a panic.
+#[test]
+fn aggressive_faults_complete_or_fail_typed() {
+    let faults = FaultConfig {
+        hit_expiry_prob: 0.30,
+        abandonment_prob: 0.20,
+        seed: 11,
+        ..Default::default()
+    };
+    match run_faulty("restaurants", 11, faults, RetryPolicy::default()) {
+        Ok(report) => {
+            // The run pushed through the fault storm; the report must say
+            // how it ended and must have seen faults along the way.
+            assert!(
+                matches!(
+                    report.termination,
+                    Termination::Converged
+                        | Termination::MaxIterations
+                        | Termination::BudgetExhausted
+                        | Termination::Degraded
+                ),
+                "unlabeled termination {:?}",
+                report.termination
+            );
+            assert!(
+                report.perf.faults.any(),
+                "30% expiry + 20% abandonment must register fault events"
+            );
+            assert!(
+                report.perf.faults.reposts > 0,
+                "retries must have fired under 30% expiry"
+            );
+        }
+        Err(e) => {
+            // Equally acceptable: a typed error, with a real message.
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+/// With retries disabled, aggressive expiry starves the engine of labels;
+/// the run must degrade or fail typed, and the failed-HIT count must show
+/// up in the report when it completes.
+#[test]
+fn no_retries_under_heavy_expiry_degrades_or_fails_typed() {
+    let faults = FaultConfig { hit_expiry_prob: 0.5, seed: 23, ..Default::default() };
+    let retry = RetryPolicy { max_reposts: 0, ..Default::default() };
+    match run_faulty("restaurants", 23, faults, retry) {
+        Ok(report) => {
+            assert!(
+                report.perf.faults.hits_failed > 0,
+                "50% expiry with no reposts must fail HITs"
+            );
+            assert_eq!(
+                report.termination,
+                Termination::Degraded,
+                "failed HITs must label the run Degraded"
+            );
+        }
+        Err(CorleoneError::Crowd(_)) => {}
+        Err(e) => panic!("expected a crowd error, got: {e}"),
+    }
+}
+
+/// Moderate faults with the default retry policy should still produce a
+/// usable matcher: the pipeline's whole point is riding out marketplace
+/// noise, not just surviving it.
+#[test]
+fn moderate_faults_still_match_well() {
+    let faults = FaultConfig {
+        hit_expiry_prob: 0.10,
+        abandonment_prob: 0.05,
+        outage_prob: 0.02,
+        seed: 42,
+        ..Default::default()
+    };
+    let report = run_faulty("restaurants", 42, faults, RetryPolicy::default())
+        .expect("moderate faults with retries must complete");
+    let f1 = report.final_true.expect("gold supplied").f1;
+    assert!(f1 > 0.6, "moderate faults wrecked the matcher: F1 {f1}");
+    // Retries cost simulated time: backoff must be visible in the clock.
+    if report.perf.faults.reposts > 0 {
+        assert!(report.perf.faults.backoff_secs > 0.0);
+    }
+}
+
+/// The same faulty run twice is byte-identical: fault injection draws from
+/// its own seeded stream, so it is as deterministic as the rest.
+#[test]
+fn faulty_runs_are_reproducible() {
+    let faults = FaultConfig {
+        hit_expiry_prob: 0.15,
+        abandonment_prob: 0.10,
+        seed: 7,
+        ..Default::default()
+    };
+    let a = run_faulty("restaurants", 7, faults, RetryPolicy::default());
+    let b = run_faulty("restaurants", 7, faults, RetryPolicy::default());
+    match (a, b) {
+        (Ok(ra), Ok(rb)) => {
+            assert_eq!(
+                ra.try_deterministic_json().unwrap(),
+                rb.try_deterministic_json().unwrap()
+            );
+            assert_eq!(ra.perf.faults, rb.perf.faults);
+            assert_eq!(ra.termination, rb.termination);
+        }
+        (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string()),
+        (a, b) => panic!(
+            "two identical faulty runs diverged: {:?} vs {:?}",
+            a.map(|r| r.termination),
+            b.map(|r| r.termination)
+        ),
+    }
+}
