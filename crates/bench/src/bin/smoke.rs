@@ -5,6 +5,12 @@
 //! marketplace injects failures; the run then reports its `termination`
 //! label and fault counters, or a typed error if it could not complete —
 //! never a panic. CI uses this as the fault-injection smoke test.
+//!
+//! With `--checkpoint-dir` the run writes crash-safe snapshots and the
+//! summary line reports how many; with `--resume-from` it continues a
+//! previous run and reports the iteration it resumed from. `--emit-json`
+//! writes each run's `deterministic_json` next to the summary so CI can
+//! diff a resumed run against an uninterrupted reference.
 
 use bench::{dollars, parse_args, pct, try_run_corleone};
 
@@ -49,10 +55,23 @@ fn main() {
         } else {
             String::new()
         };
+        let ckpt_note = match (report.perf.snapshots_written, report.perf.resumed_from_iteration) {
+            (0, None) => String::new(),
+            (n, None) => format!(" | snapshots={n}"),
+            (n, Some(it)) => format!(" | snapshots={n} resumed-from-iter={it}"),
+        };
+        if let Some(dir) = &opts.emit_json {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|_| std::fs::write(format!("{dir}/{name}.json"), report.deterministic_json()))
+            {
+                eprintln!("cannot write {dir}/{name}.json: {e}");
+                std::process::exit(1);
+            }
+        }
         println!(
             "{name}: |A|={} |B|={} gold={} | blocked={} umbrella={} recall={} | \
              iters={} | true P/R/F1 = {truth} | est F1 = {est} | \
-             cost {} labels {} | termination={:?}{fault_note} | {:.1}s",
+             cost {} labels {} | termination={:?}{fault_note}{ckpt_note} | {:.1}s",
             stats.n_a,
             stats.n_b,
             stats.n_matches,

@@ -17,6 +17,11 @@
 //! --fault-expiry <f>  per-HIT expiry probability (default 0: no faults)
 //! --fault-abandon <f> per-assignment abandonment probability (default 0)
 //! --fault-outage <f>  per-posting transient-outage probability (default 0)
+//! --checkpoint-dir <d>   write crash-safe run snapshots into this directory
+//! --checkpoint-every <n> snapshot every n engine iterations (default 1)
+//! --checkpoint-keep <n>  retain the last n snapshots, 0 = all (default 3)
+//! --resume-from <path>   resume from a snapshot instead of starting fresh
+//! --emit-json <d>        write each run's deterministic_json to <d>/<dataset>.json
 //! ```
 
 use corleone::error::CorleoneError;
@@ -46,6 +51,18 @@ pub struct ExpOptions {
     pub fault_abandon: f64,
     /// Per-posting transient-outage probability.
     pub fault_outage: f64,
+    /// Directory to write run snapshots into (`None` disables
+    /// checkpointing).
+    pub checkpoint_dir: Option<String>,
+    /// Snapshot every this many engine iterations.
+    pub checkpoint_every: usize,
+    /// Retain only the last N snapshots (0 = keep all).
+    pub checkpoint_keep: usize,
+    /// Snapshot file to resume the (single) run from.
+    pub resume_from: Option<String>,
+    /// Directory to write each run's `deterministic_json` into
+    /// (`<dir>/<dataset>.json`), for byte-level comparisons in CI.
+    pub emit_json: Option<String>,
 }
 
 impl Default for ExpOptions {
@@ -59,6 +76,11 @@ impl Default for ExpOptions {
             fault_expiry: 0.0,
             fault_abandon: 0.0,
             fault_outage: 0.0,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            checkpoint_keep: store::DEFAULT_KEEP_LAST,
+            resume_from: None,
+            emit_json: None,
         }
     }
 }
@@ -107,10 +129,22 @@ pub fn parse_args() -> ExpOptions {
             "--fault-outage" => {
                 opts.fault_outage = need_value(i).parse().expect("bad --fault-outage")
             }
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(need_value(i).to_string()),
+            "--checkpoint-every" => {
+                opts.checkpoint_every =
+                    need_value(i).parse().expect("bad --checkpoint-every")
+            }
+            "--checkpoint-keep" => {
+                opts.checkpoint_keep = need_value(i).parse().expect("bad --checkpoint-keep")
+            }
+            "--resume-from" => opts.resume_from = Some(need_value(i).to_string()),
+            "--emit-json" => opts.emit_json = Some(need_value(i).to_string()),
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --scale <f> --runs <n> --error <f> --seed <n> --datasets a,b,c \
-                     --fault-expiry <f> --fault-abandon <f> --fault-outage <f>"
+                     --fault-expiry <f> --fault-abandon <f> --fault-outage <f> \
+                     --checkpoint-dir <d> --checkpoint-every <n> --checkpoint-keep <n> \
+                     --resume-from <path> --emit-json <d>"
                 );
                 std::process::exit(0);
             }
@@ -208,12 +242,23 @@ pub fn try_run_corleone(
         opts.fault_config(),
     );
     let engine = Engine::new(experiment_config()).with_seed(opts.seed + 1000 * run as u64);
-    let result = engine
+    let mut session = engine
         .session(&task)
         .platform(&mut platform)
         .oracle(&gold)
-        .gold(gold.matches())
-        .try_run();
+        .gold(gold.matches());
+    if let Some(dir) = &opts.checkpoint_dir {
+        // One subdirectory per (dataset, run) so multi-dataset sweeps
+        // don't interleave their snapshot sequences.
+        session = session
+            .checkpoint_dir(format!("{dir}/{name}-run{run}"))
+            .checkpoint_every(opts.checkpoint_every)
+            .checkpoint_keep(opts.checkpoint_keep);
+    }
+    if let Some(path) = &opts.resume_from {
+        session = session.resume_from(path);
+    }
+    let result = session.try_run();
     (result, ds)
 }
 

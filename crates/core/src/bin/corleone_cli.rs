@@ -17,7 +17,7 @@
 //!     --pos 0:0,1:1 --neg 0:5,2:7 --interactive
 //! ```
 
-use corleone::{CorleoneConfig, Engine, MatchTask};
+use corleone::{CorleoneConfig, Engine, MatchTask, RunSession};
 use crowd::hit::render_question;
 use crowd::{CrowdConfig, CrowdPlatform, GoldOracle, PairKey, TruthOracle, WorkerPool};
 use similarity::csv::{parse_csv, table_from_csv, table_from_csv_with_schema};
@@ -42,6 +42,10 @@ struct Args {
     out: Option<String>,
     seed: u64,
     small: bool,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: usize,
+    checkpoint_keep: usize,
+    resume_from: Option<String>,
 }
 
 fn usage() -> ! {
@@ -65,7 +69,11 @@ options:
   --budget <dollars>         stop once this much is spent
   --seed <n>                 rng seed (default 42)
   --small                    small-task configuration
-  --out <file.json>          write the full run report as JSON"
+  --out <file.json>          write the full run report as JSON
+  --checkpoint-dir <dir>     write crash-safe run snapshots into <dir>
+  --checkpoint-every <n>     snapshot every n iterations (default 1)
+  --checkpoint-keep <n>      retain last n snapshots, 0 = all (default 3)
+  --resume-from <snap.json>  continue an interrupted run from a snapshot"
     );
     exit(2)
 }
@@ -107,6 +115,10 @@ fn parse_args() -> Args {
         out: None,
         seed: 42,
         small: false,
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        checkpoint_keep: store::DEFAULT_KEEP_LAST,
+        resume_from: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -130,6 +142,14 @@ fn parse_args() -> Args {
             "--budget" => args.budget_dollars = Some(value(i).parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = value(i).parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(value(i).to_string()),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value(i).to_string()),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value(i).parse().unwrap_or_else(|_| usage())
+            }
+            "--checkpoint-keep" => {
+                args.checkpoint_keep = value(i).parse().unwrap_or_else(|_| usage())
+            }
+            "--resume-from" => args.resume_from = Some(value(i).to_string()),
             "--interactive" => {
                 args.interactive = true;
                 i += 1;
@@ -158,6 +178,20 @@ fn parse_args() -> Args {
         usage()
     }
     args
+}
+
+/// Thread the `--checkpoint-*` / `--resume-from` flags into a session.
+fn apply_checkpointing<'s>(mut session: RunSession<'s>, args: &Args) -> RunSession<'s> {
+    if let Some(dir) = &args.checkpoint_dir {
+        session = session
+            .checkpoint_dir(dir)
+            .checkpoint_every(args.checkpoint_every)
+            .checkpoint_keep(args.checkpoint_keep);
+    }
+    if let Some(path) = &args.resume_from {
+        session = session.resume_from(path);
+    }
+    session
 }
 
 /// Oracle that asks the human at the terminal, remembering answers.
@@ -284,11 +318,8 @@ fn main() {
             CrowdConfig { price_cents: args.price_cents, seed: args.seed, ..Default::default() },
         );
         eprintln!("interactive mode: you will be asked to label pairs.\n");
-        engine
-            .session(&task)
-            .platform(&mut platform)
-            .oracle(&oracle)
-            .try_run()
+        let session = engine.session(&task).platform(&mut platform).oracle(&oracle);
+        apply_checkpointing(session, &args).try_run()
     } else {
         let gold = load_gold(args.gold.as_deref().expect("checked"));
         let oracle = GoldOracle::new(gold.clone());
@@ -301,12 +332,9 @@ fn main() {
             pool,
             CrowdConfig { price_cents: args.price_cents, seed: args.seed, ..Default::default() },
         );
-        engine
-            .session(&task)
-            .platform(&mut platform)
-            .oracle(&oracle)
-            .gold(&gold)
-            .try_run()
+        let session =
+            engine.session(&task).platform(&mut platform).oracle(&oracle).gold(&gold);
+        apply_checkpointing(session, &args).try_run()
     };
 
     let report = report.unwrap_or_else(|e| {
@@ -345,6 +373,16 @@ fn main() {
         report.total_pairs_labeled,
         report.termination
     );
+    if let Some(it) = report.perf.resumed_from_iteration {
+        println!("resumed from snapshot at iteration {it}");
+    }
+    if report.perf.snapshots_written > 0 {
+        println!(
+            "snapshots written: {} (latest in {})",
+            report.perf.snapshots_written,
+            args.checkpoint_dir.as_deref().unwrap_or("?"),
+        );
+    }
     if let Some(out) = args.out {
         let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
             eprintln!("cannot serialize report: {e}");

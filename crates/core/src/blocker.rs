@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// What the Blocker did, for reporting (paper Table 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BlockerReport {
     /// Whether blocking was triggered (`|A × B| > t_B`).
     pub triggered: bool,

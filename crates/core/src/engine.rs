@@ -21,6 +21,7 @@ use crate::learner::{run_active_learning, StopReason};
 use crate::locator::{locate_difficult_pairs, LocatorReport};
 use crate::metrics::{blocking_recall, evaluate, Prf};
 use crate::ruleeval::RuleEvalConfig;
+use crate::snapshot::RunSnapshot;
 use crate::task::MatchTask;
 use crowd::{CrowdPlatform, FaultStats, PairKey, TruthOracle};
 use exec::Threads;
@@ -29,6 +30,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
+use store::{Snapshotter, StoreError};
 
 /// Per-iteration record (paper Table 4 rows).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -89,6 +91,15 @@ pub struct PerfReport {
     /// count; they live here because they describe execution, not the
     /// matching outcome.
     pub faults: FaultStats,
+    /// Checkpoint snapshots written, cumulative across a resume chain
+    /// (0 when checkpointing is off). Lives in `perf` — not the report
+    /// body — so a resumed run stays byte-identical to an uninterrupted
+    /// one under [`RunReport::deterministic_json`].
+    pub snapshots_written: u64,
+    /// The completed-iteration count of the snapshot this run resumed
+    /// from (`Some(0)` = resumed right after blocking), or `None` for a
+    /// run started from scratch.
+    pub resumed_from_iteration: Option<usize>,
 }
 
 /// Why a run ended.
@@ -205,7 +216,7 @@ impl Engine {
 
     /// Execute one full run. All session knobs arrive resolved: the
     /// thread budget, the shared feature cache (`None` disables caching),
-    /// and the RNG seed.
+    /// the RNG seed, and the checkpoint/resume plan.
     #[allow(clippy::too_many_arguments)] // internal; callers go through RunSession
     pub(crate) fn try_run_inner(
         &self,
@@ -216,15 +227,11 @@ impl Engine {
         threads: Threads,
         cache: Option<&FeatureCache>,
         seed: u64,
+        ckpt: CheckpointPlan,
     ) -> Result<RunReport, CorleoneError> {
+        let CheckpointPlan { snapshotter, every, resume } = ckpt;
         let env = RunEnv { threads, cache };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ledger_start = *platform.ledger();
-        let fault_start = *platform.fault_stats();
-        let mut t_blocker = 0.0f64;
-        let mut t_matcher = 0.0f64;
-        let mut t_estimator = 0.0f64;
-        let mut t_locator = 0.0f64;
+        let resumed_from_iteration = resume.as_ref().map(|s| s.completed_iterations);
 
         // Per-phase cumulative caps when a budget split is configured
         // (§10 budget-allocation extension).
@@ -235,25 +242,114 @@ impl Engine {
             _ => None,
         };
 
-        // ---- Blocking (§4).
-        let mut blocker_matcher_cfg = self.cfg.matcher;
-        if let Some(p) = &plan {
-            blocker_matcher_cfg.budget_cents_cap =
-                Some(ledger_start.total_cents + p.after_blocking);
+        // ---- Establish the loop state: run the Blocker (§4), or restore
+        // everything a completed snapshot captured and skip straight to
+        // the iteration after it.
+        let mut rng;
+        let ledger_start;
+        let fault_start;
+        let t_blocker;
+        let mut t_matcher;
+        let mut t_estimator;
+        let mut t_locator;
+        let cand: CandidateSet;
+        let blocker_report;
+        let mut predictions: Vec<bool>;
+        let mut known_labels: HashMap<usize, bool>;
+        let mut region: Vec<usize>;
+        let mut iterations: Vec<IterationReport>;
+        let mut best: Option<(AccuracyEstimate, Vec<bool>)>;
+        let start_iter;
+        let seed_hex;
+        let mut snapshots_written;
+
+        match resume {
+            Some(snap) => {
+                let snap = *snap;
+                if snap.n_features != task.n_features() {
+                    return Err(CorleoneError::Store(StoreError::Decode {
+                        path: String::new(),
+                        message: format!(
+                            "snapshot captured a task with {} features, this task has {}",
+                            snap.n_features,
+                            task.n_features()
+                        ),
+                    }));
+                }
+                if snap.predictions.len() != snap.cand_pairs.len() {
+                    return Err(CorleoneError::Store(StoreError::Decode {
+                        path: String::new(),
+                        message: format!(
+                            "snapshot is inconsistent: {} predictions for {} candidates",
+                            snap.predictions.len(),
+                            snap.cand_pairs.len()
+                        ),
+                    }));
+                }
+                // The caller's platform is overwritten wholesale: ledger,
+                // label cache, worker pool, fault counters, and both RNG
+                // stream positions continue exactly where the snapshot
+                // left them.
+                *platform = CrowdPlatform::import_state(&snap.platform)?;
+                rng = StdRng::from_state(store::decode_rng_state(&snap.rng_state)?);
+                ledger_start = snap.ledger_start;
+                fault_start = snap.fault_start;
+                // Vectorization is pure, so rebuilding the feature matrix
+                // from the stored pair keys (through the restored warm
+                // cache) reproduces it bit-for-bit. Billed as blocker
+                // time: the rebuild stands in for blocking on this path.
+                let t0 = Instant::now();
+                cand = CandidateSet::build_with(task, snap.cand_pairs, threads, cache);
+                t_blocker = snap.timings_ms[0] + t0.elapsed().as_secs_f64() * 1000.0;
+                t_matcher = snap.timings_ms[1];
+                t_estimator = snap.timings_ms[2];
+                t_locator = snap.timings_ms[3];
+                blocker_report = snap.blocker_report;
+                predictions = snap.predictions;
+                known_labels = snap.known_labels.into_iter().collect();
+                region = snap.region;
+                iterations = snap.iterations;
+                best = snap.best;
+                start_iter = snap.completed_iterations + 1;
+                seed_hex = snap.seed_hex;
+                snapshots_written = snap.snapshots_written;
+            }
+            None => {
+                rng = StdRng::seed_from_u64(seed);
+                ledger_start = *platform.ledger();
+                fault_start = *platform.fault_stats();
+                let mut blocker_matcher_cfg = self.cfg.matcher;
+                if let Some(p) = &plan {
+                    blocker_matcher_cfg.budget_cents_cap =
+                        Some(ledger_start.total_cents + p.after_blocking);
+                }
+                let t0 = Instant::now();
+                let blocked = run_blocker(
+                    task,
+                    platform,
+                    oracle,
+                    &self.cfg.blocker,
+                    &blocker_matcher_cfg,
+                    &mut rng,
+                    &env,
+                );
+                t_blocker = t0.elapsed().as_secs_f64() * 1000.0;
+                t_matcher = 0.0;
+                t_estimator = 0.0;
+                t_locator = 0.0;
+                cand = blocked.candidates;
+                blocker_report = blocked.report;
+                predictions = vec![false; cand.len()];
+                known_labels = HashMap::new();
+                region = (0..cand.len()).collect();
+                iterations = Vec::new();
+                best = None;
+                start_iter = 1;
+                seed_hex = store::encode_u64(seed);
+                snapshots_written = 0;
+            }
         }
-        let t0 = Instant::now();
-        let blocked = run_blocker(
-            task,
-            platform,
-            oracle,
-            &self.cfg.blocker,
-            &blocker_matcher_cfg,
-            &mut rng,
-            &env,
-        );
-        t_blocker += t0.elapsed().as_secs_f64() * 1000.0;
-        let cand: CandidateSet = blocked.candidates;
-        let blocker_report = blocked.report;
+
         let blocking_rec = gold.map(|g| {
             let umbrella: HashSet<PairKey> = cand.pairs().iter().copied().collect();
             blocking_recall(&umbrella, g)
@@ -269,11 +365,34 @@ impl Engine {
             .map(|&(k, l)| (env.vectorize(task, k), l))
             .collect();
 
-        let mut predictions: Vec<bool> = vec![false; cand.len()];
-        let mut known_labels: HashMap<usize, bool> = HashMap::new();
-        let mut region: Vec<usize> = (0..cand.len()).collect();
-        let mut iterations: Vec<IterationReport> = Vec::new();
-        let mut best: Option<(AccuracyEstimate, Vec<bool>)> = None;
+        // Snapshot 0: the post-blocking boundary. A resume from here
+        // skips the (expensive, crowd-labeled) blocking phase entirely.
+        if let Some(sn) = &snapshotter {
+            if resumed_from_iteration.is_none() {
+                let snap = RunSnapshot {
+                    seed_hex: seed_hex.clone(),
+                    completed_iterations: 0,
+                    rng_state: store::encode_rng_state(rng.state()),
+                    ledger_start,
+                    fault_start,
+                    cand_pairs: cand.pairs().to_vec(),
+                    n_features: cand.n_features(),
+                    blocker_report: blocker_report.clone(),
+                    predictions: predictions.clone(),
+                    known_labels: sorted_labels(&known_labels),
+                    region: region.clone(),
+                    iterations: iterations.clone(),
+                    best: best.clone(),
+                    timings_ms: [t_blocker, t_matcher, t_estimator, t_locator],
+                    forest_json: None,
+                    platform: platform.export_state(),
+                    cache: cache.map(FeatureCache::dump),
+                    snapshots_written: snapshots_written + 1,
+                };
+                sn.write(0, &snap)?;
+                snapshots_written += 1;
+            }
+        }
 
         let budget_left = |platform: &CrowdPlatform| {
             self.cfg.engine.budget_cents.is_none_or(|b| {
@@ -282,7 +401,7 @@ impl Engine {
         };
 
         let mut termination = Termination::Converged;
-        for iter_no in 1..=self.cfg.engine.max_iterations {
+        for iter_no in start_iter..=self.cfg.engine.max_iterations {
             if region.is_empty() {
                 break;
             }
@@ -455,6 +574,36 @@ impl Engine {
                 Some(next) => region = next,
                 None => break,
             }
+
+            // ---- Iteration boundary: the narrowest point of the loop.
+            // No phase is mid-flight, so the state closure is complete —
+            // checkpoint it.
+            if let Some(sn) = &snapshotter {
+                if every > 0 && iter_no % every == 0 {
+                    let snap = RunSnapshot {
+                        seed_hex: seed_hex.clone(),
+                        completed_iterations: iter_no,
+                        rng_state: store::encode_rng_state(rng.state()),
+                        ledger_start,
+                        fault_start,
+                        cand_pairs: cand.pairs().to_vec(),
+                        n_features: cand.n_features(),
+                        blocker_report: blocker_report.clone(),
+                        predictions: predictions.clone(),
+                        known_labels: sorted_labels(&known_labels),
+                        region: region.clone(),
+                        iterations: iterations.clone(),
+                        best: best.clone(),
+                        timings_ms: [t_blocker, t_matcher, t_estimator, t_locator],
+                        forest_json: Some(learn.forest.to_json()),
+                        platform: platform.export_state(),
+                        cache: cache.map(FeatureCache::dump),
+                        snapshots_written: snapshots_written + 1,
+                    };
+                    sn.write(iter_no as u64, &snap)?;
+                    snapshots_written += 1;
+                }
+            }
         }
 
         let ledger_end = *platform.ledger();
@@ -497,9 +646,31 @@ impl Engine {
                     phase("locator", t_locator),
                 ],
                 faults: fault_delta,
+                snapshots_written,
+                resumed_from_iteration,
             },
         })
     }
+}
+
+/// Engine-internal checkpoint/resume controls, resolved by
+/// [`RunSession`](crate::session::RunSession) from its builder settings.
+pub(crate) struct CheckpointPlan {
+    /// Where to write snapshots; `None` disables checkpointing.
+    pub(crate) snapshotter: Option<Snapshotter>,
+    /// Write a snapshot every N completed iterations (snapshot 0, right
+    /// after blocking, is always written when checkpointing is on).
+    pub(crate) every: usize,
+    /// A decoded snapshot to continue from instead of starting fresh.
+    pub(crate) resume: Option<Box<RunSnapshot>>,
+}
+
+/// Crowd-labeled candidate indices in ascending order, for snapshot
+/// payloads whose bytes must not depend on hash-map iteration order.
+fn sorted_labels(labels: &HashMap<usize, bool>) -> Vec<(usize, bool)> {
+    let mut v: Vec<(usize, bool)> = labels.iter().map(|(&i, &l)| (i, l)).collect();
+    v.sort_unstable_by_key(|&(i, _)| i);
+    v
 }
 
 fn predicted_pairs(cand: &CandidateSet, predictions: &[bool]) -> HashSet<PairKey> {
@@ -562,7 +733,10 @@ mod tests {
         assert!(report.total_pairs_labeled > 0);
         assert!(!report.predicted_matches.is_empty());
         // Estimate should be in the ballpark of the truth.
-        let est = report.final_estimate.as_ref().unwrap();
+        let est = report
+            .final_estimate
+            .as_ref()
+            .expect("a run with at least one completed iteration always carries a final estimate");
         assert!((est.f1 - f1).abs() < 0.25, "est {} vs true {}", est.f1, f1);
         // Telemetry is populated: phase timings exist, the cache saw
         // traffic (seed pairs alone guarantee lookups).
@@ -628,6 +802,57 @@ mod tests {
         assert_eq!(r1.predicted_matches, r2.predicted_matches);
         assert_eq!(r1.total_cost_cents, r2.total_cost_cents);
         assert_eq!(r1.deterministic_json(), r2.deterministic_json());
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_byte_identically_from_every_snapshot() {
+        let (task, gold) = toy();
+        let dir = std::env::temp_dir().join(format!("corleone-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::new(CorleoneConfig::small()).with_seed(3);
+
+        let mut p1 = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let reference = engine
+            .session(&task)
+            .platform(&mut p1)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .run();
+
+        // Checkpointing must not perturb the run itself.
+        let mut p2 = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+        let checkpointed = engine
+            .session(&task)
+            .platform(&mut p2)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .checkpoint_dir(&dir)
+            .checkpoint_keep(0)
+            .run();
+        assert_eq!(checkpointed.deterministic_json(), reference.deterministic_json());
+        assert!(checkpointed.perf.snapshots_written > 0);
+        assert_eq!(checkpointed.perf.resumed_from_iteration, None);
+
+        // Every retained snapshot resumes to the identical final report.
+        let snaps = store::Snapshotter::create(&dir).expect("open").list().expect("list");
+        assert!(!snaps.is_empty());
+        for snap in &snaps {
+            let mut p3 = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
+            let resumed = engine
+                .session(&task)
+                .platform(&mut p3)
+                .oracle(&gold)
+                .gold(gold.matches())
+                .resume_from(snap)
+                .run();
+            assert_eq!(
+                resumed.deterministic_json(),
+                reference.deterministic_json(),
+                "resume from {snap:?} diverged"
+            );
+            assert!(resumed.perf.resumed_from_iteration.is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crowd::CrowdError;
 use std::fmt;
+use store::StoreError;
 
 /// Everything that can go wrong on the engine's run path.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +31,9 @@ pub enum CorleoneError {
     MissingOracle,
     /// A report could not be serialized.
     Serialization(String),
+    /// The checkpoint store failed: a snapshot could not be written, or a
+    /// resume found a missing/corrupt/incompatible snapshot.
+    Store(StoreError),
 }
 
 impl fmt::Display for CorleoneError {
@@ -53,6 +57,7 @@ impl fmt::Display for CorleoneError {
                 "RunSession::run called without an oracle; call .oracle(&o) first"
             ),
             CorleoneError::Serialization(msg) => write!(f, "report serialization failed: {msg}"),
+            CorleoneError::Store(e) => write!(f, "checkpoint store failed: {e}"),
         }
     }
 }
@@ -61,6 +66,7 @@ impl std::error::Error for CorleoneError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CorleoneError::Crowd(e) => Some(e),
+            CorleoneError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -69,6 +75,12 @@ impl std::error::Error for CorleoneError {
 impl From<CrowdError> for CorleoneError {
     fn from(e: CrowdError) -> Self {
         CorleoneError::Crowd(e)
+    }
+}
+
+impl From<StoreError> for CorleoneError {
+    fn from(e: StoreError) -> Self {
+        CorleoneError::Store(e)
     }
 }
 
@@ -98,5 +110,15 @@ mod tests {
         assert!(b.to_string().contains("sum to 1"));
         let s = CorleoneError::Serialization("bad float".into());
         assert!(s.to_string().contains("serialization"));
+    }
+
+    #[test]
+    fn store_errors_wrap_with_source() {
+        let inner = StoreError::SchemaMismatch { path: "snap.json".into(), found: 9, expected: 1 };
+        let e: CorleoneError = inner.clone().into();
+        assert!(e.to_string().contains("checkpoint store failed"));
+        assert!(e.to_string().contains("schema version 9"));
+        let src = std::error::Error::source(&e).expect("source preserved");
+        assert_eq!(src.to_string(), inner.to_string());
     }
 }

@@ -76,6 +76,7 @@ pub mod metrics;
 pub mod report;
 pub mod ruleeval;
 pub mod session;
+pub mod snapshot;
 pub mod stopping;
 pub mod task;
 
@@ -97,6 +98,7 @@ pub use learner::{run_active_learning, LearnOutcome, StopReason};
 pub use locator::{locate_difficult_pairs, LocatorOutcome, LocatorReport};
 pub use metrics::{evaluate, Prf};
 pub use session::RunSession;
+pub use snapshot::RunSnapshot;
 pub use task::MatchTask;
 
 /// Everything needed to configure and launch a hands-off matching run.

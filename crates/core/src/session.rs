@@ -26,12 +26,15 @@
 //! ```
 
 use crate::cache::{FeatureCache, DEFAULT_CACHE_CAPACITY};
-use crate::engine::{Engine, RunReport};
+use crate::engine::{CheckpointPlan, Engine, RunReport};
 use crate::error::CorleoneError;
+use crate::snapshot::RunSnapshot;
 use crate::task::MatchTask;
 use crowd::{CrowdPlatform, PairKey, TruthOracle};
 use exec::Threads;
 use std::collections::HashSet;
+use std::path::PathBuf;
+use store::Snapshotter;
 
 impl Engine {
     /// Start configuring a run of this engine over `task`.
@@ -50,6 +53,10 @@ impl Engine {
             threads: Threads::auto(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             seed: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            checkpoint_keep: store::DEFAULT_KEEP_LAST,
+            resume_from: None,
         }
     }
 }
@@ -64,6 +71,10 @@ pub struct RunSession<'s> {
     threads: Threads,
     cache_capacity: usize,
     seed: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    checkpoint_keep: usize,
+    resume_from: Option<PathBuf>,
 }
 
 impl<'s> RunSession<'s> {
@@ -107,6 +118,52 @@ impl<'s> RunSession<'s> {
         self
     }
 
+    /// Write crash-safe run snapshots into `dir` at iteration boundaries
+    /// (created if missing). Snapshots are versioned, checksummed, written
+    /// atomically, and pruned to the [`Self::checkpoint_keep`] newest.
+    /// See [`RunSnapshot`](crate::snapshot::RunSnapshot) for what is
+    /// captured.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Snapshot every `n` completed iterations (default 1 — every
+    /// boundary). The post-blocking snapshot 0 is always written. `0`
+    /// writes only snapshot 0.
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Retain only the newest `k` snapshots (default
+    /// [`store::DEFAULT_KEEP_LAST`]); `0` keeps everything.
+    pub fn checkpoint_keep(mut self, k: usize) -> Self {
+        self.checkpoint_keep = k;
+        self
+    }
+
+    /// Continue a previous run from the snapshot at `path` instead of
+    /// starting from scratch.
+    ///
+    /// The session's platform is overwritten with the snapshot's platform
+    /// state, the engine RNG continues from its recorded stream position,
+    /// the feature cache is warm-started from the snapshot (the
+    /// [`Self::cache_capacity`] setting is ignored), and the run proceeds
+    /// from the iteration after the snapshot. With the same engine
+    /// configuration and task, the final report is byte-identical
+    /// (`deterministic_json`) to the uninterrupted run's at any thread
+    /// count. Raising the engine budget before resuming lets a
+    /// `BudgetExhausted` run continue and converge.
+    ///
+    /// Failures — missing file, corrupted checksum, schema-version
+    /// mismatch, or a snapshot from a different task — surface as
+    /// [`CorleoneError::Store`].
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
     /// Execute the run, panicking on any failure.
     ///
     /// This is a thin wrapper over [`Self::try_run`] for callers that
@@ -129,8 +186,21 @@ impl<'s> RunSession<'s> {
     pub fn try_run(self) -> Result<RunReport, CorleoneError> {
         let platform = self.platform.ok_or(CorleoneError::MissingPlatform)?;
         let oracle = self.oracle.ok_or(CorleoneError::MissingOracle)?;
-        let cache = (self.cache_capacity > 0)
-            .then(|| FeatureCache::with_capacity(self.cache_capacity));
+        let resume: Option<Box<RunSnapshot>> = match &self.resume_from {
+            Some(path) => Some(Box::new(store::read_snapshot(path)?)),
+            None => None,
+        };
+        // A resumed run continues the snapshot's cache (warm entries and
+        // counters); a fresh run builds an empty one per the capacity knob.
+        let cache = match &resume {
+            Some(snap) => snap.cache.as_ref().map(FeatureCache::restore),
+            None => (self.cache_capacity > 0)
+                .then(|| FeatureCache::with_capacity(self.cache_capacity)),
+        };
+        let snapshotter = match &self.checkpoint_dir {
+            Some(dir) => Some(Snapshotter::create(dir.clone())?.keep_last(self.checkpoint_keep)),
+            None => None,
+        };
         self.engine.try_run_inner(
             self.task,
             platform,
@@ -139,6 +209,7 @@ impl<'s> RunSession<'s> {
             self.threads,
             cache.as_ref(),
             self.seed.unwrap_or(self.engine.seed),
+            CheckpointPlan { snapshotter, every: self.checkpoint_every, resume },
         )
     }
 }

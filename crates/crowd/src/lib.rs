@@ -59,7 +59,7 @@ pub use aggregate::{dawid_skene, EmAggregate};
 pub use cache::{LabelCache, Strength};
 pub use fault::{CrowdError, FaultConfig, FaultStats, RetryPolicy};
 pub use oracle::{GoldOracle, PairKey, TruthOracle};
-pub use platform::{CrowdConfig, CrowdPlatform, Ledger};
+pub use platform::{CrowdConfig, CrowdPlatform, Ledger, PlatformState};
 pub use quality::{screen_workers, Qualification, ScreeningReport};
 pub use voting::Scheme;
 pub use worker::WorkerPool;

@@ -29,4 +29,29 @@ if ! echo "$fault_out" | grep -qE "termination=|run failed:"; then
     exit 1
 fi
 
+echo "==> kill-and-resume smoke (faults + --checkpoint-every 1)"
+# Crash-safety contract: a faulty checkpointed run, "killed" by throwing
+# away everything after an early snapshot and resumed from it, must end
+# with a final report byte-identical to the uninterrupted reference.
+ckpt_dir=$(mktemp -d)
+trap 'rm -rf "$ckpt_dir"' EXIT
+cargo run --release -q -p bench --bin smoke -- \
+    --datasets restaurants --scale 0.05 --runs 1 \
+    --fault-expiry 0.1 --fault-abandon 0.05 \
+    --checkpoint-dir "$ckpt_dir/snaps" --checkpoint-every 1 --checkpoint-keep 0 \
+    --emit-json "$ckpt_dir/reference"
+# "Interrupt" the run: resume from the oldest retained snapshot, i.e. the
+# point where the least work had been done.
+oldest=$(ls "$ckpt_dir"/snaps/restaurants-run0/snap-*.json | head -n 1)
+echo "resuming from $oldest"
+cargo run --release -q -p bench --bin smoke -- \
+    --datasets restaurants --scale 0.05 --runs 1 \
+    --resume-from "$oldest" \
+    --emit-json "$ckpt_dir/resumed"
+if ! diff -q "$ckpt_dir/reference/restaurants.json" "$ckpt_dir/resumed/restaurants.json"; then
+    echo "resumed run diverged from the uninterrupted reference" >&2
+    exit 1
+fi
+echo "resumed run is byte-identical to the uninterrupted reference"
+
 echo "==> CI OK"

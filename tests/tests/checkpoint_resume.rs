@@ -1,0 +1,294 @@
+//! Checkpoint/resume integration tests: the crash-safety contract of the
+//! `store` subsystem wired through the whole pipeline.
+//!
+//! The acceptance bar, from the persistence-layer design: a run
+//! interrupted at *any* iteration boundary and resumed from its snapshot
+//! must produce a final report **byte-identical**
+//! (`RunReport::deterministic_json`) to the uninterrupted run — at any
+//! thread count, with and without fault injection. Damaged or
+//! incompatible snapshots must surface as typed errors, never panics, and
+//! a run that stopped on `BudgetExhausted` must continue to convergence
+//! when resumed under a raised budget.
+
+use corleone::error::CorleoneError;
+use corleone::task::task_from_parts;
+use corleone::{CorleoneConfig, Engine, MatchTask, Termination};
+use crowd::{CrowdConfig, CrowdPlatform, FaultConfig, GoldOracle, RetryPolicy, WorkerPool};
+use datagen::GenConfig;
+use std::path::{Path, PathBuf};
+use store::StoreError;
+
+fn setup(scale: f64, seed: u64) -> (MatchTask, GoldOracle, f64) {
+    let ds = datagen::by_name("restaurants", GenConfig { scale, seed }).unwrap();
+    let task = task_from_parts(
+        ds.table_a.clone(),
+        ds.table_b.clone(),
+        &ds.instruction,
+        ds.seeds.positive,
+        ds.seeds.negative,
+    );
+    let gold = GoldOracle::from_pairs(ds.gold.iter().copied());
+    (task, gold, ds.price_cents)
+}
+
+fn platform(price_cents: f64, seed: u64, faults: FaultConfig) -> CrowdPlatform {
+    CrowdPlatform::with_faults(
+        WorkerPool::uniform(25, 0.05),
+        CrowdConfig { price_cents, seed, ..Default::default() },
+        faults,
+        RetryPolicy::default(),
+    )
+}
+
+/// A fresh, empty scratch directory under the system temp dir.
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("corleone-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run once: reference, then checkpointed (must match), then a resume from
+/// every retained snapshot (each must match), all at thread count
+/// `threads`. The platform any resumed session starts with is deliberately
+/// a *blank* one — `resume_from` must overwrite it wholesale with the
+/// snapshot's platform state.
+fn assert_every_boundary_resumes(tag: &str, faults: FaultConfig, threads: usize) {
+    let (task, gold, price) = setup(0.1, 17);
+    let engine = Engine::new(CorleoneConfig::small()).with_seed(17);
+    let dir = fresh_dir(tag);
+
+    let mut p_ref = platform(price, 17, faults);
+    let reference = engine
+        .session(&task)
+        .platform(&mut p_ref)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .threads(threads)
+        .run();
+
+    let mut p_ck = platform(price, 17, faults);
+    let checkpointed = engine
+        .session(&task)
+        .platform(&mut p_ck)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .threads(threads)
+        .checkpoint_dir(&dir)
+        .checkpoint_every(1)
+        .checkpoint_keep(0)
+        .run();
+    assert_eq!(
+        checkpointed.deterministic_json(),
+        reference.deterministic_json(),
+        "checkpointing perturbed the run ({tag}, {threads} threads)"
+    );
+    assert!(checkpointed.perf.snapshots_written > 0);
+
+    let snaps = store::Snapshotter::create(&dir).expect("open dir").list().expect("list");
+    assert!(!snaps.is_empty(), "checkpointed run left no snapshots ({tag})");
+    for snap in &snaps {
+        let mut p_res = CrowdPlatform::new(WorkerPool::perfect(1), CrowdConfig::default());
+        let resumed = engine
+            .session(&task)
+            .platform(&mut p_res)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .threads(threads)
+            .resume_from(snap)
+            .run();
+        assert_eq!(
+            resumed.deterministic_json(),
+            reference.deterministic_json(),
+            "resume from {snap:?} diverged ({tag}, {threads} threads)"
+        );
+        assert!(resumed.perf.resumed_from_iteration.is_some());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_run_resumes_byte_identically_one_thread() {
+    assert_every_boundary_resumes("clean-t1", FaultConfig::default(), 1);
+}
+
+#[test]
+fn clean_run_resumes_byte_identically_two_threads() {
+    assert_every_boundary_resumes("clean-t2", FaultConfig::default(), 2);
+}
+
+#[test]
+fn clean_run_resumes_byte_identically_eight_threads() {
+    assert_every_boundary_resumes("clean-t8", FaultConfig::default(), 8);
+}
+
+#[test]
+fn faulty_run_resumes_byte_identically() {
+    // Fault injection draws from its own seeded stream whose position is
+    // part of the snapshot, so resume must replay the same expiries and
+    // abandonments the uninterrupted run saw.
+    let faults = FaultConfig {
+        hit_expiry_prob: 0.10,
+        abandonment_prob: 0.05,
+        seed: 17,
+        ..Default::default()
+    };
+    for threads in [1, 2, 8] {
+        assert_every_boundary_resumes(&format!("faulty-t{threads}"), faults, threads);
+    }
+}
+
+/// Write one checkpointed run and return (engine state, latest snapshot
+/// path, scratch dir) for the damage tests below.
+fn checkpointed_run(tag: &str) -> (MatchTask, GoldOracle, PathBuf, PathBuf) {
+    let (task, gold, price) = setup(0.1, 29);
+    let dir = fresh_dir(tag);
+    let mut p = platform(price, 29, FaultConfig::default());
+    Engine::new(CorleoneConfig::small())
+        .with_seed(29)
+        .session(&task)
+        .platform(&mut p)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .checkpoint_dir(&dir)
+        .run();
+    let latest = store::Snapshotter::create(&dir).expect("open").latest().expect("latest");
+    (task, gold, latest, dir)
+}
+
+fn try_resume(task: &MatchTask, gold: &GoldOracle, snap: &Path) -> Result<(), CorleoneError> {
+    let mut p = CrowdPlatform::new(WorkerPool::perfect(1), CrowdConfig::default());
+    Engine::new(CorleoneConfig::small())
+        .with_seed(29)
+        .session(task)
+        .platform(&mut p)
+        .oracle(gold)
+        .resume_from(snap)
+        .try_run()
+        .map(|_| ())
+}
+
+#[test]
+fn corrupted_checksum_is_a_typed_error() {
+    let (task, gold, latest, dir) = checkpointed_run("corrupt");
+    let text = std::fs::read_to_string(&latest).expect("read snapshot");
+    // Change a payload *value* (whitespace would survive the canonical
+    // re-rendering the checksum verifies): seed 29 is 0x1d.
+    let tampered =
+        text.replacen("\"seed_hex\":\"000000000000001d\"", "\"seed_hex\":\"000000000000001e\"", 1);
+    assert_ne!(text, tampered, "snapshot layout changed; update the tamper probe");
+    std::fs::write(&latest, tampered).expect("write tampered snapshot");
+    match try_resume(&task, &gold, &latest) {
+        Err(CorleoneError::Store(StoreError::ChecksumMismatch { .. })) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn schema_version_mismatch_is_a_typed_error() {
+    let (task, gold, latest, dir) = checkpointed_run("schema");
+    let text = std::fs::read_to_string(&latest).expect("read snapshot");
+    let future = text.replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+    assert_ne!(text, future, "envelope layout changed; update the version probe");
+    std::fs::write(&latest, future).expect("write future snapshot");
+    match try_resume(&task, &gold, &latest) {
+        Err(CorleoneError::Store(StoreError::SchemaMismatch { found: 999, expected, .. })) => {
+            assert_eq!(expected, store::SCHEMA_VERSION);
+        }
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_snapshot_is_a_typed_error() {
+    let (task, gold, latest, dir) = checkpointed_run("truncate");
+    let text = std::fs::read_to_string(&latest).expect("read snapshot");
+    std::fs::write(&latest, &text[..text.len() / 2]).expect("truncate snapshot");
+    match try_resume(&task, &gold, &latest) {
+        Err(CorleoneError::Store(StoreError::Corrupt { .. })) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_snapshot_is_a_typed_error() {
+    let (task, gold, _) = setup(0.1, 31);
+    let bogus = std::env::temp_dir().join("corleone-resume-no-such-snapshot.json");
+    match try_resume(&task, &gold, &bogus) {
+        Err(CorleoneError::Store(StoreError::Io { .. })) => {}
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_from_a_different_task_is_a_typed_error() {
+    let (_task, gold, latest, dir) = checkpointed_run("othertask");
+    // A task with a different schema vectorizes to a different feature
+    // count; resuming against it must be refused, not garbage-matched.
+    let ds = datagen::by_name("citations", GenConfig { scale: 0.1, seed: 29 }).unwrap();
+    let other = task_from_parts(
+        ds.table_a.clone(),
+        ds.table_b.clone(),
+        &ds.instruction,
+        ds.seeds.positive,
+        ds.seeds.negative,
+    );
+    match try_resume(&other, &gold, &latest) {
+        Err(CorleoneError::Store(StoreError::Decode { .. })) => {}
+        other => panic!("expected Decode, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_exhausted_run_resumes_under_a_raised_budget_and_converges() {
+    let (task, gold, price) = setup(0.1, 41);
+    let dir = fresh_dir("budget");
+
+    let mut starved = CorleoneConfig::small();
+    starved.engine.budget_cents = Some(400.0);
+    let mut p1 = platform(price, 41, FaultConfig::default());
+    let exhausted = Engine::new(starved)
+        .with_seed(41)
+        .session(&task)
+        .platform(&mut p1)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .checkpoint_dir(&dir)
+        .checkpoint_keep(0)
+        .run();
+    assert_eq!(
+        exhausted.termination,
+        Termination::BudgetExhausted,
+        "$4 must not cover a scale-0.1 run; raise the starvation margin if this fails"
+    );
+
+    // Top up the budget and continue from the last snapshot. The resumed
+    // run picks up the spent-so-far ledger from the snapshot, so the new
+    // budget must cover the *total* spend, not just the remainder.
+    let mut topped_up = CorleoneConfig::small();
+    topped_up.engine.budget_cents = None;
+    let latest = store::Snapshotter::create(&dir).expect("open").latest().expect("latest");
+    let mut p2 = CrowdPlatform::new(WorkerPool::perfect(1), CrowdConfig::default());
+    let resumed = Engine::new(topped_up)
+        .with_seed(41)
+        .session(&task)
+        .platform(&mut p2)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .resume_from(&latest)
+        .run();
+    assert!(
+        matches!(resumed.termination, Termination::Converged | Termination::MaxIterations),
+        "resumed run still starved: {:?}",
+        resumed.termination
+    );
+    assert!(resumed.final_estimate.is_some(), "converged resume must carry an estimate");
+    assert!(
+        resumed.total_cost_cents >= exhausted.total_cost_cents,
+        "resumed total spend includes the pre-interrupt ledger"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
