@@ -1,0 +1,381 @@
+//! Blocking hot-path benchmark: record-analysis build, blocking-rule
+//! application over `A × B`, and full pair vectorization, on all three
+//! synthetic datasets — comparing the string-based reference kernels
+//! ("string") against the precomputed-analysis kernels ("pre").
+//!
+//! Writes `BENCH_blocking.json` (array of `{dataset, scale, phase,
+//! wall_ms, pairs_per_sec}`) so future PRs have a perf trajectory, and
+//! prints a before/after table.
+//!
+//! Phases per dataset × scale:
+//! * `analysis_build`   — one-time `TableAnalysis` build (rate = records/s)
+//! * `rule_apply_string` — rule sweep via the string kernels (sampled
+//!   A-rows at large scales; the rate extrapolates)
+//! * `rule_apply_pre`   — `apply_rules_with` over the full `A × B`
+//! * `vectorize_string` / `vectorize_pre` — full feature vectors on a
+//!   deterministic sample of pairs
+//!
+//! Flags: `--quick` (CI-sized run), `--out PATH`, `--scales a,b`,
+//! `--datasets a,b`, `--threads N`, `--kinds` (per-kernel ns/pair table,
+//! used to calibrate `FeatureKind::unit_cost`).
+
+use bench::{dataset, make_task, render_table, ExpOptions};
+use corleone::blocker::apply_rules_with;
+use corleone::task::MatchTask;
+use exec::Threads;
+use forest::{Op, Predicate, Rule};
+use serde::Serialize;
+use similarity::{FeatureKind, TaskAnalysis};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchRecord {
+    dataset: String,
+    scale: f64,
+    phase: String,
+    wall_ms: f64,
+    pairs_per_sec: f64,
+}
+
+struct Args {
+    quick: bool,
+    kinds: bool,
+    out: String,
+    scales: Vec<f64>,
+    datasets: Vec<String>,
+    threads: Threads,
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        quick: false,
+        kinds: false,
+        out: "BENCH_blocking.json".to_string(),
+        scales: vec![0.3, 1.0],
+        datasets: vec!["restaurants".into(), "citations".into(), "products".into()],
+        threads: Threads::auto(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.scales = vec![0.05];
+                args.datasets = vec!["restaurants".into()];
+            }
+            "--kinds" => args.kinds = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--scales" => {
+                args.scales = it
+                    .next()
+                    .expect("--scales needs a list")
+                    .split(',')
+                    .map(|s| s.parse().expect("scale"))
+                    .collect();
+            }
+            "--datasets" => {
+                args.datasets = it
+                    .next()
+                    .expect("--datasets needs a list")
+                    .split(',')
+                    .map(String::from)
+                    .collect();
+            }
+            "--threads" => {
+                args.threads =
+                    Threads::new(it.next().expect("--threads needs a number").parse().expect("n"));
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// First feature index of `kind`, if the library has one.
+fn find_kind(task: &MatchTask, kind: FeatureKind) -> Option<usize> {
+    task.vectorizer.library().defs.iter().position(|d| d.kind == kind)
+}
+
+/// Synthetic blocking rules over cheap features, shaped like the negative
+/// rules the Blocker extracts: "not an exact match and low word overlap"
+/// plus a low-cosine rule.
+fn bench_rules(task: &MatchTask) -> Vec<Rule> {
+    let pred = |feature: usize, threshold: f64| Predicate {
+        feature,
+        op: Op::Le,
+        threshold,
+        nan_satisfies: true,
+    };
+    let mut rules = Vec::new();
+    if let (Some(exact), Some(jac)) = (
+        find_kind(task, FeatureKind::ExactMatch),
+        find_kind(task, FeatureKind::JaccardWords),
+    ) {
+        rules.push(Rule {
+            predicates: vec![pred(exact, 0.5), pred(jac, 0.2)],
+            label: false,
+            tree: 0,
+            n_pos: 0,
+            n_neg: 1,
+        });
+    }
+    if let Some(cos) = find_kind(task, FeatureKind::CosineTfIdf) {
+        rules.push(Rule {
+            predicates: vec![pred(cos, 0.1)],
+            label: false,
+            tree: 0,
+            n_pos: 0,
+            n_neg: 1,
+        });
+    }
+    assert!(!rules.is_empty(), "dataset has no text features to block on");
+    rules
+}
+
+/// Reference rule sweep through the string kernels (what the hot path did
+/// before the analysis layer), over a subset of A-rows.
+fn rule_sweep_string(task: &MatchTask, rules: &[Rule], rows: &[u32], threads: Threads) -> usize {
+    let n_b = task.table_b.len() as u32;
+    let n_features = task.n_features();
+    let survivors: Vec<usize> = exec::indexed_par_map(threads, rows.len(), |ri| {
+        let rec_a = task.table_a.record(rows[ri]);
+        let mut memo = vec![f64::NAN; n_features];
+        let mut computed = vec![false; n_features];
+        let mut kept = 0usize;
+        for b in 0..n_b {
+            let rec_b = task.table_b.record(b);
+            computed.iter_mut().for_each(|c| *c = false);
+            let mut blocked = false;
+            'rules: for rule in rules {
+                for p in &rule.predicates {
+                    if !computed[p.feature] {
+                        memo[p.feature] = task.vectorizer.feature(p.feature, rec_a, rec_b);
+                        computed[p.feature] = true;
+                    }
+                }
+                if rule.matches(&memo) {
+                    blocked = true;
+                    break 'rules;
+                }
+            }
+            if !blocked {
+                kept += 1;
+            }
+        }
+        kept
+    });
+    survivors.iter().sum()
+}
+
+/// Deterministic stride sample of `n` pairs over the Cartesian product.
+fn sample_pairs(task: &MatchTask, n: usize) -> Vec<(u32, u32)> {
+    let n_a = task.table_a.len() as u64;
+    let n_b = task.table_b.len() as u64;
+    let total = n_a * n_b;
+    let take = (n as u64).min(total);
+    let stride = (total / take).max(1);
+    (0..take)
+        .map(|i| {
+            let idx = (i * stride) % total;
+            ((idx / n_b) as u32, (idx % n_b) as u32)
+        })
+        .collect()
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Per-kernel ns/pair on both paths (calibration data for
+/// `FeatureKind::unit_cost`).
+fn kind_timings(task: &MatchTask, an: &TaskAnalysis, threads: Threads) {
+    let pairs = sample_pairs(task, 20_000);
+    let vz = &task.vectorizer;
+    let mut rows = Vec::new();
+    for def_idx in 0..task.n_features() {
+        let def = &vz.library().defs[def_idx];
+        // One def per kind: skip repeats on later attributes.
+        if vz.library().defs[..def_idx].iter().any(|d| d.kind == def.kind) {
+            continue;
+        }
+        let run = |pre: bool| {
+            let t0 = Instant::now();
+            let sums: Vec<f64> = exec::indexed_par_map(threads, pairs.len(), |i| {
+                let (a, b) = pairs[i];
+                let (ra, rb) = (task.table_a.record(a), task.table_b.record(b));
+                let x = if pre {
+                    vz.feature_pre(def_idx, ra, rb, an)
+                } else {
+                    vz.feature(def_idx, ra, rb)
+                };
+                if x.is_nan() {
+                    0.0
+                } else {
+                    x
+                }
+            });
+            let ns = t0.elapsed().as_nanos() as f64 / pairs.len() as f64;
+            (ns, sums.iter().sum::<f64>())
+        };
+        let (ns_string, s1) = run(false);
+        let (ns_pre, s2) = run(true);
+        assert_eq!(s1.to_bits(), s2.to_bits(), "paths diverged on {}", def.name());
+        rows.push(vec![
+            format!("{:?}", def.kind),
+            format!("{:.0}", ns_string),
+            format!("{:.0}", ns_pre),
+            format!("{:.1}x", ns_string / ns_pre.max(1.0)),
+            format!("{:.1}", def.kind.unit_cost()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["kind", "string ns/pair", "pre ns/pair", "speedup", "unit_cost"], &rows)
+    );
+}
+
+fn main() {
+    let args = parse();
+    let threads = args.threads;
+    let vec_sample = if args.quick { 10_000 } else { 100_000 };
+    // Cap the (slow) string-path reference sweep; the pre path always
+    // runs the full Cartesian product.
+    let string_pair_cap: u64 = if args.quick { 200_000 } else { 4_000_000 };
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+
+    for name in &args.datasets {
+        for &scale in &args.scales {
+            let opts = ExpOptions { scale, ..Default::default() };
+            let ds = dataset(name, &opts, 0);
+            let (task, _gold) = make_task(&ds);
+            let n_a = task.table_a.len();
+            let n_b = task.table_b.len();
+            let cartesian = task.cartesian_size();
+            let rules = bench_rules(&task);
+            eprintln!(
+                "[{name} @ {scale}] |A|={n_a} |B|={n_b} cartesian={cartesian} rules={}",
+                rules.len()
+            );
+
+            let mut push = |phase: &str, wall_ms: f64, items: f64| {
+                let rate = items / (wall_ms / 1000.0).max(1e-9);
+                records.push(BenchRecord {
+                    dataset: name.clone(),
+                    scale,
+                    phase: phase.to_string(),
+                    wall_ms,
+                    pairs_per_sec: rate,
+                });
+                (wall_ms, rate)
+            };
+
+            // String-path rule sweep FIRST (before the analysis exists on
+            // this task object it would not matter — the reference sweep
+            // calls the string kernels explicitly — but measuring it first
+            // keeps cache-warming effects comparable).
+            let a_rows: Vec<u32> = {
+                let max_rows =
+                    ((string_pair_cap / n_b.max(1) as u64).max(1) as usize).min(n_a);
+                let stride = (n_a / max_rows).max(1);
+                (0..n_a).step_by(stride).take(max_rows).map(|a| a as u32).collect()
+            };
+            let string_pairs = a_rows.len() as u64 * n_b as u64;
+            let mut kept_string = 0usize;
+            let wall = time_ms(|| {
+                kept_string = rule_sweep_string(&task, &rules, &a_rows, threads);
+            });
+            let (_, rate_string) = push("rule_apply_string", wall, string_pairs as f64);
+
+            // One-time analysis build.
+            let wall = time_ms(|| {
+                task.ensure_analysis(threads);
+            });
+            push("analysis_build", wall, (n_a + n_b) as f64);
+            let an = task.analysis.get().expect("analysis just built");
+            let stats = an.stats;
+            eprintln!(
+                "[{name} @ {scale}] analysis: {} values, {} words, {} grams, ~{:.1} MiB",
+                stats.values,
+                stats.distinct_words,
+                stats.distinct_grams,
+                stats.approx_bytes as f64 / (1024.0 * 1024.0)
+            );
+
+            // Pre-path rule application over the full Cartesian product.
+            let mut survivors = 0usize;
+            let wall = time_ms(|| {
+                survivors = apply_rules_with(&task, &rules, threads).len();
+            });
+            let (_, rate_pre) = push("rule_apply_pre", wall, cartesian as f64);
+            eprintln!(
+                "[{name} @ {scale}] rule application: {:.2}M pairs/s string, {:.2}M pairs/s pre \
+                 ({:.1}x), {survivors} survivors",
+                rate_string / 1e6,
+                rate_pre / 1e6,
+                rate_pre / rate_string.max(1.0)
+            );
+
+            // Full vectorization on a deterministic pair sample.
+            let pairs = sample_pairs(&task, vec_sample);
+            let vectorize = |pre: bool| -> f64 {
+                time_ms(|| {
+                    let sums: Vec<f64> = exec::indexed_par_map(threads, pairs.len(), |i| {
+                        let (a, b) = pairs[i];
+                        let (ra, rb) = (task.table_a.record(a), task.table_b.record(b));
+                        let v = if pre {
+                            task.vectorizer.vectorize_pre(ra, rb, an)
+                        } else {
+                            task.vectorizer.vectorize(ra, rb)
+                        };
+                        v.iter().filter(|x| !x.is_nan()).sum()
+                    });
+                    std::hint::black_box(sums.iter().sum::<f64>());
+                })
+            };
+            let wall_s = vectorize(false);
+            let (_, vrate_s) = push("vectorize_string", wall_s, pairs.len() as f64);
+            let wall_p = vectorize(true);
+            let (_, vrate_p) = push("vectorize_pre", wall_p, pairs.len() as f64);
+
+            table_rows.push(vec![
+                name.clone(),
+                format!("{scale}"),
+                format!("{:.2}M", rate_string / 1e6),
+                format!("{:.2}M", rate_pre / 1e6),
+                format!("{:.1}x", rate_pre / rate_string.max(1.0)),
+                format!("{:.0}k", vrate_s / 1e3),
+                format!("{:.0}k", vrate_p / 1e3),
+                format!("{:.1}x", vrate_p / vrate_s.max(1.0)),
+            ]);
+
+            if args.kinds {
+                kind_timings(&task, an, threads);
+            }
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "dataset",
+                "scale",
+                "rules str p/s",
+                "rules pre p/s",
+                "speedup",
+                "vec str p/s",
+                "vec pre p/s",
+                "speedup",
+            ],
+            &table_rows
+        )
+    );
+
+    let json = serde_json::to_string_pretty(&records).expect("serialize bench records");
+    std::fs::write(&args.out, json + "\n").expect("write bench json");
+    eprintln!("wrote {}", args.out);
+}

@@ -303,35 +303,45 @@ pub fn apply_rules_parallel(task: &MatchTask, rules: &[Rule]) -> Vec<PairKey> {
 /// Apply blocking rules over the full Cartesian product with an explicit
 /// thread budget, computing only the features the rules mention (lazy +
 /// memoized per pair). Returns the surviving pairs, in row-major order.
+///
+/// This is the machine-side hot path of the whole pipeline: it builds the
+/// task's record-analysis layer first (a one-time, parallel cost) so every
+/// per-pair feature runs through the allocation-free interned kernels.
 pub fn apply_rules_with(task: &MatchTask, rules: &[Rule], threads: Threads) -> Vec<PairKey> {
     let n_a = task.table_a.len() as u32;
     let n_b = task.table_b.len() as u32;
     if rules.is_empty() {
-        let mut all = Vec::with_capacity(n_a as usize * n_b as usize);
-        for a in 0..n_a {
-            for b in 0..n_b {
-                all.push(PairKey::new(a, b));
-            }
-        }
-        return all;
+        // No rules: every pair survives. Stream the keys in parallel
+        // chunks (row-major order is preserved by indexed_par_map) rather
+        // than a serial push loop.
+        let n = n_a as usize * n_b as usize;
+        return exec::indexed_par_map(threads, n, |i| {
+            PairKey::new((i / n_b as usize) as u32, (i % n_b as usize) as u32)
+        });
     }
+    let analysis = task.ensure_analysis(threads);
     // One work item per A-row; the exec core chunks and self-schedules
-    // them. Scratch buffers live per item (n_features is small).
+    // them. Scratch buffers live per item (n_features is small), and
+    // kernel counters flush once per row, not once per feature.
     let n_features = task.n_features();
     let per_row: Vec<Vec<PairKey>> = exec::indexed_par_map(threads, n_a as usize, |a| {
         let a = a as u32;
+        let rec_a = task.table_a.record(a);
         let mut memo: Vec<f64> = vec![f64::NAN; n_features];
         let mut computed: Vec<bool> = vec![false; n_features];
         let mut out = Vec::new();
+        let mut n_computed = 0u64;
         for b in 0..n_b {
-            let pair = PairKey::new(a, b);
+            let rec_b = task.table_b.record(b);
             computed.iter_mut().for_each(|c| *c = false);
             let mut blocked = false;
             'rules: for rule in rules {
                 for p in &rule.predicates {
                     if !computed[p.feature] {
-                        memo[p.feature] = task.feature(p.feature, pair);
+                        memo[p.feature] =
+                            task.vectorizer.feature_pre(p.feature, rec_a, rec_b, analysis);
                         computed[p.feature] = true;
+                        n_computed += 1;
                     }
                 }
                 if rule.matches(&memo) {
@@ -340,9 +350,10 @@ pub fn apply_rules_with(task: &MatchTask, rules: &[Rule], threads: Threads) -> V
                 }
             }
             if !blocked {
-                out.push(pair);
+                out.push(PairKey::new(a, b));
             }
         }
+        task.analysis.note_single_features(n_computed, 0);
         out
     });
     per_row.into_iter().flatten().collect()

@@ -100,6 +100,30 @@ pub struct PerfReport {
     /// from (`Some(0)` = resumed right after blocking), or `None` for a
     /// run started from scratch.
     pub resumed_from_iteration: Option<usize>,
+    /// Record-analysis build time and feature-kernel counters.
+    pub kernels: KernelPerf,
+}
+
+/// Telemetry for the precomputed record-analysis layer and the similarity
+/// kernels it feeds (see `similarity::analysis`).
+///
+/// `cache.hits` counts pairs served without computing anything;
+/// `features_pre` counts features actually computed through the
+/// precomputed kernels (cache misses and uncached paths), so cache hits
+/// and precompute hits are separately attributable.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelPerf {
+    /// Wall-clock to build the task's record-analysis layer, in
+    /// milliseconds (0 when another run of the same task already built it).
+    pub analysis_build_ms: f64,
+    /// Pairs fully vectorized during this run (cache misses + uncached).
+    pub pairs_vectorized: u64,
+    /// Single-feature evaluations (the blocker's lazy rule path).
+    pub single_features: u64,
+    /// Feature values computed via the precomputed-analysis kernels.
+    pub features_pre: u64,
+    /// Feature values computed via the string-based reference kernels.
+    pub features_string: u64,
 }
 
 /// Why a run ended.
@@ -232,6 +256,20 @@ impl Engine {
         let CheckpointPlan { snapshotter, every, resume } = ckpt;
         let env = RunEnv { threads, cache };
         let resumed_from_iteration = resume.as_ref().map(|s| s.completed_iterations);
+
+        // Build the record-analysis layer up front (a no-op when a prior
+        // run of the same task already built it) so every downstream
+        // phase — blocking, candidate vectorization, estimator rule
+        // evaluation — runs through the precomputed kernels.
+        let kernels_start = task.kernel_counters();
+        let t0 = Instant::now();
+        let analysis_prebuilt = task.analysis.get().is_some();
+        task.ensure_analysis(threads);
+        let analysis_build_ms = if analysis_prebuilt {
+            0.0
+        } else {
+            t0.elapsed().as_secs_f64() * 1000.0
+        };
 
         // Per-phase cumulative caps when a budget split is configured
         // (§10 budget-allocation extension).
@@ -648,6 +686,16 @@ impl Engine {
                 faults: fault_delta,
                 snapshots_written,
                 resumed_from_iteration,
+                kernels: {
+                    let d = task.kernel_counters().delta(&kernels_start);
+                    KernelPerf {
+                        analysis_build_ms,
+                        pairs_vectorized: d.pairs_vectorized,
+                        single_features: d.single_features,
+                        features_pre: d.features_pre,
+                        features_string: d.features_string,
+                    }
+                },
             },
         })
     }

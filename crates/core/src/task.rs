@@ -2,8 +2,125 @@
 //! (paper §3) — two tables, a matching instruction, and four seed examples.
 
 use crowd::PairKey;
+use exec::Threads;
 use serde::{Deserialize, Serialize};
-use similarity::{FeatureVectorizer, Table};
+use similarity::{FeatureVectorizer, Table, TaskAnalysis};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Snapshot of the task's feature-kernel counters (see [`AnalysisCell`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    /// Full pair vectorizations requested through [`MatchTask::vectorize`].
+    pub pairs_vectorized: u64,
+    /// Single-feature evaluations through [`MatchTask::feature`] (the
+    /// blocker's lazy rule-application path).
+    pub single_features: u64,
+    /// Individual feature values computed via the precomputed-analysis
+    /// kernels.
+    pub features_pre: u64,
+    /// Individual feature values computed via the string-based reference
+    /// kernels (analysis not built yet).
+    pub features_string: u64,
+}
+
+impl KernelCounters {
+    /// Counter increments since `start` (for per-run reporting on a task
+    /// that may be shared across runs).
+    pub fn delta(&self, start: &KernelCounters) -> KernelCounters {
+        KernelCounters {
+            pairs_vectorized: self.pairs_vectorized - start.pairs_vectorized,
+            single_features: self.single_features - start.single_features,
+            features_pre: self.features_pre - start.features_pre,
+            features_string: self.features_string - start.features_string,
+        }
+    }
+}
+
+/// Lazily-built, never-serialized holder of a task's precomputed
+/// [`TaskAnalysis`] plus kernel counters.
+///
+/// The analysis is **derived state**: it is a pure function of the tables
+/// and the fitted vectorizer, so snapshots must not carry it (it is
+/// rebuilt on resume, like the feature matrix). The vendored serde derive
+/// has no field-skipping, so this type implements `Serialize` as JSON
+/// `null` and `Deserialize` as an empty cell by hand.
+#[derive(Default)]
+pub struct AnalysisCell {
+    cell: OnceLock<Arc<TaskAnalysis>>,
+    pairs_vectorized: AtomicU64,
+    single_features: AtomicU64,
+    features_pre: AtomicU64,
+    features_string: AtomicU64,
+}
+
+impl AnalysisCell {
+    /// The built analysis, if any.
+    pub fn get(&self) -> Option<&TaskAnalysis> {
+        self.cell.get().map(|a| a.as_ref())
+    }
+
+    /// Batched counter add for single-feature evaluations: hot loops
+    /// count locally and flush one atomic add per work item instead of
+    /// contending on the shared counters once per feature.
+    pub fn note_single_features(&self, n_pre: u64, n_string: u64) {
+        self.single_features.fetch_add(n_pre + n_string, Ordering::Relaxed);
+        if n_pre > 0 {
+            self.features_pre.fetch_add(n_pre, Ordering::Relaxed);
+        }
+        if n_string > 0 {
+            self.features_string.fetch_add(n_string, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> KernelCounters {
+        KernelCounters {
+            pairs_vectorized: self.pairs_vectorized.load(Ordering::Relaxed),
+            single_features: self.single_features.load(Ordering::Relaxed),
+            features_pre: self.features_pre.load(Ordering::Relaxed),
+            features_string: self.features_string.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for AnalysisCell {
+    fn clone(&self) -> Self {
+        let cell = OnceLock::new();
+        if let Some(a) = self.cell.get() {
+            let _ = cell.set(Arc::clone(a));
+        }
+        let c = self.counters();
+        AnalysisCell {
+            cell,
+            pairs_vectorized: AtomicU64::new(c.pairs_vectorized),
+            single_features: AtomicU64::new(c.single_features),
+            features_pre: AtomicU64::new(c.features_pre),
+            features_string: AtomicU64::new(c.features_string),
+        }
+    }
+}
+
+impl std::fmt::Debug for AnalysisCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCell")
+            .field("built", &self.cell.get().is_some())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl serde::Serialize for AnalysisCell {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for AnalysisCell {
+    fn from_json_value(_v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(AnalysisCell::default())
+    }
+}
 
 /// A hands-off EM task. Constructing one fits the feature vectorizer
 /// (feature library + per-attribute TF/IDF corpora) over both tables.
@@ -20,6 +137,9 @@ pub struct MatchTask {
     pub seeds: Vec<(PairKey, bool)>,
     /// Fitted vectorizer for this task.
     pub vectorizer: FeatureVectorizer,
+    /// Lazily-built record-analysis layer (derived state; serialized as
+    /// `null` and rebuilt on demand after deserialization).
+    pub analysis: AnalysisCell,
 }
 
 impl MatchTask {
@@ -51,7 +171,32 @@ impl MatchTask {
             );
         }
         let vectorizer = FeatureVectorizer::fit(&table_a, &table_b);
-        MatchTask { table_a, table_b, instruction: instruction.into(), seeds, vectorizer }
+        MatchTask {
+            table_a,
+            table_b,
+            instruction: instruction.into(),
+            seeds,
+            vectorizer,
+            analysis: AnalysisCell::default(),
+        }
+    }
+
+    /// Build (once) and return the precomputed record-analysis layer.
+    /// Subsequent [`Self::vectorize`] / [`Self::feature`] calls route
+    /// through the allocation-free kernels; results are bit-identical
+    /// either way, so mixing paths is safe.
+    pub fn ensure_analysis(&self, threads: Threads) -> &TaskAnalysis {
+        self.analysis
+            .cell
+            .get_or_init(|| {
+                Arc::new(self.vectorizer.analyze(&self.table_a, &self.table_b, threads))
+            })
+            .as_ref()
+    }
+
+    /// Current feature-kernel counters (cumulative over the task's life).
+    pub fn kernel_counters(&self) -> KernelCounters {
+        self.analysis.counters()
     }
 
     /// `|A × B|`.
@@ -64,22 +209,42 @@ impl MatchTask {
         self.vectorizer.n_features()
     }
 
-    /// Compute the full feature vector of a pair.
+    /// Compute the full feature vector of a pair, through the precomputed
+    /// analysis when it has been built (bit-identical either way).
     pub fn vectorize(&self, pair: PairKey) -> Vec<f64> {
-        self.vectorizer.vectorize(
-            self.table_a.record(pair.a),
-            self.table_b.record(pair.b),
-        )
+        let a = self.table_a.record(pair.a);
+        let b = self.table_b.record(pair.b);
+        let n = self.n_features() as u64;
+        self.analysis.pairs_vectorized.fetch_add(1, Ordering::Relaxed);
+        match self.analysis.get() {
+            Some(an) => {
+                self.analysis.features_pre.fetch_add(n, Ordering::Relaxed);
+                self.vectorizer.vectorize_pre(a, b, an)
+            }
+            None => {
+                self.analysis.features_string.fetch_add(n, Ordering::Relaxed);
+                self.vectorizer.vectorize(a, b)
+            }
+        }
     }
 
     /// Compute one feature of a pair (lazy path for blocking-rule
-    /// application over `A × B`).
+    /// application over `A × B`), through the precomputed analysis when
+    /// it has been built.
     pub fn feature(&self, idx: usize, pair: PairKey) -> f64 {
-        self.vectorizer.feature(
-            idx,
-            self.table_a.record(pair.a),
-            self.table_b.record(pair.b),
-        )
+        let a = self.table_a.record(pair.a);
+        let b = self.table_b.record(pair.b);
+        self.analysis.single_features.fetch_add(1, Ordering::Relaxed);
+        match self.analysis.get() {
+            Some(an) => {
+                self.analysis.features_pre.fetch_add(1, Ordering::Relaxed);
+                self.vectorizer.feature_pre(idx, a, b, an)
+            }
+            None => {
+                self.analysis.features_string.fetch_add(1, Ordering::Relaxed);
+                self.vectorizer.feature(idx, a, b)
+            }
+        }
     }
 
     /// Per-feature unit costs (for rule ranking, §4.3).

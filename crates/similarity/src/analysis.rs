@@ -1,0 +1,545 @@
+//! Precomputed per-record analysis for the blocking hot path.
+//!
+//! Applying blocking rules to `A × B` (paper §4.3) evaluates set- and
+//! vector-based similarity features on up to hundreds of millions of
+//! pairs. The string-based kernels re-normalize, re-tokenize, and rebuild
+//! hash sets from raw strings *per pair, per feature* — O(|A|·|B|) repeats
+//! of work that only depends on one record at a time.
+//!
+//! This module hoists all of that per-record work into a [`TaskAnalysis`]
+//! built once per task (in parallel through [`exec`]): for every record
+//! and text attribute it precomputes the whitespace-collapsed normalized
+//! string, the trimmed char sequence, interned word-token and 3-gram ids
+//! as sorted `u32` vectors, packed Soundex code sets, and the sparse
+//! TF/IDF weight vector with its precomputed L2 norm. The per-pair kernels
+//! then reduce to allocation-free sorted-merge intersections and sparse
+//! dot products.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel here must return the **exact same bits** as its
+//! string-based reference implementation (`jaccard`, `cosine`, `exact`,
+//! `phonetic`), including the empty-input and NaN conventions. Two design
+//! rules make that possible:
+//!
+//! * **Interned ids are lexicographic ranks.** The token pool is sorted,
+//!   so id order equals string order and the cosine merge-join visits
+//!   matching tokens in the same sequence as the reference — float
+//!   accumulation order is unchanged.
+//! * **TF/IDF vectors store raw weights plus a precomputed norm** (not
+//!   pre-divided weights), so the final `(dot / (na * nb)).clamp(..)`
+//!   is computed by the same expression as the reference.
+//!
+//! The property suite (`tests/analysis_equivalence.rs`) enforces the
+//! contract with `f64::to_bits` equality on random inputs.
+
+use crate::cosine::TfIdfModel;
+use crate::record::{AttrType, Record, RecordId, Table};
+use crate::tokenize::{normalize, qgrams, words};
+use std::cmp::Ordering;
+
+/// Precomputed forms of one non-null text attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrAnalysis {
+    /// Normalized string with whitespace runs collapsed to single spaces
+    /// (the form `exact_match` / `containment` compare).
+    pub collapsed: String,
+    /// Chars of the *uncollapsed* normalized string, trimmed — the form
+    /// `prefix_similarity` walks (interior whitespace runs preserved).
+    pub prefix_chars: Vec<char>,
+    /// Interned ids of the distinct word tokens, sorted ascending.
+    pub word_ids: Vec<u32>,
+    /// Interned ids of the distinct padded character 3-grams, sorted.
+    pub gram_ids: Vec<u32>,
+    /// Packed 4-byte Soundex codes of the word tokens, sorted, deduped.
+    pub soundex_codes: Vec<u32>,
+    /// Sparse TF/IDF weights `(word id, tf·idf)` in id order — which is
+    /// lexicographic token order, matching the reference merge-join.
+    /// Empty when the attribute has no fitted TF/IDF model.
+    pub tfidf: Vec<(u32, f64)>,
+    /// `sqrt(Σ w²)` over `tfidf`, accumulated in id order (identical to
+    /// the reference's per-call norm computation).
+    pub tfidf_norm: f64,
+}
+
+/// Size and interning statistics of a built analysis (for perf logs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Records analyzed across both tables.
+    pub records: usize,
+    /// Non-null text values analyzed.
+    pub values: usize,
+    /// Distinct word tokens interned.
+    pub distinct_words: usize,
+    /// Distinct 3-grams interned.
+    pub distinct_grams: usize,
+    /// Approximate resident bytes of the analysis rows.
+    pub approx_bytes: usize,
+}
+
+/// Per-record analyses of one table: `rows[record][attr]` is `Some` iff
+/// that attribute value is non-null text.
+#[derive(Debug)]
+pub struct TableAnalysis {
+    rows: Vec<Vec<Option<AttrAnalysis>>>,
+}
+
+impl TableAnalysis {
+    /// The analysis of one attribute of one record, if it is text.
+    #[inline]
+    pub fn attr(&self, record: RecordId, attr: usize) -> Option<&AttrAnalysis> {
+        self.rows[record as usize][attr].as_ref()
+    }
+
+    /// Number of analyzed records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no records were analyzed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// The analysis layer of one EM task: both tables, analyzed against a
+/// shared intern pool (so ids are comparable across tables).
+#[derive(Debug)]
+pub struct TaskAnalysis {
+    /// Analyses of table A's records.
+    pub a: TableAnalysis,
+    /// Analyses of table B's records.
+    pub b: TableAnalysis,
+    /// Build statistics.
+    pub stats: AnalysisStats,
+}
+
+impl TaskAnalysis {
+    /// Analysis of attribute `attr` of record `rec` in table A.
+    #[inline]
+    pub fn attr_a(&self, rec: RecordId, attr: usize) -> Option<&AttrAnalysis> {
+        self.a.attr(rec, attr)
+    }
+
+    /// Analysis of attribute `attr` of record `rec` in table B.
+    #[inline]
+    pub fn attr_b(&self, rec: RecordId, attr: usize) -> Option<&AttrAnalysis> {
+        self.b.attr(rec, attr)
+    }
+}
+
+/// Pack a 4-character ASCII Soundex code into a `u32` whose numeric order
+/// equals the code's lexicographic order (big-endian byte packing).
+fn pack_soundex(code: &str) -> u32 {
+    let b = code.as_bytes();
+    debug_assert_eq!(b.len(), 4, "soundex codes are 4 ASCII chars");
+    u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Map sorted tokens to pool ids via binary search. The pool contains
+/// every token of both tables by construction, so lookups cannot miss.
+fn intern_sorted(tokens: &mut Vec<String>, pool: &[String]) -> Vec<u32> {
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+        .iter()
+        .map(|t| {
+            pool.binary_search(t).map(|i| i as u32).unwrap_or_else(|_| {
+                panic!("token {t:?} missing from intern pool")
+            })
+        })
+        .collect()
+}
+
+fn analyze_value(
+    s: &str,
+    model: Option<&TfIdfModel>,
+    word_pool: &[String],
+    gram_pool: &[String],
+) -> AttrAnalysis {
+    let norm = normalize(s);
+    let collapsed = norm.split_whitespace().collect::<Vec<_>>().join(" ");
+    let prefix_chars: Vec<char> = norm.trim().chars().collect();
+
+    let toks = words(s);
+    let mut soundex_codes: Vec<u32> = toks
+        .iter()
+        .filter_map(|w| crate::phonetic::soundex(w))
+        .map(|c| pack_soundex(&c))
+        .collect();
+    soundex_codes.sort_unstable();
+    soundex_codes.dedup();
+
+    let mut word_toks = toks;
+    let word_ids = intern_sorted(&mut word_toks, word_pool);
+    let mut gram_toks = qgrams(s, 3);
+    let gram_ids = intern_sorted(&mut gram_toks, gram_pool);
+
+    let (tfidf, tfidf_norm) = match model {
+        Some(m) => {
+            // The reference weight vector, token-for-token; ids preserve
+            // its lexicographic order because ids are sorted ranks.
+            let w = m.weights(s);
+            let norm = w.iter().map(|(_, x)| x * x).sum::<f64>().sqrt();
+            let ids: Vec<(u32, f64)> = w
+                .into_iter()
+                .map(|(t, x)| {
+                    let id = word_pool
+                        .binary_search(&t)
+                        .unwrap_or_else(|_| panic!("token {t:?} missing from intern pool"));
+                    (id as u32, x)
+                })
+                .collect();
+            debug_assert!(ids.windows(2).all(|p| p[0].0 < p[1].0));
+            (ids, norm)
+        }
+        None => (Vec::new(), 0.0),
+    };
+
+    AttrAnalysis {
+        collapsed,
+        prefix_chars,
+        word_ids,
+        gram_ids,
+        soundex_codes,
+        tfidf,
+        tfidf_norm,
+    }
+}
+
+fn attr_bytes(a: &AttrAnalysis) -> usize {
+    std::mem::size_of::<AttrAnalysis>()
+        + a.collapsed.len()
+        + a.prefix_chars.len() * std::mem::size_of::<char>()
+        + (a.word_ids.len() + a.gram_ids.len() + a.soundex_codes.len()) * 4
+        + a.tfidf.len() * std::mem::size_of::<(u32, f64)>()
+}
+
+/// Build the analysis layer for a task's two tables in parallel.
+///
+/// `tfidf` is the vectorizer's per-attribute model list (`None` entries
+/// for attributes without a corpus model). The intern pool is shared
+/// across both tables and all text attributes, and ids are assigned in
+/// lexicographic order — see the module docs for why that matters.
+pub fn analyze_task(
+    a: &Table,
+    b: &Table,
+    tfidf: &[Option<TfIdfModel>],
+    threads: exec::Threads,
+) -> TaskAnalysis {
+    let text_attrs: Vec<usize> = a
+        .schema
+        .attrs
+        .iter()
+        .enumerate()
+        .filter(|(_, at)| at.ty == AttrType::Text)
+        .map(|(i, _)| i)
+        .collect();
+
+    // Pass 1: collect every word token and 3-gram of both tables, in
+    // parallel per record, then sort + dedup into the shared pools.
+    let collect = |t: &Table| -> Vec<(Vec<String>, Vec<String>)> {
+        exec::par_map(threads, &t.records, |r: &Record| {
+            let mut ws = Vec::new();
+            let mut gs = Vec::new();
+            for &ai in &text_attrs {
+                if let Some(s) = r.value(ai).as_text() {
+                    ws.extend(words(s));
+                    gs.extend(qgrams(s, 3));
+                }
+            }
+            (ws, gs)
+        })
+    };
+    let mut word_pool: Vec<String> = Vec::new();
+    let mut gram_pool: Vec<String> = Vec::new();
+    for t in [a, b] {
+        for (ws, gs) in collect(t) {
+            word_pool.extend(ws);
+            gram_pool.extend(gs);
+        }
+    }
+    word_pool.sort_unstable();
+    word_pool.dedup();
+    gram_pool.sort_unstable();
+    gram_pool.dedup();
+
+    // Pass 2: per-record analyses against the frozen pools.
+    let analyze_table = |t: &Table| -> TableAnalysis {
+        let rows = exec::par_map(threads, &t.records, |r: &Record| {
+            r.values
+                .iter()
+                .enumerate()
+                .map(|(ai, v)| {
+                    v.as_text().map(|s| {
+                        analyze_value(s, tfidf[ai].as_ref(), &word_pool, &gram_pool)
+                    })
+                })
+                .collect::<Vec<Option<AttrAnalysis>>>()
+        });
+        TableAnalysis { rows }
+    };
+    let ta = analyze_table(a);
+    let tb = analyze_table(b);
+
+    let mut stats = AnalysisStats {
+        records: a.len() + b.len(),
+        distinct_words: word_pool.len(),
+        distinct_grams: gram_pool.len(),
+        ..Default::default()
+    };
+    for t in [&ta, &tb] {
+        for row in &t.rows {
+            for cell in row.iter().flatten() {
+                stats.values += 1;
+                stats.approx_bytes += attr_bytes(cell);
+            }
+        }
+    }
+
+    TaskAnalysis { a: ta, b: tb, stats }
+}
+
+// ---- allocation-free kernels over precomputed analyses -------------------
+
+/// `|a ∩ b|` of two sorted, deduped id slices (linear merge).
+#[inline]
+pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard over sorted id sets; mirrors `jaccard::jaccard_sets` exactly
+/// (two empty sets → 1.0).
+#[inline]
+pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
+    let inter = intersect_count(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Dice over sorted id sets; mirrors `jaccard::dice_sets` exactly.
+#[inline]
+pub fn dice_ids(a: &[u32], b: &[u32]) -> f64 {
+    if a.len() + b.len() == 0 {
+        return 1.0;
+    }
+    let inter = intersect_count(a, b);
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient over sorted id sets; mirrors
+/// `jaccard::overlap_sets` exactly (one empty set → 0.0 unless both are).
+#[inline]
+pub fn overlap_ids(a: &[u32], b: &[u32]) -> f64 {
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return if a.len() == b.len() { 1.0 } else { 0.0 };
+    }
+    intersect_count(a, b) as f64 / min as f64
+}
+
+/// Soundex-code-set similarity; mirrors `phonetic::soundex_similarity`
+/// (both code sets empty → 1.0, exactly one empty → 0.0, else Jaccard).
+#[inline]
+pub fn soundex_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
+    let (ca, cb) = (&a.soundex_codes, &b.soundex_codes);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    if ca.is_empty() || cb.is_empty() {
+        return 0.0;
+    }
+    let inter = intersect_count(ca, cb);
+    let union = ca.len() + cb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// TF/IDF cosine over precomputed sparse vectors; mirrors
+/// `TfIdfModel::cosine` bit-for-bit (see the module docs).
+#[inline]
+pub fn cosine_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
+    let (wa, wb) = (&a.tfidf, &b.tfidf);
+    if wa.is_empty() && wb.is_empty() {
+        return 1.0;
+    }
+    if wa.is_empty() || wb.is_empty() {
+        return 0.0;
+    }
+    let mut dot = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < wa.len() && j < wb.len() {
+        match wa[i].0.cmp(&wb[j].0) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                dot += wa[i].1 * wb[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (dot / (a.tfidf_norm * b.tfidf_norm)).clamp(0.0, 1.0)
+}
+
+/// Exact match on the collapsed normalized strings; mirrors
+/// `exact::exact_match`.
+#[inline]
+pub fn exact_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
+    f64::from(a.collapsed == b.collapsed)
+}
+
+/// Substring containment on the collapsed normalized strings; mirrors
+/// `exact::containment` (including the tie-break: equal lengths treat
+/// the first argument as the needle).
+#[inline]
+pub fn containment_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
+    let (na, nb) = (&a.collapsed, &b.collapsed);
+    let (short, long) = if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
+    if short.is_empty() {
+        return f64::from(long.is_empty());
+    }
+    f64::from(long.contains(short.as_str()))
+}
+
+/// Common-prefix ratio on the trimmed normalized char sequences; mirrors
+/// `exact::prefix_similarity`.
+#[inline]
+pub fn prefix_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
+    let (na, nb) = (&a.prefix_chars, &b.prefix_chars);
+    let min = na.len().min(nb.len());
+    if min == 0 {
+        return f64::from(na.len() == nb.len());
+    }
+    let common = na.iter().zip(nb.iter()).take_while(|(x, y)| x == y).count();
+    common as f64 / min as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Attribute, Schema, Value};
+    use crate::{exact, jaccard, phonetic};
+    use std::sync::Arc;
+
+    fn analyzed(values: &[&str]) -> (TaskAnalysis, Table, Table) {
+        let schema = Arc::new(Schema::new(vec![Attribute::text("t")]));
+        let rows: Vec<Vec<Value>> = values.iter().map(|&s| vec![Value::Text(s.into())]).collect();
+        let a = Table::new("a", schema.clone(), rows.clone());
+        let b = Table::new("b", schema, rows);
+        let docs: Vec<&str> = values.iter().copied().chain(values.iter().copied()).collect();
+        let model = Some(TfIdfModel::fit(docs));
+        let an = analyze_task(&a, &b, &[model], exec::Threads::new(2));
+        (an, a, b)
+    }
+
+    #[test]
+    fn set_kernels_match_references_bitwise() {
+        let vals = ["kingston hyperx 4GB kit", "Kingston HyperX", "", "a a b", "  !!  "];
+        let (an, a, b) = analyzed(&vals);
+        for i in 0..vals.len() as u32 {
+            for j in 0..vals.len() as u32 {
+                let (x, y) = (
+                    a.record(i).value(0).as_text().unwrap(),
+                    b.record(j).value(0).as_text().unwrap(),
+                );
+                let (ra, rb) = (an.attr_a(i, 0).unwrap(), an.attr_b(j, 0).unwrap());
+                let cases = [
+                    (jaccard_ids(&ra.word_ids, &rb.word_ids), jaccard::jaccard_words(x, y)),
+                    (jaccard_ids(&ra.gram_ids, &rb.gram_ids), jaccard::jaccard_qgrams(x, y, 3)),
+                    (dice_ids(&ra.word_ids, &rb.word_ids), jaccard::dice_words(x, y)),
+                    (overlap_ids(&ra.word_ids, &rb.word_ids), jaccard::overlap_words(x, y)),
+                    (soundex_pre(ra, rb), phonetic::soundex_similarity(x, y)),
+                    (exact_pre(ra, rb), exact::exact_match(x, y)),
+                    (containment_pre(ra, rb), exact::containment(x, y)),
+                    (prefix_pre(ra, rb), exact::prefix_similarity(x, y)),
+                ];
+                for (k, (got, want)) in cases.iter().enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "kernel {k} mismatch on ({x:?}, {y:?}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_matches_reference_bitwise() {
+        let vals = ["kingston hyperx memory kit", "kingston valueram memory", "", "memory memory kit"];
+        let (an, a, b) = analyzed(&vals);
+        let docs: Vec<&str> = vals.iter().copied().chain(vals.iter().copied()).collect();
+        let model = TfIdfModel::fit(docs);
+        for i in 0..vals.len() as u32 {
+            for j in 0..vals.len() as u32 {
+                let (x, y) = (
+                    a.record(i).value(0).as_text().unwrap(),
+                    b.record(j).value(0).as_text().unwrap(),
+                );
+                let got = cosine_pre(an.attr_a(i, 0).unwrap(), an.attr_b(j, 0).unwrap());
+                let want = model.cosine(x, y);
+                assert_eq!(got.to_bits(), want.to_bits(), "cosine mismatch on ({x:?}, {y:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn null_values_have_no_analysis() {
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::text("t"),
+            Attribute::number("n"),
+        ]));
+        let a = Table::new(
+            "a",
+            schema.clone(),
+            vec![vec![Value::Null, Value::Number(1.0)], vec!["x".into(), Value::Null]],
+        );
+        let b = Table::new("b", schema, vec![vec!["y".into(), Value::Number(2.0)]]);
+        let an = analyze_task(&a, &b, &[None, None], exec::Threads::new(1));
+        assert!(an.attr_a(0, 0).is_none(), "null text has no analysis");
+        assert!(an.attr_a(1, 0).is_some());
+        assert!(an.attr_a(0, 1).is_none(), "numeric attrs are not analyzed");
+        assert!(an.attr_b(0, 0).is_some());
+        assert_eq!(an.stats.records, 3);
+        assert_eq!(an.stats.values, 2);
+    }
+
+    #[test]
+    fn stats_count_interned_tokens() {
+        let (an, _, _) = analyzed(&["alpha beta", "beta gamma"]);
+        assert_eq!(an.stats.distinct_words, 3);
+        assert!(an.stats.distinct_grams > 0);
+        assert!(an.stats.approx_bytes > 0);
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let vals = ["kingston hyperx", "corsair vengeance 8gb", "", "samsung evo"];
+        let schema = Arc::new(Schema::new(vec![Attribute::text("t")]));
+        let rows: Vec<Vec<Value>> = vals.iter().map(|&s| vec![Value::Text(s.into())]).collect();
+        let a = Table::new("a", schema.clone(), rows.clone());
+        let b = Table::new("b", schema, rows);
+        let m = || Some(TfIdfModel::fit(vals.iter().copied()));
+        let an1 = analyze_task(&a, &b, &[m()], exec::Threads::new(1));
+        let an8 = analyze_task(&a, &b, &[m()], exec::Threads::new(8));
+        for i in 0..vals.len() as u32 {
+            assert_eq!(an1.attr_a(i, 0), an8.attr_a(i, 0));
+        }
+        assert_eq!(an1.stats, an8.stats);
+    }
+}

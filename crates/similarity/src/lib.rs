@@ -24,6 +24,7 @@
 //! ```
 
 pub mod align;
+pub mod analysis;
 pub mod cosine;
 pub mod csv;
 pub mod edit;
@@ -38,6 +39,7 @@ pub mod record;
 pub mod tokenize;
 pub mod vector;
 
+pub use analysis::{AnalysisStats, AttrAnalysis, TableAnalysis, TaskAnalysis};
 pub use features::{FeatureDef, FeatureKind, FeatureLibrary};
 pub use record::{AttrType, Attribute, Record, RecordId, Schema, Table, Value};
 pub use vector::FeatureVectorizer;

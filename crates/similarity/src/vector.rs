@@ -10,6 +10,7 @@
 //! Missing values produce `NaN` features; the forest learner handles those
 //! with learned missing-value routing (see the `forest` crate).
 
+use crate::analysis::{self, TaskAnalysis};
 use crate::cosine::TfIdfModel;
 use crate::features::{FeatureDef, FeatureKind, FeatureLibrary};
 use crate::record::{Record, Schema, Table, Value};
@@ -91,6 +92,74 @@ impl FeatureVectorizer {
         let va = a.value(def.attr);
         let vb = b.value(def.attr);
         compute_feature(def, va, vb, self.tfidf[def.attr].as_ref())
+    }
+
+    /// Build the precomputed analysis layer for a task's two tables (see
+    /// [`crate::analysis`]). The result feeds [`Self::feature_pre`] /
+    /// [`Self::vectorize_pre`], whose outputs are bit-identical to the
+    /// string-based [`Self::feature`] / [`Self::vectorize`].
+    pub fn analyze(&self, a: &Table, b: &Table, threads: exec::Threads) -> TaskAnalysis {
+        analysis::analyze_task(a, b, &self.tfidf, threads)
+    }
+
+    /// [`Self::feature`] through the precomputed analysis: set/vector
+    /// kernels run allocation-free over interned ids; character-level
+    /// measures (edit distance, Jaro, alignment) and numeric comparators
+    /// fall through to the reference path unchanged.
+    ///
+    /// `a` and `b` must be records of the tables `an` was built from.
+    pub fn feature_pre(&self, idx: usize, a: &Record, b: &Record, an: &TaskAnalysis) -> f64 {
+        let def = &self.lib.defs[idx];
+        match def.kind {
+            FeatureKind::JaccardWords
+            | FeatureKind::Jaccard3Grams
+            | FeatureKind::OverlapWords
+            | FeatureKind::DiceWords
+            | FeatureKind::CosineTfIdf
+            | FeatureKind::ExactMatch
+            | FeatureKind::Containment
+            | FeatureKind::PrefixSim
+            | FeatureKind::Soundex => {
+                // An analysis exists iff the value is non-null text — the
+                // same condition under which the reference path computes
+                // (it returns NaN otherwise).
+                let (Some(ra), Some(rb)) =
+                    (an.attr_a(a.id, def.attr), an.attr_b(b.id, def.attr))
+                else {
+                    return f64::NAN;
+                };
+                match def.kind {
+                    FeatureKind::JaccardWords => {
+                        analysis::jaccard_ids(&ra.word_ids, &rb.word_ids)
+                    }
+                    FeatureKind::Jaccard3Grams => {
+                        analysis::jaccard_ids(&ra.gram_ids, &rb.gram_ids)
+                    }
+                    FeatureKind::OverlapWords => {
+                        analysis::overlap_ids(&ra.word_ids, &rb.word_ids)
+                    }
+                    FeatureKind::DiceWords => analysis::dice_ids(&ra.word_ids, &rb.word_ids),
+                    FeatureKind::CosineTfIdf => {
+                        if self.tfidf[def.attr].is_some() {
+                            analysis::cosine_pre(ra, rb)
+                        } else {
+                            f64::NAN
+                        }
+                    }
+                    FeatureKind::ExactMatch => analysis::exact_pre(ra, rb),
+                    FeatureKind::Containment => analysis::containment_pre(ra, rb),
+                    FeatureKind::PrefixSim => analysis::prefix_pre(ra, rb),
+                    FeatureKind::Soundex => analysis::soundex_pre(ra, rb),
+                    _ => unreachable!(),
+                }
+            }
+            _ => self.feature(idx, a, b),
+        }
+    }
+
+    /// [`Self::vectorize`] through the precomputed analysis.
+    pub fn vectorize_pre(&self, a: &Record, b: &Record, an: &TaskAnalysis) -> Vec<f64> {
+        (0..self.lib.len()).map(|fi| self.feature_pre(fi, a, b, an)).collect()
     }
 }
 

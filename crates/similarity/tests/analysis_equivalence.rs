@@ -1,0 +1,143 @@
+//! Property tests for the precomputed-analysis kernels: for arbitrary
+//! (unicode-ish) inputs, every analysis-path feature must equal the
+//! string-based reference **exactly** — `f64::to_bits` equality, NaN
+//! included — covering empty strings, missing values, and mixed schemas.
+//! This is the executable form of the bit-identity contract documented in
+//! `similarity::analysis`.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use similarity::{Attribute, FeatureVectorizer, Schema, Table, Value};
+use std::sync::Arc;
+
+fn any_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z0-9 ]{0,24}",
+        "[A-Za-z0-9 ,.'!#-]{0,24}",
+        Just(String::new()),
+        Just("   ".to_string()),
+        any::<String>().prop_map(|s| s.chars().take(12).collect()),
+    ]
+}
+
+fn any_text_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any_text().prop_map(Value::Text),
+        any_text().prop_map(Value::Text),
+        any_text().prop_map(Value::Text),
+        Just(Value::Null),
+    ]
+}
+
+fn any_num_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i32..1000).prop_map(|n| Value::Number(f64::from(n) / 4.0)),
+        Just(Value::Null),
+    ]
+}
+
+fn tables(rows_a: Vec<(Value, Value)>, rows_b: Vec<(Value, Value)>) -> (Table, Table) {
+    let schema = Arc::new(Schema::new(vec![
+        Attribute::text("t"),
+        Attribute::number("n"),
+    ]));
+    let to_rows = |rows: Vec<(Value, Value)>| -> Vec<Vec<Value>> {
+        rows.into_iter().map(|(t, n)| vec![t, n]).collect()
+    };
+    (
+        Table::new("a", schema.clone(), to_rows(rows_a)),
+        Table::new("b", schema, to_rows(rows_b)),
+    )
+}
+
+fn assert_all_pairs_bitwise(a: &Table, b: &Table) -> Result<(), TestCaseError> {
+    let vz = FeatureVectorizer::fit(a, b);
+    let an = vz.analyze(a, b, exec::Threads::new(1));
+    for ra in &a.records {
+        for rb in &b.records {
+            let want = vz.vectorize(ra, rb);
+            let got = vz.vectorize_pre(ra, rb, &an);
+            prop_assert_eq!(got.len(), want.len());
+            for (fi, (g, w)) in got.iter().zip(&want).enumerate() {
+                prop_assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "feature {} ({}) diverged on pair ({:?}, {:?}): pre={} ref={}",
+                    fi,
+                    vz.library().defs[fi].name(),
+                    ra.value(0),
+                    rb.value(0),
+                    g,
+                    w
+                );
+                let single = vz.feature_pre(fi, ra, rb, &an);
+                prop_assert_eq!(single.to_bits(), w.to_bits(), "single-feature path diverged");
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn analysis_path_is_bit_identical(
+        rows_a in vec((any_text_value(), any_num_value()), 1..5),
+        rows_b in vec((any_text_value(), any_num_value()), 1..5),
+    ) {
+        let (a, b) = tables(rows_a, rows_b);
+        assert_all_pairs_bitwise(&a, &b)?;
+    }
+}
+
+#[test]
+fn edge_cases_are_bit_identical() {
+    // Deliberate edges: empty strings, whitespace-only, punctuation-only
+    // (normalizes to empty), missing values, single chars, duplicated
+    // tokens, and mixed-script text.
+    let texts = [
+        Value::Text(String::new()),
+        Value::Text("   ".into()),
+        Value::Text("!!! ---".into()),
+        Value::Text("a".into()),
+        Value::Text("a a a b".into()),
+        Value::Null,
+        Value::Text("Kingston HyperX 4GB kit".into()),
+        Value::Text("kingston hyperx".into()),
+        Value::Text("προϊόν 4gb".into()),
+        Value::Text("123 456".into()),
+    ];
+    let rows: Vec<(Value, Value)> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let n = if i % 3 == 0 { Value::Null } else { Value::Number(i as f64) };
+            (t.clone(), n)
+        })
+        .collect();
+    let (a, b) = tables(rows.clone(), rows);
+    assert_all_pairs_bitwise(&a, &b).expect("edge cases must be bit-identical");
+}
+
+#[test]
+fn multi_thread_analysis_is_bit_identical_to_single() {
+    let rows: Vec<(Value, Value)> = (0..40)
+        .map(|i| {
+            (
+                Value::Text(format!("acme widget model {} rev {}", i % 7, i)),
+                Value::Number(f64::from(i)),
+            )
+        })
+        .collect();
+    let (a, b) = tables(rows.clone(), rows);
+    let vz = FeatureVectorizer::fit(&a, &b);
+    let an1 = vz.analyze(&a, &b, exec::Threads::new(1));
+    let an8 = vz.analyze(&a, &b, exec::Threads::new(8));
+    for ra in &a.records {
+        for rb in &b.records {
+            let v1 = vz.vectorize_pre(ra, rb, &an1);
+            let v8 = vz.vectorize_pre(ra, rb, &an8);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&v1), bits(&v8));
+        }
+    }
+}

@@ -17,6 +17,15 @@ echo "==> smoke run (restaurants, scale 0.05, 1 run)"
 cargo run --release -q -p bench --bin smoke -- \
     --datasets restaurants --scale 0.05 --runs 1
 
+echo "==> blocking hot-path perf smoke (quick: restaurants, scale 0.05)"
+# Sanity-checks the precomputed-analysis kernels against the string
+# reference (the bin asserts bit-identity internally) and keeps the
+# blocking_perf harness itself from rotting. Quick numbers go to a temp
+# file so the committed BENCH_blocking.json (full-scale run) is untouched.
+perf_tmp=$(mktemp)
+cargo run --release -q -p bench --bin blocking_perf -- --quick --kinds --out "$perf_tmp"
+rm -f "$perf_tmp"
+
 echo "==> fault-injection smoke (30% HIT expiry, 20% abandonment)"
 # The run must finish without a panic and report a labeled termination
 # (or a typed "run failed" line) — that is the whole acceptance bar.

@@ -243,6 +243,115 @@ fn snapshot_from_a_different_task_is_a_typed_error() {
 }
 
 #[test]
+fn snapshots_carry_no_analysis_payload_and_resume_byte_identically() {
+    use corleone::Threads;
+
+    // The record-analysis layer is derived state: building it must not
+    // change what a task serializes to (the cell renders as `null`), so
+    // snapshots can never grow an analysis payload.
+    let (task, gold, price) = setup(0.1, 53);
+    let before = serde_json::to_string(&task).expect("serialize task");
+    assert!(before.contains("\"analysis\":null"), "analysis cell must serialize as null");
+    task.ensure_analysis(Threads::new(2));
+    let after = serde_json::to_string(&task).expect("serialize task with analysis built");
+    assert_eq!(before, after, "building the analysis changed the task's serialized form");
+
+    // A checkpointed run (which builds the analysis internally) must write
+    // snapshots free of analysis internals, and byte-identical to the
+    // snapshots written when the task enters the run with the analysis
+    // already built.
+    let engine = Engine::new(CorleoneConfig::small()).with_seed(53);
+    let run_with = |task: &MatchTask, dir: &Path| {
+        let mut p = platform(price, 53, FaultConfig::default());
+        let report = engine
+            .session(task)
+            .platform(&mut p)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .checkpoint_dir(dir)
+            .checkpoint_every(1)
+            .checkpoint_keep(0)
+            .run();
+        let snaps = store::Snapshotter::create(dir).expect("open").list().expect("list");
+        assert!(!snaps.is_empty());
+        (report, snaps)
+    };
+
+    let dir_pre = fresh_dir("analysis-prebuilt");
+    let (report_pre, snaps_pre) = run_with(&task, &dir_pre);
+
+    let (cold_task, _, _) = setup(0.1, 53);
+    let dir_cold = fresh_dir("analysis-cold");
+    let (report_cold, snaps_cold) = run_with(&cold_task, &dir_cold);
+
+    assert_eq!(report_pre.deterministic_json(), report_cold.deterministic_json());
+    assert_eq!(snaps_pre.len(), snaps_cold.len());
+
+    // Zero the wall-clock fields (and the checksum that covers them) so
+    // the only run-to-run variation left is timing digits.
+    fn normalized(path: &Path) -> String {
+        fn scrub(v: &mut serde::Value) {
+            match v {
+                serde::Value::Obj(fields) => {
+                    for (k, val) in fields.iter_mut() {
+                        if k == "timings_ms" || k == "checksum" {
+                            *val = serde::Value::Null;
+                        } else {
+                            scrub(val);
+                        }
+                    }
+                }
+                serde::Value::Arr(items) => items.iter_mut().for_each(scrub),
+                _ => {}
+            }
+        }
+        let text = std::fs::read_to_string(path).expect("read snapshot");
+        let mut v = serde_json::from_str(&text).expect("parse snapshot");
+        scrub(&mut v);
+        serde_json::to_string(&v).expect("render snapshot")
+    }
+
+    for (sp, sc) in snaps_pre.iter().zip(&snaps_cold) {
+        let text_pre = std::fs::read_to_string(sp).expect("read snapshot");
+        for marker in ["word_ids", "gram_ids", "soundex_codes", "prefix_chars", "tfidf_norm"] {
+            assert!(
+                !text_pre.contains(marker),
+                "snapshot {sp:?} leaked analysis internals ({marker})"
+            );
+        }
+        let (norm_pre, norm_cold) = (normalized(sp), normalized(sc));
+        assert_eq!(
+            norm_pre.len(),
+            norm_cold.len(),
+            "prebuilt analysis changed snapshot size ({sp:?} vs {sc:?})"
+        );
+        assert_eq!(norm_pre, norm_cold, "prebuilt analysis changed snapshot contents");
+    }
+
+    // And a resume from the prebuilt-analysis snapshots still reproduces
+    // the reference run exactly.
+    let mut p_ref = platform(price, 53, FaultConfig::default());
+    let reference = engine
+        .session(&task)
+        .platform(&mut p_ref)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .run();
+    let mut p_res = CrowdPlatform::new(WorkerPool::perfect(1), CrowdConfig::default());
+    let resumed = engine
+        .session(&task)
+        .platform(&mut p_res)
+        .oracle(&gold)
+        .gold(gold.matches())
+        .resume_from(snaps_pre.last().expect("at least one snapshot"))
+        .run();
+    assert_eq!(resumed.deterministic_json(), reference.deterministic_json());
+
+    let _ = std::fs::remove_dir_all(&dir_pre);
+    let _ = std::fs::remove_dir_all(&dir_cold);
+}
+
+#[test]
 fn budget_exhausted_run_resumes_under_a_raised_budget_and_converges() {
     let (task, gold, price) = setup(0.1, 41);
     let dir = fresh_dir("budget");
