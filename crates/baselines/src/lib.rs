@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # baselines — the traditional EM solutions Corleone is compared to
 //!
 //! Paper §9.1 compares Corleone against two developer-driven baselines and

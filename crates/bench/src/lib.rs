@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bench — the experiment harness that regenerates the paper's tables
 //! and figures
 //!

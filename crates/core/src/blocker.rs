@@ -180,7 +180,7 @@ pub fn run_blocker(
         // single most precise evaluated rule instead.
         if let Some(best) = evaluated
             .iter()
-            .max_by(|a, b| a.est_precision.partial_cmp(&b.est_precision).expect("finite"))
+            .max_by(|a, b| a.est_precision.total_cmp(&b.est_precision))
         {
             kept.push(best.clone());
         }
@@ -198,7 +198,7 @@ pub fn run_blocker(
     //    positive provably blocks a real match, so such rules are only
     //    applied when no clean rule remains.
     let known_pos_set: HashSet<usize> = label_pool
-        .iter()
+        .iter() // lint:allow(D2): order-free map-to-set projection used only for membership tests
         .filter_map(|(&i, &l)| l.then_some(i))
         .collect();
     let costs = task.feature_costs();
@@ -235,7 +235,7 @@ pub fn run_blocker(
         // a crowd-witnessed positive are only used as a last resort.
         let pick_best = |rs: &[&(usize, f64, Vec<usize>)]| {
             rs.iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite score"))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|r| (*r).clone())
         };
         let clean: Vec<&(usize, f64, Vec<usize>)> = scored

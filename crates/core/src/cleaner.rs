@@ -170,12 +170,7 @@ pub fn clean_forest(
             });
         }
     }
-    suspects.sort_by(|a, b| {
-        a.scored
-            .ub_precision
-            .partial_cmp(&b.scored.ub_precision)
-            .expect("finite")
-    });
+    suspects.sort_by(|a, b| a.scored.ub_precision.total_cmp(&b.scored.ub_precision));
     suspects.truncate(cfg.k_rules);
 
     let mut label_pool = known_labels.clone();

@@ -10,6 +10,7 @@
 //! — with an optional monetary budget ("run until a budget has been
 //! exhausted", §3).
 
+// lint:allow-module(D3): perf-timing module — Instant::now feeds only RunReport.perf phase timings, which deterministic_json zeroes; no timing value reaches report bytes or control flow
 use crate::blocker::{run_blocker, BlockerReport};
 use crate::cache::{CacheStats, FeatureCache};
 use crate::candidates::CandidateSet;
@@ -344,7 +345,7 @@ impl Engine {
                 t_locator = snap.timings_ms[3];
                 blocker_report = snap.blocker_report;
                 predictions = snap.predictions;
-                known_labels = snap.known_labels.into_iter().collect();
+                known_labels = snap.known_labels.into_iter().collect(); // lint:allow(D2): snap.known_labels is the snapshot's sorted Vec, not a hash map; lexical lint matches the field name
                 region = snap.region;
                 iterations = snap.iterations;
                 best = snap.best;
@@ -651,7 +652,7 @@ impl Engine {
         }
         let predicted: HashSet<PairKey> = predicted_pairs(&cand, &predictions);
         let final_true = gold.map(|g| evaluate(&predicted, g));
-        let mut predicted_matches: Vec<PairKey> = predicted.into_iter().collect();
+        let mut predicted_matches: Vec<PairKey> = predicted.into_iter().collect(); // lint:allow(D2): sorted on the next line before any use
         predicted_matches.sort();
 
         // A HIT that exhausted its retry budget means some requested
@@ -716,7 +717,7 @@ pub(crate) struct CheckpointPlan {
 /// Crowd-labeled candidate indices in ascending order, for snapshot
 /// payloads whose bytes must not depend on hash-map iteration order.
 fn sorted_labels(labels: &HashMap<usize, bool>) -> Vec<(usize, bool)> {
-    let mut v: Vec<(usize, bool)> = labels.iter().map(|(&i, &l)| (i, l)).collect();
+    let mut v: Vec<(usize, bool)> = labels.iter().map(|(&i, &l)| (i, l)).collect(); // lint:allow(D2): this IS the sanctioned collect+sort helper; sorted on the next line
     v.sort_unstable_by_key(|&(i, _)| i);
     v
 }

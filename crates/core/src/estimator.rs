@@ -78,7 +78,8 @@ struct SampleStats {
 
 fn sample_stats(x: &HashMap<usize, bool>, predictions: &[bool]) -> SampleStats {
     let mut s = SampleStats { n: 0, n_pp: 0, n_tp: 0, n_ap: 0 };
-    for (&i, &label) in x {
+    for (&i, &label) in x { // lint:allow(D2): order-free integer counting; no float accumulation, no serialization
+
         s.n += 1;
         if predictions[i] {
             s.n_pp += 1;
@@ -139,7 +140,7 @@ pub fn estimate_accuracy(
     // Candidate reduction rules: top-k negative rules of the matcher's
     // forest by precision upper bound (§6.2 step 1) — *not* yet evaluated.
     let known_pos: HashSet<usize> = known_labels
-        .iter()
+        .iter() // lint:allow(D2): order-free map-to-set projection used only for membership tests
         .filter_map(|(&i, &l)| l.then_some(i))
         .collect();
     let mut remaining: Vec<ScoredRule> = select_top_rules(
@@ -290,7 +291,7 @@ pub fn estimate_accuracy(
                 .iter()
                 .filter(|&&i| predictions[i] && !removed_union.contains(&i))
                 .count();
-            let have_after = x.keys().filter(|i| !removed_union.contains(i)).count();
+            let have_after = x.keys().filter(|i| !removed_union.contains(i)).count(); // lint:allow(D2): order-free count; no floats touched during iteration
             // Assuming precise rules, all actual positives stay.
             let cost = eval_cost_acc
                 + sampling_labels(active_after, pp_after, ap_active_est, have_after) as f64;
@@ -321,7 +322,7 @@ pub fn estimate_accuracy(
             .filter(|sr| !sr.coverage.is_empty())
             .collect();
         let mut eval_pool: HashMap<usize, bool> = known_labels.clone();
-        eval_pool.extend(x.iter().map(|(&i, &l)| (i, l)));
+        eval_pool.extend(x.iter().map(|(&i, &l)| (i, l))); // lint:allow(D2): order-free map-to-map merge; insertion order does not affect map contents
         let eval_cfg = RuleEvalConfig {
             eps_max: cfg.eps_max,
             confidence: cfg.confidence,
@@ -344,7 +345,7 @@ pub fn estimate_accuracy(
         active.retain(|i| active_set.contains(i));
         // Keep the uniform sample consistent with the reduced population:
         // conditioning a uniform sample on membership stays uniform.
-        x.retain(|i, _| active_set.contains(i));
+        x.retain(|i, _| active_set.contains(i)); // lint:allow(D2): pure membership predicate; retain outcome is order-independent
         if active.is_empty() {
             break;
         }

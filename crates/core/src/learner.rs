@@ -78,6 +78,16 @@ pub fn entropies(
     exec::par_map(threads, indices, |&i| forest.entropy(cand.row(i)))
 }
 
+/// Rank an `(index, entropy)` pool for batch selection: highest entropy
+/// first, truncated to `pool_size`. Uses `total_cmp`, so a NaN entropy (a
+/// degenerate forest can produce one) gets a fixed position in the order
+/// instead of panicking the run mid-iteration — the PR 2 comparator
+/// incident, memorialized by `constant_feature_task_survives_importance_sort`.
+fn rank_pool(pool: &mut Vec<(usize, f64)>, pool_size: usize) {
+    pool.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
+    pool.truncate(pool_size);
+}
+
 /// Run crowdsourced active learning over `cand`.
 ///
 /// `seed_examples` are the user's four labeled pairs, given as feature
@@ -165,8 +175,7 @@ pub fn run_active_learning(
         let ent = entropies(forest, cand, &selectable, threads);
         let mut pool: Vec<(usize, f64)> =
             selectable.iter().copied().zip(ent).collect();
-        pool.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("entropy is finite"));
-        pool.truncate(cfg.pool_size);
+        rank_pool(&mut pool, cfg.pool_size);
         let batch = weighted_sample_without_replacement(&pool, cfg.batch_size, rng);
 
         let keys: Vec<PairKey> = batch.iter().map(|&i| cand.pair(i)).collect();
@@ -398,5 +407,29 @@ mod tests {
         assert_eq!(s.len(), 3);
         let distinct: HashSet<usize> = s.iter().copied().collect();
         assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn nan_entropy_pool_ranks_deterministically() {
+        // Regression (the D1 rule's provenance, same family as PR 2's
+        // constant-feature incident): the entropy ranking used
+        // `partial_cmp(..).expect("entropy is finite")` and panicked the
+        // whole run if a degenerate forest produced a NaN entropy.
+        // `total_cmp` must instead give NaN a fixed place in the order so
+        // the pool stays deterministic across runs and thread counts.
+        let mut pool: Vec<(usize, f64)> =
+            vec![(0, 0.3), (1, f64::NAN), (2, 0.9), (3, f64::NAN), (4, 0.0)];
+        rank_pool(&mut pool, 4);
+        // total_cmp orders positive NaN above every finite value, so the
+        // NaN entries lead (in stable index order), then descending finite.
+        let got: Vec<usize> = pool.iter().map(|&(i, _)| i).collect();
+        assert_eq!(got, vec![1, 3, 2, 0]);
+
+        // Byte-identical across repeated runs on a fresh clone.
+        let mut again: Vec<(usize, f64)> =
+            vec![(0, 0.3), (1, f64::NAN), (2, 0.9), (3, f64::NAN), (4, 0.0)];
+        rank_pool(&mut again, 4);
+        let got_again: Vec<usize> = again.iter().map(|&(i, _)| i).collect();
+        assert_eq!(got, got_again);
     }
 }

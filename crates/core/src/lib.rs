@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # corleone — hands-off crowdsourced entity matching
 //!
 //! A from-scratch Rust implementation of **Corleone** (Gokhale et al.,

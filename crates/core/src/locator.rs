@@ -67,11 +67,11 @@ pub fn locate_difficult_pairs(
 ) -> LocatorOutcome {
     let ledger_start = *platform.ledger();
     let known_pos: HashSet<usize> = known_labels
-        .iter()
+        .iter() // lint:allow(D2): order-free map-to-set projection used only for membership tests
         .filter_map(|(&i, &l)| l.then_some(i))
         .collect();
     let known_neg: HashSet<usize> = known_labels
-        .iter()
+        .iter() // lint:allow(D2): order-free map-to-set projection used only for membership tests
         .filter_map(|(&i, &l)| (!l).then_some(i))
         .collect();
 

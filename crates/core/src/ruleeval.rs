@@ -90,8 +90,7 @@ pub fn select_top_rules(
     .collect();
     scored.sort_by(|a, b| {
         b.ub_precision
-            .partial_cmp(&a.ub_precision)
-            .expect("precision is finite")
+            .total_cmp(&a.ub_precision)
             .then(b.coverage.len().cmp(&a.coverage.len()))
     });
     scored.truncate(k);

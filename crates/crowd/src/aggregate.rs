@@ -86,7 +86,7 @@ pub fn dawid_skene(
             *total.entry(w).or_insert(0.0) += 1.0;
         }
         worker_error = total
-            .iter()
+            .iter() // lint:allow(D2): independent per-key transform into another map; no cross-key float accumulation, no serialization
             .map(|(&w, &n)| {
                 let e = (wrong[&w] + 1.0) / (n + 2.0);
                 (w, e.clamp(0.01, 0.49))

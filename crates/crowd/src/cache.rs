@@ -83,9 +83,12 @@ impl LabelCache {
         self.entries.is_empty()
     }
 
-    /// Iterate over all cached `(pair, label)` entries.
+    /// Iterate over all cached `(pair, label)` entries in ascending pair
+    /// order, so callers can never observe hash-map iteration order.
     pub fn iter(&self) -> impl Iterator<Item = (&PairKey, &CachedLabel)> {
-        self.entries.iter()
+        let mut v: Vec<(&PairKey, &CachedLabel)> = self.entries.iter().collect(); // lint:allow(D2): sorted immediately below; hash order never escapes this method
+        v.sort_unstable_by_key(|&(p, _)| *p);
+        v.into_iter()
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # crowd — a simulated crowdsourcing platform for hands-off EM
 //!
 //! Corleone's defining property is that every step of the EM workflow is

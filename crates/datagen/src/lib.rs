@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # datagen — synthetic EM datasets with gold standards
 //!
 //! The paper evaluates Corleone on three real-world datasets (Table 1):

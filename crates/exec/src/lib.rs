@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared parallel-execution core for the Corleone pipeline.
 //!
 //! Every hot loop in the workspace — pair vectorization, blocking-rule

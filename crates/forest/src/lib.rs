@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # forest — decision trees, random forests, and rule extraction
 //!
 //! A from-scratch implementation of the learning substrate Corleone builds

@@ -75,7 +75,7 @@ pub fn best_split(ds: &Dataset, idx: &[usize], features: &[usize]) -> Option<Spl
         if vals.len() < 2 {
             continue;
         }
-        vals.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN here"));
+        vals.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         let total_pos: usize = vals.iter().filter(|(_, l)| *l).count();
         let total_neg = vals.len() - total_pos;
         let nan_total = nan_pos + nan_neg;

@@ -1,0 +1,85 @@
+//! `corleone-lint` CLI — walk the workspace, enforce D1–D6, exit non-zero
+//! on any un-annotated finding.
+//!
+//! ```text
+//! corleone-lint [--json] [--stats] [--root <workspace-root>]
+//! ```
+//!
+//! * default: human-readable findings + the allow-annotation inventory
+//! * `--json`:  machine-readable report (findings, allows, stats) on stdout
+//! * `--stats`: add the per-rule counter table to the human output
+//! * exit code: 0 when clean, 1 on findings, 2 on usage/IO errors
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut stats = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--stats" => stats = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("corleone-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: corleone-lint [--json] [--stats] [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("corleone-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("corleone-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "corleone-lint: no workspace root (Cargo.toml + crates/) found \
+                         above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("corleone-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human(stats));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,327 @@
+//! A small hand-rolled Rust lexer, just rich enough for `corleone-lint`.
+//!
+//! The only hard requirement the rules place on it is *containment*: a rule
+//! pattern must never fire inside a string literal, raw string, char
+//! literal, or comment. So the lexer's job is to classify every byte of the
+//! source into exactly one of {token, comment, literal, whitespace} with the
+//! correct line number, not to produce a spec-complete token stream. Numeric
+//! literals, multi-char operators, and shebang handling are all simplified
+//! (operators come out as runs of single-char `Punct` tokens, which the
+//! rules match as sequences, e.g. `::` is `Punct(':') Punct(':')`).
+
+/// Token classification. `Literal` covers string/raw-string/byte-string/char
+/// and numeric literals — the rules only ever need to know "this is opaque
+/// literal payload, do not match inside it".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    Literal,
+    Lifetime,
+}
+
+/// One lexed token. `text` borrows from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment (line or block), kept out of the token stream but retained for
+/// the `// lint:allow` annotation grammar and `// SAFETY:` checks.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    pub text: &'a str,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (differs from `line` for block comments).
+    pub end_line: u32,
+}
+
+/// Full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    pub toks: Vec<Tok<'a>>,
+    pub comments: Vec<Comment<'a>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into tokens + comments. Never panics on malformed input: an
+/// unterminated literal or comment simply runs to end-of-file.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment { text: &src[start..i], line, end_line: line });
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment { text: &src[start..i], line: start_line, end_line: line });
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                let (ni, nl) = scan_quoted(b, i, line);
+                i = ni;
+                line = nl;
+                out.toks.push(Tok { kind: TokKind::Literal, text: &src[start..i], line: start_line });
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\...'` is always a char
+                // literal; `'x'` (any single char then a quote) is a char
+                // literal; otherwise it is a lifetime like `'a` / `'static`.
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    let start = i;
+                    let mut j = i + 2; // skip the escaped char
+                    if j < n {
+                        j += 1;
+                    }
+                    // `\u{...}` and multi-char escapes: run to the closing quote.
+                    while j < n && b[j] != b'\'' && b[j] != b'\n' {
+                        j += 1;
+                    }
+                    if j < n && b[j] == b'\'' {
+                        j += 1;
+                    }
+                    out.toks.push(Tok { kind: TokKind::Literal, text: &src[start..j], line });
+                    i = j;
+                } else {
+                    let rest = &src[i + 1..];
+                    let ch_len = rest.chars().next().map(|c| c.len_utf8()).unwrap_or(0);
+                    if ch_len > 0 && i + 1 + ch_len < n && b[i + 1 + ch_len] == b'\'' {
+                        let end = i + 2 + ch_len;
+                        out.toks.push(Tok { kind: TokKind::Literal, text: &src[i..end], line });
+                        i = end;
+                    } else {
+                        // Lifetime.
+                        let start = i;
+                        let mut j = i + 1;
+                        while j < n && is_ident_cont(b[j]) {
+                            j += 1;
+                        }
+                        out.toks.push(Tok { kind: TokKind::Lifetime, text: &src[start..j], line });
+                        i = j;
+                    }
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                let raw = matches!(text, "r" | "br") && i < n && (b[i] == b'"' || b[i] == b'#');
+                let byte_str = text == "b" && i < n && b[i] == b'"';
+                if raw {
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while j < n && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && b[j] == b'"' {
+                        let start_line = line;
+                        j += 1;
+                        // Scan to `"` followed by `hashes` hash marks.
+                        'scan: while j < n {
+                            if b[j] == b'\n' {
+                                line += 1;
+                                j += 1;
+                            } else if b[j] == b'"' {
+                                let mut k = j + 1;
+                                let mut seen = 0usize;
+                                while k < n && seen < hashes && b[k] == b'#' {
+                                    seen += 1;
+                                    k += 1;
+                                }
+                                if seen == hashes {
+                                    j = k;
+                                    break 'scan;
+                                }
+                                j += 1;
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Literal,
+                            text: &src[start..j],
+                            line: start_line,
+                        });
+                        i = j;
+                    } else {
+                        // `r#ident` raw identifiers: treat as an ident.
+                        out.toks.push(Tok { kind: TokKind::Ident, text, line });
+                    }
+                } else if byte_str {
+                    let start_line = line;
+                    let (ni, nl) = scan_quoted(b, i, line);
+                    i = ni;
+                    line = nl;
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                } else {
+                    out.toks.push(Tok { kind: TokKind::Ident, text, line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (is_ident_cont(b[i]) || (b[i] == b'.' && i + 1 < n && b[i + 1].is_ascii_digit())) {
+                    i += 1;
+                }
+                out.toks.push(Tok { kind: TokKind::Literal, text: &src[start..i], line });
+            }
+            _ => {
+                // Single-byte punct; multi-byte (non-ASCII) bytes outside
+                // literals are not valid Rust, but consume them safely.
+                let ch_len = src[i..].chars().next().map(|c| c.len_utf8()).unwrap_or(1);
+                out.toks.push(Tok { kind: TokKind::Punct, text: &src[i..i + ch_len], line });
+                i += ch_len;
+            }
+        }
+    }
+    out
+}
+
+/// Scan a `"`-delimited string starting at `b[i] == b'"'` (or a `b"` byte
+/// string with `i` at the quote). Returns (index past the closing quote,
+/// updated line). Handles `\"` and `\\` escapes and embedded newlines.
+fn scan_quoted(b: &[u8], mut i: usize, mut line: u32) -> (usize, u32) {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i = (i + 2).min(n),
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r###"
+// partial_cmp in a comment
+let s = "partial_cmp in a string";
+let r = r#"thread_rng in a raw "quoted" string"#;
+/* block comment with unwrap() */
+let real = total_cmp;
+"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"partial_cmp"));
+        assert!(!ids.contains(&"thread_rng"));
+        assert!(!ids.contains(&"unwrap"));
+        assert!(ids.contains(&"total_cmp"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let lits: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lits, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"line\n1\n2\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).expect("ident b");
+        assert_eq!(b_tok.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment */ let x = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x"]);
+    }
+}

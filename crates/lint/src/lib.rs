@@ -1,0 +1,450 @@
+#![forbid(unsafe_code)]
+//! `corleone-lint` — a workspace static-analysis pass that enforces the
+//! determinism & robustness contract no compiler checks.
+//!
+//! The repo's value rests on invariants like byte-identical reports across
+//! 1/2/8 threads and byte-identical checkpoint resume. Ordinary Rust idioms
+//! have already broken them twice (PR 1: HashMap-iteration-order float
+//! summation in TF/IDF cosine; PR 2: a `partial_cmp(..).expect(..)`
+//! comparator panicking mid-run on a NaN importance). This crate encodes
+//! those postmortems — and the adjacent hazards — as machine-checked rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D1   | no `partial_cmp` in comparator position — `total_cmp` only |
+//! | D2   | no HashMap/HashSet iteration in serializing/float-summing crates |
+//! | D3   | no wall-clock or entropy sources outside bench/tests |
+//! | D4   | no `.unwrap()` in library code — typed errors or reasoned `expect` |
+//! | D5   | `unsafe` needs `// SAFETY:`; unsafe-free crates forbid it outright |
+//! | D6   | no raw `thread::spawn` outside `crates/exec` |
+//!
+//! The analysis is lexical: a hand-rolled comment/string/raw-string-aware
+//! lexer ([`lexer`]) feeds token-stream rules ([`rules`]), so rule text
+//! inside literals or docs never fires. Escape hatch: a same-line
+//! `// lint:allow(Dx): <reason>` annotation (or
+//! `// lint:allow-module(Dx): <reason>` for a whole file); the reason text
+//! is mandatory and every waiver is surfaced in the report so the
+//! inventory stays reviewable. See DESIGN.md §4f.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{Annotation, RawFinding, D2_DENY_CRATES, RULES};
+
+/// Pseudo-rule code for malformed `lint:allow` annotations (missing reason,
+/// unknown rule code). A malformed annotation never suppresses anything.
+pub const ANNOTATION_RULE: &str = "A0";
+
+/// Human-readable rule names, keyed like [`RULES`].
+pub fn rule_name(rule: &str) -> &'static str {
+    match rule {
+        "D1" => "partial-cmp-comparator",
+        "D2" => "hash-order-iteration",
+        "D3" => "wall-clock-entropy",
+        "D4" => "library-unwrap",
+        "D5" => "unsafe-hygiene",
+        "D6" => "raw-thread-spawn",
+        _ => "malformed-allow-annotation",
+    }
+}
+
+/// One diagnostic that survived allow-annotation filtering.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// One `lint:allow` waiver that suppressed at least one finding (or, in
+/// `unused_allows`, suppressed none).
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+    pub module_level: bool,
+}
+
+/// Per-rule counters for `--stats` and the JSON report.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    pub files_scanned: usize,
+    pub tokens: u64,
+    pub findings_per_rule: BTreeMap<String, usize>,
+    pub allows_per_rule: BTreeMap<String, usize>,
+}
+
+/// The full lint result for a workspace (or a single file in tests).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<AllowRecord>,
+    pub unused_allows: Vec<AllowRecord>,
+    pub stats: Stats,
+}
+
+impl Report {
+    /// CI gate: clean means zero un-annotated findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    fn finalize(&mut self) {
+        for code in RULES.iter().copied().chain([ANNOTATION_RULE]) {
+            self.stats.findings_per_rule.entry(code.to_string()).or_insert(0);
+            self.stats.allows_per_rule.entry(code.to_string()).or_insert(0);
+        }
+        for f in &self.findings {
+            *self
+                .stats
+                .findings_per_rule
+                .entry(f.rule.clone())
+                .or_insert(0) += 1;
+        }
+        for a in &self.allows {
+            *self.stats.allows_per_rule.entry(a.rule.clone()).or_insert(0) += 1;
+        }
+        let sort_key = |f: &Finding| (f.file.clone(), f.line, f.rule.clone());
+        self.findings.sort_by_key(sort_key);
+        self.allows
+            .sort_by_key(|a| (a.file.clone(), a.line, a.rule.clone()));
+        self.unused_allows
+            .sort_by_key(|a| (a.file.clone(), a.line, a.rule.clone()));
+    }
+
+    /// Machine-readable report (hand-rolled JSON: the lint is
+    /// dependency-free by design).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.stats.files_scanned);
+        let _ = writeln!(s, "  \"tokens\": {},", self.stats.tokens);
+        let _ = writeln!(s, "  \"clean\": {},", self.is_clean());
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                s,
+                "{sep}    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        s.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        for (key, list) in [("allows", &self.allows), ("unused_allows", &self.unused_allows)] {
+            let _ = write!(s, "  \"{key}\": [");
+            for (i, a) in list.iter().enumerate() {
+                let sep = if i == 0 { "\n" } else { ",\n" };
+                let _ = write!(
+                    s,
+                    "{sep}    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"scope\": {}, \"reason\": {}}}",
+                    json_str(&a.rule),
+                    json_str(&a.file),
+                    a.line,
+                    json_str(if a.module_level { "module" } else { "line" }),
+                    json_str(&a.reason)
+                );
+            }
+            s.push_str(if list.is_empty() { "],\n" } else { "\n  ],\n" });
+        }
+        s.push_str("  \"stats\": {\"findings\": {");
+        push_counter_map(&mut s, &self.stats.findings_per_rule);
+        s.push_str("}, \"allows\": {");
+        push_counter_map(&mut s, &self.stats.allows_per_rule);
+        s.push_str("}}\n}\n");
+        s
+    }
+
+    /// Human-readable report. `with_stats` adds the per-rule counter table.
+    pub fn render_human(&self, with_stats: bool) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "corleone-lint: scanned {} files, {} tokens",
+            self.stats.files_scanned, self.stats.tokens
+        );
+        if with_stats {
+            let _ = writeln!(s, "  {:<4} {:<26} {:>8} {:>7}", "rule", "name", "findings", "allows");
+            for code in RULES.iter().copied().chain([ANNOTATION_RULE]) {
+                let _ = writeln!(
+                    s,
+                    "  {:<4} {:<26} {:>8} {:>7}",
+                    code,
+                    rule_name(code),
+                    self.stats.findings_per_rule.get(code).copied().unwrap_or(0),
+                    self.stats.allows_per_rule.get(code).copied().unwrap_or(0),
+                );
+            }
+        }
+        if !self.allows.is_empty() {
+            let _ = writeln!(s, "allow-annotation inventory ({}):", self.allows.len());
+            for a in &self.allows {
+                let scope = if a.module_level { " [module]" } else { "" };
+                let _ = writeln!(s, "  {} {}:{}{} — {}", a.rule, a.file, a.line, scope, a.reason);
+            }
+        }
+        for a in &self.unused_allows {
+            let _ = writeln!(
+                s,
+                "warning: unused allow {} at {}:{} — {}",
+                a.rule, a.file, a.line, a.reason
+            );
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(s, "OK: no un-annotated findings");
+        } else {
+            for f in &self.findings {
+                let _ = writeln!(s, "{}: [{}/{}] {}", fileline(f), f.rule, rule_name(&f.rule), f.message);
+            }
+            let _ = writeln!(s, "FAIL: {} un-annotated finding(s)", self.findings.len());
+        }
+        s
+    }
+}
+
+fn fileline(f: &Finding) -> String {
+    format!("{}:{}", f.file, f.line)
+}
+
+fn push_counter_map(s: &mut String, m: &BTreeMap<String, usize>) {
+    for (i, (k, v)) in m.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(s, "{sep}{}: {v}", json_str(k));
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Per-file lint result, exposed for the fixture self-tests.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<AllowRecord>,
+    pub unused_allows: Vec<AllowRecord>,
+    pub tokens: u64,
+    pub has_unsafe: bool,
+    pub has_forbid_unsafe: bool,
+    /// Module-level allow rule codes (for the crate-level D5 check).
+    pub module_allows: Vec<String>,
+}
+
+/// Lint one file's source. `rel_path` is workspace-relative (used in
+/// diagnostics and for the `src/bin/` exemption); `crate_name` is the
+/// `crates/<name>` directory name the file belongs to.
+pub fn lint_file(rel_path: &str, crate_name: &str, src: &str) -> FileOutcome {
+    let lexed = lexer::lex(src);
+    let annotations = rules::parse_annotations(&lexed.comments);
+    let skip = rules::test_ranges(&lexed.toks);
+    let is_bin = rel_path.contains("/src/bin/") || rel_path.ends_with("/main.rs");
+
+    let mut raw: Vec<RawFinding> = Vec::new();
+    raw.extend(rules::d1(&lexed.toks));
+    if D2_DENY_CRATES.contains(&crate_name) {
+        raw.extend(rules::d2(&lexed.toks, &skip));
+    }
+    if crate_name != "bench" {
+        raw.extend(rules::d3(&lexed.toks, &skip));
+        if !is_bin {
+            raw.extend(rules::d4(&lexed.toks, &skip));
+        }
+    }
+    raw.extend(rules::d5_unsafe_blocks(&lexed));
+    if crate_name != "exec" {
+        raw.extend(rules::d6(&lexed.toks));
+    }
+
+    let mut out = FileOutcome {
+        tokens: lexed.toks.len() as u64,
+        has_unsafe: rules::has_unsafe(&lexed.toks),
+        has_forbid_unsafe: rules::has_forbid_unsafe(&lexed.toks),
+        ..FileOutcome::default()
+    };
+
+    // Malformed annotations are findings themselves and suppress nothing.
+    let live: Vec<&Annotation> = annotations
+        .iter()
+        .filter(|a| {
+            if let Some(why) = &a.malformed {
+                out.findings.push(Finding {
+                    rule: ANNOTATION_RULE.to_string(),
+                    file: rel_path.to_string(),
+                    line: a.line,
+                    message: format!("malformed lint:allow annotation: {why}"),
+                });
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    out.module_allows = live
+        .iter()
+        .filter(|a| a.module_level)
+        .map(|a| a.rule.clone())
+        .collect();
+
+    let mut used = vec![false; live.len()];
+    for f in raw {
+        let suppressed = live.iter().enumerate().find(|(_, a)| {
+            a.rule == f.rule && (a.module_level || a.line == f.line)
+        });
+        match suppressed {
+            Some((idx, _)) => used[idx] = true,
+            None => out.findings.push(Finding {
+                rule: f.rule.to_string(),
+                file: rel_path.to_string(),
+                line: f.line,
+                message: f.message,
+            }),
+        }
+    }
+    for (idx, a) in live.iter().enumerate() {
+        let rec = AllowRecord {
+            rule: a.rule.clone(),
+            file: rel_path.to_string(),
+            line: a.line,
+            reason: a.reason.clone(),
+            module_level: a.module_level,
+        };
+        if used[idx] {
+            out.allows.push(rec);
+        } else {
+            out.unused_allows.push(rec);
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted by path so the
+/// report order (and the JSON bytes) are deterministic.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src/**/*.rs` file under `root` (the workspace
+/// root). Fixture corpora (`crates/lint/tests/fixtures`) are outside the
+/// scanned `src` trees and therefore never scanned.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut report = Report::default();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        walk_rs(&src_dir, &mut files)?;
+
+        let mut crate_has_unsafe = false;
+        let mut lib_rs: Option<(String, bool, Vec<String>)> = None;
+        for path in files {
+            let src = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let outcome = lint_file(&rel, &crate_name, &src);
+            report.stats.files_scanned += 1;
+            report.stats.tokens += outcome.tokens;
+            crate_has_unsafe |= outcome.has_unsafe;
+            if path.file_name().is_some_and(|n| n == "lib.rs")
+                && path.parent().is_some_and(|p| p == src_dir)
+            {
+                lib_rs = Some((
+                    rel.clone(),
+                    outcome.has_forbid_unsafe,
+                    outcome.module_allows.clone(),
+                ));
+            }
+            report.findings.extend(outcome.findings);
+            report.allows.extend(outcome.allows);
+            report.unused_allows.extend(outcome.unused_allows);
+        }
+        // Crate-level D5: an unsafe-free crate must let the compiler hold
+        // the line with `#![forbid(unsafe_code)]`.
+        if let Some((lib_rel, has_forbid, module_allows)) = lib_rs {
+            if !crate_has_unsafe && !has_forbid && !module_allows.iter().any(|r| r == "D5") {
+                report.findings.push(Finding {
+                    rule: "D5".to_string(),
+                    file: lib_rel,
+                    line: 1,
+                    message: format!(
+                        "crate `{crate_name}` is unsafe-free but lib.rs lacks \
+                         `#![forbid(unsafe_code)]`"
+                    ),
+                });
+            }
+        }
+    }
+    report.finalize();
+    Ok(report)
+}
+
+/// Find the workspace root: ascend from `start` until a directory holding
+/// both `Cargo.toml` and a `crates/` subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,603 @@
+//! The determinism & robustness rules (D1–D6) and the `lint:allow`
+//! annotation grammar.
+//!
+//! Each rule encodes a project invariant that an ordinary Rust idiom has
+//! broken (or could break) in the past — see DESIGN.md §4f for the
+//! provenance of each rule. Rules operate on the token stream produced by
+//! [`crate::lexer`], so they never fire inside string literals, raw
+//! strings, char literals, or comments.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// All rule codes, in report order.
+pub const RULES: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
+
+/// Crates where D2 (HashMap/HashSet iteration) is deny-by-default: these
+/// are the crates that serialize state or accumulate floats, where
+/// iteration order leaks into bytes.
+pub const D2_DENY_CRATES: [&str; 5] = ["core", "similarity", "forest", "crowd", "store"];
+
+/// The comparator-position methods D1 inspects for `partial_cmp`.
+pub const D1_COMPARATOR_METHODS: [&str; 4] = ["sort_by", "sort_unstable_by", "max_by", "min_by"];
+
+/// Map/set methods whose call on a HashMap/HashSet-typed name means
+/// "iterate in hash order".
+const D2_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// One diagnostic, before allow-annotations are applied.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// A parsed `lint:allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    pub rule: String,
+    pub line: u32,
+    pub reason: String,
+    pub module_level: bool,
+    /// The annotation was syntactically recognized but is missing its
+    /// required `: <reason>` clause (or names an unknown rule).
+    pub malformed: Option<String>,
+}
+
+/// Parse every `lint:allow(..)` / `lint:allow-module(..)` annotation in the
+/// file's comments.
+///
+/// Grammar (one annotation per comment): a *plain* `//` line comment whose
+/// text begins with the directive. Doc comments (`///`, `//!`) and block
+/// comments never carry annotations, so documentation that *mentions* the
+/// grammar cannot accidentally waive a rule.
+/// ```text
+/// // lint:allow(D2): <non-empty reason>
+/// // lint:allow-module(D3): <non-empty reason>
+/// ```
+pub fn parse_annotations(comments: &[Comment<'_>]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(body) = c.text.strip_prefix("//") else { continue };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue; // doc comment
+        }
+        let Some(rest) = body.trim_start().strip_prefix("lint:allow") else { continue };
+        let (module_level, rest) = match rest.strip_prefix("-module") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            out.push(Annotation {
+                rule: String::new(),
+                line: c.line,
+                reason: String::new(),
+                module_level,
+                malformed: Some("expected `(` after `lint:allow`".to_string()),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Annotation {
+                rule: String::new(),
+                line: c.line,
+                reason: String::new(),
+                module_level,
+                malformed: Some("unclosed rule code, expected `)`".to_string()),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = &rest[close + 1..];
+        let mut ann = Annotation {
+            rule: rule.clone(),
+            line: c.line,
+            reason: String::new(),
+            module_level,
+            malformed: None,
+        };
+        if !RULES.contains(&rule.as_str()) {
+            ann.malformed = Some(format!("unknown rule code `{rule}`"));
+            out.push(ann);
+            continue;
+        }
+        match tail.trim_start().strip_prefix(':') {
+            Some(reason) => {
+                let reason = reason.trim().trim_end_matches("*/").trim();
+                if reason.is_empty() {
+                    ann.malformed =
+                        Some("reason is required: `lint:allow(Dx): <reason>`".to_string());
+                } else {
+                    ann.reason = reason.to_string();
+                }
+            }
+            None => {
+                ann.malformed = Some("reason is required: `lint:allow(Dx): <reason>`".to_string());
+            }
+        }
+        out.push(ann);
+    }
+    out
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+/// Rules D2/D3/D4 do not apply inside them: tests may time, unwrap, and
+/// iterate freely — they do not serialize production bytes.
+pub fn test_ranges(toks: &[Tok<'_>]) -> Vec<(u32, u32)> {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        // `#[...]` or `#![...]` — collect the attribute's tokens.
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_punct("!") {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct("[") {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = toks[i].line;
+        let mut depth = 0usize;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].kind == TokKind::Ident {
+                attr_idents.push(toks[j].text);
+            }
+            j += 1;
+        }
+        let is_test_attr = match attr_idents.first() {
+            Some(&"cfg") => attr_idents.contains(&"test"),
+            Some(&"test") => attr_idents.len() == 1,
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item's end: either a
+        // `;` (e.g. `#[cfg(test)] use foo;`) or the matching `}` of its
+        // first brace block.
+        let mut k = j + 1;
+        while k + 1 < toks.len() && toks[k].is_punct("#") {
+            // Skip a following `#[...]` attribute.
+            let mut a = k + 1;
+            if a < toks.len() && toks[a].is_punct("!") {
+                a += 1;
+            }
+            if a < toks.len() && toks[a].is_punct("[") {
+                let mut d = 0usize;
+                while a < toks.len() {
+                    if toks[a].is_punct("[") {
+                        d += 1;
+                    } else if toks[a].is_punct("]") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    a += 1;
+                }
+                k = a + 1;
+            } else {
+                break;
+            }
+        }
+        let mut end_line = attr_start_line;
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while k < toks.len() {
+            if toks[k].is_punct("{") {
+                brace_depth += 1;
+                entered = true;
+            } else if toks[k].is_punct("}") {
+                brace_depth = brace_depth.saturating_sub(1);
+                if entered && brace_depth == 0 {
+                    end_line = toks[k].line;
+                    break;
+                }
+            } else if toks[k].is_punct(";") && !entered {
+                end_line = toks[k].line;
+                break;
+            }
+            k += 1;
+        }
+        if k >= toks.len() {
+            end_line = toks.last().map(|t| t.line).unwrap_or(attr_start_line);
+        }
+        ranges.push((attr_start_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}
+
+fn in_ranges(line: u32, ranges: &[(u32, u32)]) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// D1: `partial_cmp` in comparator position. A comparator that panics (or
+/// silently mis-orders) on NaN took down a whole run in PR 2; `total_cmp`
+/// gives a total order for the same price.
+pub fn d1(toks: &[Tok<'_>]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_cmp_method = toks[i].kind == TokKind::Ident
+            && D1_COMPARATOR_METHODS.contains(&toks[i].text)
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(");
+        if !is_cmp_method {
+            i += 1;
+            continue;
+        }
+        let method = toks[i].text;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            if toks[j].is_punct("(") {
+                depth += 1;
+            } else if toks[j].is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].is_ident("partial_cmp") {
+                out.push(RawFinding {
+                    rule: "D1",
+                    line: toks[j].line,
+                    message: format!(
+                        "`partial_cmp` inside a `{method}` comparator: NaN makes the \
+                         comparator panic or mis-order; use `f64::total_cmp`"
+                    ),
+                });
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Collect names that are (heuristically) HashMap/HashSet-typed in this
+/// file: `name: [&][mut] [path::]HashMap<..>` type ascriptions (lets,
+/// params, struct fields), `name = [path::]HashMap::new()`-style inits, and
+/// `let name = ...collect::<HashMap<..>>()` turbofish collects. The table
+/// is file-scoped and name-based — a deliberate heuristic for a lexical
+/// lint; cross-file field types are out of scope.
+fn d2_map_names<'a>(toks: &[Tok<'a>]) -> Vec<&'a str> {
+    let mut names: Vec<&str> = Vec::new();
+    let is_map = |t: &str| t == "HashMap" || t == "HashSet";
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name : <type>` (but not `name ::`).
+        if i + 2 < toks.len() && toks[i + 1].is_punct(":") && !toks[i + 2].is_punct(":") {
+            let mut j = i + 2;
+            while j < toks.len()
+                && (toks[j].is_punct("&")
+                    || toks[j].is_ident("mut")
+                    || toks[j].kind == TokKind::Lifetime)
+            {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Ident {
+                // Walk the path `a::b::C`, keeping the final segment.
+                let mut last = j;
+                while last + 3 < toks.len()
+                    && toks[last + 1].is_punct(":")
+                    && toks[last + 2].is_punct(":")
+                    && toks[last + 3].kind == TokKind::Ident
+                {
+                    last += 3;
+                }
+                if is_map(toks[last].text) {
+                    names.push(toks[i].text);
+                }
+            }
+        }
+        // `name = HashMap::new()` / `name = std::collections::HashSet::...`.
+        if i + 2 < toks.len()
+            && toks[i + 1].is_punct("=")
+            && !toks[i + 2].is_punct("=")
+            && (i == 0 || !matches!(toks[i - 1].text, "=" | "<" | ">" | "!" | "+" | "-" | "*" | "/"))
+        {
+            let mut j = i + 2;
+            let mut seen_map = false;
+            // Scan the path idents immediately after `=`.
+            while j < toks.len() && toks[j].kind == TokKind::Ident {
+                if is_map(toks[j].text) {
+                    seen_map = true;
+                }
+                if j + 2 < toks.len() && toks[j + 1].is_punct(":") && toks[j + 2].is_punct(":") {
+                    j += 3;
+                } else {
+                    break;
+                }
+            }
+            if seen_map {
+                names.push(toks[i].text);
+            }
+        }
+        // `let name = ... .collect::<HashMap<..>>()`.
+        if toks[i].is_ident("collect")
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(":")
+            && toks[i + 2].is_punct(":")
+            && toks[i + 3].is_punct("<")
+            && is_map(toks[i + 4].text)
+        {
+            // Walk back (bounded) for the `let [mut] name` this statement binds.
+            let lo = i.saturating_sub(48);
+            for k in (lo..i).rev() {
+                if toks[k].is_ident("let") {
+                    let mut m = k + 1;
+                    if m < toks.len() && toks[m].is_ident("mut") {
+                        m += 1;
+                    }
+                    if m < toks.len() && toks[m].kind == TokKind::Ident {
+                        names.push(toks[m].text);
+                    }
+                    break;
+                }
+                if toks[k].is_punct(";") {
+                    break;
+                }
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// D2: iteration over a HashMap/HashSet in a deny-listed crate. Hash
+/// iteration order is arbitrary and differs across processes; PR 1's TF/IDF
+/// cosine summed floats in that order and produced cross-process divergent
+/// bytes. Iterate a sorted collection instead, or annotate with a reason.
+pub fn d2(toks: &[Tok<'_>], skip: &[(u32, u32)]) -> Vec<RawFinding> {
+    let names = d2_map_names(toks);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let known = |t: &str| names.binary_search(&t).is_ok();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        // `name.iter()` / `self.name.keys()` / ...
+        if toks[i].kind == TokKind::Ident
+            && D2_ITER_METHODS.contains(&toks[i].text)
+            && i >= 2
+            && toks[i - 1].is_punct(".")
+            && toks[i - 2].kind == TokKind::Ident
+            && known(toks[i - 2].text)
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(")
+            && !in_ranges(toks[i].line, skip)
+        {
+            out.push(RawFinding {
+                rule: "D2",
+                line: toks[i].line,
+                message: format!(
+                    "iteration over hash-ordered `{}` via `.{}()` in a crate that \
+                     serializes or accumulates floats; collect+sort (or use a BTree \
+                     collection), or annotate `// lint:allow(D2): <reason>`",
+                    toks[i - 2].text,
+                    toks[i].text
+                ),
+            });
+        }
+        // `for pat in [&][mut] [self.]name {`.
+        if toks[i].is_ident("for") {
+            let mut j = i + 1;
+            let mut depth = 0usize;
+            // Find the `in` of this for-loop at pattern depth 0.
+            while j < toks.len() {
+                if toks[j].is_punct("(") || toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") || toks[j].is_punct("]") {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && toks[j].is_ident("in") {
+                    break;
+                } else if toks[j].is_punct("{") || toks[j].is_punct(";") {
+                    j = toks.len();
+                }
+                j += 1;
+            }
+            if j >= toks.len() {
+                continue;
+            }
+            let mut k = j + 1;
+            while k < toks.len() && (toks[k].is_punct("&") || toks[k].is_ident("mut")) {
+                k += 1;
+            }
+            // Walk a `self.name` / `name` dotted chain; keep the final ident.
+            let mut final_ident: Option<&Tok<'_>> = None;
+            while k < toks.len() && toks[k].kind == TokKind::Ident {
+                final_ident = Some(&toks[k]);
+                if k + 2 < toks.len()
+                    && toks[k + 1].is_punct(".")
+                    && toks[k + 2].kind == TokKind::Ident
+                {
+                    k += 2;
+                } else {
+                    k += 1;
+                    break;
+                }
+            }
+            if let Some(t) = final_ident {
+                if known(t.text)
+                    && k < toks.len()
+                    && toks[k].is_punct("{")
+                    && !in_ranges(t.line, skip)
+                {
+                    out.push(RawFinding {
+                        rule: "D2",
+                        line: t.line,
+                        message: format!(
+                            "`for` loop over hash-ordered `{}` in a crate that serializes \
+                             or accumulates floats; collect+sort (or use a BTree \
+                             collection), or annotate `// lint:allow(D2): <reason>`",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// D3: wall-clock / entropy sources outside `bench` and outside test code.
+/// Reports and snapshots must be byte-identical across runs; real time and
+/// OS entropy are the two ambient sources that break that.
+pub fn d3(toks: &[Tok<'_>], skip: &[(u32, u32)]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if in_ranges(toks[i].line, skip) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("Instant")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(":")
+            && toks[i + 2].is_punct(":")
+            && toks[i + 3].is_ident("now")
+        {
+            out.push(RawFinding {
+                rule: "D3",
+                line: t.line,
+                message: "`Instant::now()` outside bench/test code: wall-clock time must \
+                          not influence deterministic outputs"
+                    .to_string(),
+            });
+        } else if t.kind == TokKind::Ident
+            && matches!(t.text, "SystemTime" | "from_entropy" | "thread_rng")
+        {
+            out.push(RawFinding {
+                rule: "D3",
+                line: t.line,
+                message: format!(
+                    "`{}` outside bench/test code: wall-clock/entropy sources break \
+                     byte-identical replay; seed RNGs explicitly and route time through \
+                     the simulated clock",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// D4: `.unwrap()` in library code. The PR 3 precedent: panics in library
+/// paths destroy resumability — use typed errors, or `expect` with a
+/// message that states the invariant making the panic unreachable.
+pub fn d4(toks: &[Tok<'_>], skip: &[(u32, u32)]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 1..toks.len() {
+        if toks[i].is_ident("unwrap")
+            && toks[i - 1].is_punct(".")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(")
+            && !in_ranges(toks[i].line, skip)
+        {
+            out.push(RawFinding {
+                rule: "D4",
+                line: toks[i].line,
+                message: "`.unwrap()` in library code: return a typed error or use \
+                          `.expect(\"<why this cannot fail>\")`"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// D5 (per-file half): every `unsafe` token must have a `// SAFETY:`
+/// comment on the same line or within the three lines above. The
+/// crate-level half (unsafe-free crates must carry
+/// `#![forbid(unsafe_code)]`) lives in [`crate::lint_workspace`].
+pub fn d5_unsafe_blocks(lexed: &Lexed<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for t in &lexed.toks {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let documented = lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.end_line + 3 >= t.line && c.line <= t.line
+        });
+        if !documented {
+            out.push(RawFinding {
+                rule: "D5",
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment on the preceding lines"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Does this token stream contain the `unsafe` keyword at all?
+pub fn has_unsafe(toks: &[Tok<'_>]) -> bool {
+    toks.iter().any(|t| t.is_ident("unsafe"))
+}
+
+/// Does this (lib.rs) token stream carry `#![forbid(unsafe_code)]`?
+pub fn has_forbid_unsafe(toks: &[Tok<'_>]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+            && w[7].is_punct("]")
+    })
+}
+
+/// D6: `thread::spawn` outside `crates/exec`. All parallelism must route
+/// through the deterministic fan-out primitives in `exec`, whose chunked
+/// self-scheduling keeps results independent of which thread ran what.
+pub fn d6(toks: &[Tok<'_>]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].is_ident("thread")
+            && toks[i + 1].is_punct(":")
+            && toks[i + 2].is_punct(":")
+            && toks[i + 3].is_ident("spawn")
+        {
+            out.push(RawFinding {
+                rule: "D6",
+                line: toks[i].line,
+                message: "`thread::spawn` outside crates/exec: route parallelism through \
+                          the deterministic `exec` fan-out primitives"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}

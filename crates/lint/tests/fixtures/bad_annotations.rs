@@ -1,0 +1,19 @@
+// Annotation-grammar fixture: malformed allows are findings themselves and
+// never suppress the underlying diagnostic.
+pub fn missing_reason(v: &[u32]) -> u32 {
+    *v.first().unwrap() // lint:allow(D4)
+}
+
+pub fn empty_reason(v: &[u32]) -> u32 {
+    *v.first().unwrap() // lint:allow(D4):
+}
+
+pub fn unknown_rule(v: &[u32]) -> u32 {
+    *v.first().unwrap() // lint:allow(D9): no such rule
+}
+
+// Doc comments never carry annotations, even when they quote the grammar:
+/// // lint:allow(D4): quoted grammar in docs must not parse as a waiver
+pub fn documented(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,13 @@
+// D1 fixture: partial_cmp in comparator position, one per comparator method.
+fn main() {
+    let mut v = vec![1.0f64, 2.0];
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 4: sort_by
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite")); // line 5
+    let _ = v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()); // line 6
+    let _ = v.iter().min_by(|a, b| {
+        a.partial_cmp(b).unwrap() // line 8: multi-line closure body
+    });
+    // NOT findings: partial_cmp outside comparator position, and key-based sorts.
+    let _ = 1.0f64.partial_cmp(&2.0);
+    v.sort_by_key(|a| a.to_bits());
+}

@@ -1,0 +1,33 @@
+// D2 fixture: HashMap/HashSet iteration in a deny-listed crate.
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    scores: HashMap<u32, f64>,
+}
+
+fn sum(weights: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, w) in weights { // line 10: for-loop over a map param
+        acc += w;
+    }
+    acc + weights.values().sum::<f64>() // line 13: .values()
+}
+
+fn collect_turbofish(pairs: Vec<(u32, f64)>) -> Vec<u32> {
+    let m = pairs.into_iter().collect::<HashMap<u32, f64>>();
+    m.keys().copied().collect() // line 18: .keys() on a turbofish-collect binding
+}
+
+impl State {
+    fn drainer(&mut self) {
+        self.scores.retain(|_, v| *v > 0.0); // line 23: .retain() on a map field
+    }
+}
+
+fn set_init() {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    for s in &seen { // line 30: for-loop over `= HashSet::new()` binding
+        let _ = s;
+    }
+}

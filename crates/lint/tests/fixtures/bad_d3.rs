@@ -1,0 +1,25 @@
+// D3 fixture: wall-clock and entropy sources outside bench/tests.
+use std::time::Instant;
+
+fn timing() -> f64 {
+    let t0 = Instant::now(); // line 5
+    t0.elapsed().as_secs_f64()
+}
+
+fn clock() -> std::time::SystemTime { // line 9
+    std::time::SystemTime::now() // line 10
+}
+
+fn rngs() {
+    let _a = rand::rngs::StdRng::from_entropy(); // line 14
+    let _b = rand::thread_rng(); // line 15
+}
+
+#[cfg(test)]
+mod tests {
+    // NOT a finding: tests may time freely.
+    #[test]
+    fn timed() {
+        let _t0 = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,22 @@
+// D4 fixture: .unwrap() in library code.
+pub fn parse(s: &str) -> u32 {
+    s.parse::<u32>().unwrap() // line 3
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() // line 7
+}
+
+// NOT findings: expect() with a message, and unwrap inside test code.
+pub fn checked(v: &[u32]) -> u32 {
+    *v.first().expect("caller guarantees non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Vec<u32> = "1".parse().map(|x| vec![x]).unwrap();
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,0 +1,9 @@
+// D5 fixture: unsafe without a SAFETY comment.
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p } // line 3: no SAFETY comment anywhere near
+}
+
+// SAFETY: caller upholds the aliasing contract; pointer is valid for reads.
+pub fn documented(p: *const u32) -> u32 {
+    unsafe { *p } // NOT a finding: SAFETY comment within three lines above
+}

@@ -1,0 +1,9 @@
+// D6 fixture: raw thread::spawn outside crates/exec.
+use std::thread;
+
+fn fan_out() {
+    let h = thread::spawn(|| 42); // line 5
+    let _ = h.join();
+    let h2 = std::thread::spawn(|| 43); // line 7
+    let _ = h2.join();
+}

@@ -1,0 +1,33 @@
+// Decoy fixture: every rule's trigger text appears ONLY inside string
+// literals, raw strings, char-adjacent positions, and comments. A
+// token-aware lint must report nothing for this file.
+//
+// partial_cmp(..).unwrap() in a comment — not a finding.
+// thread::spawn, Instant::now(), SystemTime, thread_rng, from_entropy.
+// for (k, v) in map.iter() { ... } — still a comment.
+// unsafe { *p } without SAFETY — still a comment.
+
+/* block comment: v.sort_by(|a, b| a.partial_cmp(b).unwrap()) */
+
+pub fn strings() -> Vec<String> {
+    vec![
+        "v.sort_by(|a, b| a.partial_cmp(b).unwrap())".to_string(),
+        "thread::spawn(|| Instant::now())".to_string(),
+        "map.keys().for_each(|k| acc += weights[k])".to_string(),
+        "SystemTime thread_rng from_entropy".to_string(),
+        "x.unwrap()".to_string(),
+        r#"raw: "unsafe { *p }" and .unwrap() and partial_cmp"#.to_string(),
+        r##"nested hash raw: sort_by(|a,b| a.partial_cmp(b).unwrap()) "#" "##.to_string(),
+        "multi-line literal:\n v.max_by(|a, b| a.partial_cmp(b).unwrap())\n".to_string(),
+    ]
+}
+
+pub fn escaped_quotes() -> &'static str {
+    // The escaped quote must not end the literal early and leak the
+    // pattern text into token position.
+    "she said \"use partial_cmp in sort_by\" and left .unwrap() here"
+}
+
+pub fn char_literals() -> (char, char) {
+    ('"', '\'') // quote chars must not open a string
+}

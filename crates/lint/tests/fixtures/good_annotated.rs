@@ -1,0 +1,23 @@
+// Good fixture: every would-be finding carries a well-formed, reasoned
+// allow annotation. The lint must report zero findings and surface every
+// waiver (with its reason) in the allow inventory.
+use std::collections::HashMap;
+
+pub fn counted(weights: &HashMap<u32, f64>) -> usize {
+    weights.keys().count() // lint:allow(D2): order-free count for capacity sizing
+}
+
+pub fn sorted_sum(weights: &HashMap<u32, f64>) -> f64 {
+    let mut vals: Vec<f64> = weights.values().copied().collect(); // lint:allow(D2): sorted on the next line before summation
+    vals.sort_by(f64::total_cmp);
+    vals.iter().sum()
+}
+
+pub fn stamped() -> f64 {
+    let t0 = std::time::Instant::now(); // lint:allow(D3): perf telemetry only; value is zeroed before serialization
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap() // lint:allow(D4): slice is statically non-empty at every call site
+}

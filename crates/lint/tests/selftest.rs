@@ -1,0 +1,209 @@
+//! Fixture-based self-tests for `corleone-lint`, plus the
+//! workspace-is-clean integration test that is the whole point of the
+//! exercise: the real workspace must carry zero un-annotated findings.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+/// Lint a fixture as if it were `crates/<krate>/src/<name>`.
+fn lint_fixture(name: &str, krate: &str) -> lint::FileOutcome {
+    let rel = format!("crates/{krate}/src/{name}");
+    lint::lint_file(&rel, krate, &fixture(name))
+}
+
+/// The (rule, line) pairs among findings, filtered to one rule.
+fn lines_for(outcome: &lint::FileOutcome, rule: &str) -> Vec<u32> {
+    let mut v: Vec<u32> = outcome
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn d1_bad_fixture_exact_lines() {
+    let out = lint_fixture("bad_d1.rs", "core");
+    assert_eq!(lines_for(&out, "D1"), vec![4, 5, 6, 8]);
+}
+
+#[test]
+fn d2_bad_fixture_exact_lines() {
+    let out = lint_fixture("bad_d2.rs", "core");
+    assert_eq!(lines_for(&out, "D2"), vec![10, 13, 18, 23, 30]);
+}
+
+#[test]
+fn d2_is_scoped_to_deny_crates() {
+    // The same source in a non-deny crate (datagen) must yield no D2.
+    let out = lint::lint_file("crates/datagen/src/bad_d2.rs", "datagen", &fixture("bad_d2.rs"));
+    assert_eq!(lines_for(&out, "D2"), Vec::<u32>::new());
+}
+
+#[test]
+fn d3_bad_fixture_exact_lines() {
+    let out = lint_fixture("bad_d3.rs", "core");
+    assert_eq!(lines_for(&out, "D3"), vec![5, 9, 10, 14, 15]);
+}
+
+#[test]
+fn d3_is_allowed_in_bench() {
+    let out = lint::lint_file("crates/bench/src/bad_d3.rs", "bench", &fixture("bad_d3.rs"));
+    assert_eq!(lines_for(&out, "D3"), Vec::<u32>::new());
+}
+
+#[test]
+fn d4_bad_fixture_exact_lines() {
+    let out = lint_fixture("bad_d4.rs", "similarity");
+    assert_eq!(lines_for(&out, "D4"), vec![3, 7]);
+}
+
+#[test]
+fn d4_exempts_bins() {
+    let out = lint::lint_file("crates/core/src/bin/bad_d4.rs", "core", &fixture("bad_d4.rs"));
+    assert_eq!(lines_for(&out, "D4"), Vec::<u32>::new());
+}
+
+#[test]
+fn d5_bad_fixture_exact_lines() {
+    let out = lint_fixture("bad_d5.rs", "forest");
+    assert_eq!(lines_for(&out, "D5"), vec![3]);
+}
+
+#[test]
+fn d6_bad_fixture_exact_lines() {
+    let out = lint_fixture("bad_d6.rs", "crowd");
+    assert_eq!(lines_for(&out, "D6"), vec![5, 7]);
+}
+
+#[test]
+fn d6_is_allowed_in_exec() {
+    let out = lint::lint_file("crates/exec/src/bad_d6.rs", "exec", &fixture("bad_d6.rs"));
+    assert_eq!(lines_for(&out, "D6"), Vec::<u32>::new());
+}
+
+#[test]
+fn decoys_yield_nothing() {
+    // Rule text inside strings, raw strings, and comments must not fire —
+    // in the strictest crate configuration (a D2 deny crate).
+    let out = lint_fixture("decoys.rs", "core");
+    assert!(
+        out.findings.is_empty(),
+        "decoy fixture produced findings: {:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn good_annotated_is_clean_and_inventoried() {
+    let out = lint_fixture("good_annotated.rs", "core");
+    assert!(
+        out.findings.is_empty(),
+        "annotated fixture still has findings: {:?}",
+        out.findings
+    );
+    // Every waiver appears in the inventory with its reason.
+    let mut rules: Vec<(&str, u32)> =
+        out.allows.iter().map(|a| (a.rule.as_str(), a.line)).collect();
+    rules.sort();
+    assert_eq!(rules, vec![("D2", 7), ("D2", 11), ("D3", 17), ("D4", 22)]);
+    assert!(out.allows.iter().all(|a| !a.reason.is_empty()));
+    assert!(out.unused_allows.is_empty());
+}
+
+#[test]
+fn malformed_annotations_are_findings_and_do_not_suppress() {
+    let out = lint_fixture("bad_annotations.rs", "core");
+    assert_eq!(lines_for(&out, lint::ANNOTATION_RULE), vec![4, 8, 12]);
+    // The underlying D4s still fire — including under the doc-comment decoy.
+    assert_eq!(lines_for(&out, "D4"), vec![4, 8, 12, 18]);
+    assert!(out.allows.is_empty());
+}
+
+#[test]
+fn module_level_allow_suppresses_whole_file() {
+    let src = "// lint:allow-module(D3): simulated-latency calibration module\n\
+               use std::time::Instant;\n\
+               fn a() { let _ = Instant::now(); }\n\
+               fn b() { let _ = Instant::now(); }\n";
+    let out = lint::lint_file("crates/core/src/x.rs", "core", src);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.allows.len(), 1, "one module waiver covering both sites");
+    assert!(out.allows[0].module_level);
+}
+
+#[test]
+fn unused_allows_are_reported_not_counted() {
+    let src = "fn f() {} // lint:allow(D4): nothing to waive here\n";
+    let out = lint::lint_file("crates/core/src/x.rs", "core", src);
+    assert!(out.findings.is_empty());
+    assert!(out.allows.is_empty());
+    assert_eq!(out.unused_allows.len(), 1);
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = lint::lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "workspace has un-annotated findings:\n{}",
+        report.render_human(true)
+    );
+    // Every waiver in the tree carries a non-empty reason.
+    assert!(report.allows.iter().all(|a| !a.reason.is_empty()));
+    // The scan actually covered the workspace.
+    assert!(report.stats.files_scanned > 50, "scanned {} files", report.stats.files_scanned);
+}
+
+#[test]
+fn workspace_json_report_is_wellformed_and_deterministic() {
+    let root = workspace_root();
+    let a = lint::lint_workspace(&root).expect("scan 1").to_json();
+    let b = lint::lint_workspace(&root).expect("scan 2").to_json();
+    assert_eq!(a, b, "JSON report must be byte-identical across runs");
+    assert!(a.contains("\"clean\": true"));
+    assert!(a.contains("\"files_scanned\""));
+    assert!(a.contains("\"stats\""));
+    // Counters present for every rule code.
+    for code in ["D1", "D2", "D3", "D4", "D5", "D6", "A0"] {
+        assert!(a.contains(&format!("\"{code}\"")), "missing counter for {code}");
+    }
+}
+
+#[test]
+fn unsafe_free_crates_carry_forbid_unsafe_code() {
+    // D5's crate-level half, checked end-to-end on a synthetic workspace:
+    // a crate without `#![forbid(unsafe_code)]` and without unsafe blocks
+    // must be flagged at its lib.rs.
+    let dir = std::env::temp_dir().join(format!("corleone-lint-d5-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write");
+    std::fs::write(src.join("lib.rs"), "pub fn f() {}\n").expect("write");
+    let report = lint::lint_workspace(&dir).expect("scan");
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, "D5");
+    assert_eq!(report.findings[0].file, "crates/demo/src/lib.rs");
+
+    // Adding the attribute clears it.
+    std::fs::write(src.join("lib.rs"), "#![forbid(unsafe_code)]\npub fn f() {}\n")
+        .expect("write");
+    let report = lint::lint_workspace(&dir).expect("scan");
+    assert!(report.is_clean(), "{:?}", report.findings);
+    let _ = std::fs::remove_dir_all(&dir);
+}

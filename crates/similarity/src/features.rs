@@ -285,7 +285,7 @@ mod tests {
                     t0.elapsed().as_nanos() as f64 / (a.records.len() * b.records.len()) as f64
                 })
                 .collect();
-            reps.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            reps.sort_by(|x, y| x.total_cmp(y));
             reps[reps.len() / 2]
         };
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # similarity — EM data model and similarity-feature library
 //!
 //! This crate provides the two substrates every other Corleone component is

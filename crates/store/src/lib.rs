@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # store — crash-safe, versioned run-state snapshots
 //!
 //! Long crowdsourced EM runs are dominated by marketplace latency and paid

@@ -13,6 +13,21 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> corleone-lint (determinism & robustness contract, D1-D6)"
+# Fails CI on any un-annotated finding. The machine-readable report goes to
+# a temp file (it is the CI artifact of record); the human pass prints the
+# allow-annotation inventory (rule, file:line, reason) so waivers stay
+# reviewable in the log, plus per-rule finding/waiver counts.
+lint_json=$(mktemp)
+if ! cargo run --release -q -p lint --bin corleone-lint -- --json > "$lint_json"; then
+    cat "$lint_json" >&2
+    echo "corleone-lint: un-annotated findings (see JSON above)" >&2
+    rm -f "$lint_json"
+    exit 1
+fi
+rm -f "$lint_json"
+cargo run --release -q -p lint --bin corleone-lint -- --stats
+
 echo "==> smoke run (restaurants, scale 0.05, 1 run)"
 cargo run --release -q -p bench --bin smoke -- \
     --datasets restaurants --scale 0.05 --runs 1
