@@ -3,7 +3,7 @@
 //! application over `A × B`, and crowd vote resolution.
 
 use bench::make_task;
-use corleone::blocker::apply_rules_parallel;
+use corleone::source::{CandidateSource, CartesianScan};
 use corleone::CandidateSet;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use crowd::voting::{resolve, Scheme};
@@ -42,8 +42,9 @@ fn bench_pipeline(c: &mut Criterion) {
         n_neg: 0,
     };
     g.throughput(Throughput::Elements(task.cartesian_size()));
+    let scan = CartesianScan::new(&task, vec![rule]);
     g.bench_function("block_full_cartesian", |b| {
-        b.iter(|| apply_rules_parallel(black_box(&task), std::slice::from_ref(&rule)))
+        b.iter(|| black_box(&scan).generate(corleone::Threads::auto()))
     });
     g.finish();
 

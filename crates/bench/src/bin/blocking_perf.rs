@@ -1,32 +1,44 @@
 //! Blocking hot-path benchmark: record-analysis build, blocking-rule
 //! application over `A × B`, and full pair vectorization, on all three
 //! synthetic datasets — comparing the string-based reference kernels
-//! ("string") against the precomputed-analysis kernels ("pre").
+//! ("string"), the precomputed-analysis Cartesian scan ("pre"), and the
+//! output-sensitive indexed join ("index_probe").
 //!
-//! Writes `BENCH_blocking.json` (array of `{dataset, scale, phase,
-//! wall_ms, pairs_per_sec}`) so future PRs have a perf trajectory, and
-//! prints a before/after table.
+//! Writes `BENCH_blocking.json` (v2: `{schema_version, records}` where
+//! each record is `{dataset, scale, phase, wall_ms, pairs_per_sec}`) so
+//! future PRs have a perf trajectory, and prints a before/after table.
 //!
 //! Phases per dataset × scale:
 //! * `analysis_build`   — one-time `TableAnalysis` build (rate = records/s)
 //! * `rule_apply_string` — rule sweep via the string kernels (sampled
 //!   A-rows at large scales; the rate extrapolates)
-//! * `rule_apply_pre`   — `apply_rules_with` over the full `A × B`
+//! * `rule_apply_pre`   — [`CartesianScan`] over the full `A × B`
+//! * `index_probe`      — [`IndexedJoin`] (index build + probe + verify);
+//!   the rate is *effective* pairs/s (Cartesian size / wall), so the
+//!   speedup over `rule_apply_pre` is read directly off the two rates
 //! * `vectorize_string` / `vectorize_pre` — full feature vectors on a
 //!   deterministic sample of pairs
+//!
+//! Every dataset × scale also asserts the indexed candidate list is
+//! byte-identical to the scan's and prints an `index_equivalence=ok`
+//! marker line that `scripts/ci.sh` greps for.
 //!
 //! Flags: `--quick` (CI-sized run), `--out PATH`, `--scales a,b`,
 //! `--datasets a,b`, `--threads N`, `--kinds` (per-kernel ns/pair table,
 //! used to calibrate `FeatureKind::unit_cost`).
 
 use bench::{dataset, make_task, render_table, ExpOptions};
-use corleone::blocker::apply_rules_with;
+use corleone::source::{CandidateSource, CartesianScan, IndexedJoin};
 use corleone::task::MatchTask;
 use exec::Threads;
 use forest::{Op, Predicate, Rule};
 use serde::Serialize;
 use similarity::{FeatureKind, TaskAnalysis};
 use std::time::Instant;
+
+/// Bump when the JSON layout changes. v2 added the envelope object and
+/// the `index_probe` phase.
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
 #[derive(Debug, Clone, Serialize)]
 struct BenchRecord {
@@ -35,6 +47,12 @@ struct BenchRecord {
     phase: String,
     wall_ms: f64,
     pairs_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema_version: u32,
+    records: Vec<BenchRecord>,
 }
 
 struct Args {
@@ -51,7 +69,7 @@ fn parse() -> Args {
         quick: false,
         kinds: false,
         out: "BENCH_blocking.json".to_string(),
-        scales: vec![0.3, 1.0],
+        scales: vec![0.3, 1.0, 3.0],
         datasets: vec!["restaurants".into(), "citations".into(), "products".into()],
         threads: Threads::auto(),
     };
@@ -306,10 +324,12 @@ fn main() {
             );
 
             // Pre-path rule application over the full Cartesian product.
-            let mut survivors = 0usize;
+            let scan = CartesianScan::new(&task, rules.clone());
+            let mut scan_pairs = Vec::new();
             let wall = time_ms(|| {
-                survivors = apply_rules_with(&task, &rules, threads).len();
+                scan_pairs = scan.generate(threads);
             });
+            let survivors = scan_pairs.len();
             let (_, rate_pre) = push("rule_apply_pre", wall, cartesian as f64);
             eprintln!(
                 "[{name} @ {scale}] rule application: {:.2}M pairs/s string, {:.2}M pairs/s pre \
@@ -317,6 +337,27 @@ fn main() {
                 rate_string / 1e6,
                 rate_pre / 1e6,
                 rate_pre / rate_string.max(1.0)
+            );
+
+            // Output-sensitive indexed join: index build + probes + full
+            // verification, timed end to end. The bench rules are all
+            // `Le`/`nan_satisfies` set-similarity predicates, so the
+            // planner must find them indexable.
+            let join =
+                IndexedJoin::plan(&task, &rules).expect("bench rules must plan an indexed join");
+            let mut idx_pairs = Vec::new();
+            let wall_idx = time_ms(|| {
+                idx_pairs = join.generate(threads);
+            });
+            let (_, rate_idx) = push("index_probe", wall_idx, cartesian as f64);
+            assert_eq!(
+                scan_pairs, idx_pairs,
+                "indexed join diverged from Cartesian scan on {name} @ {scale}"
+            );
+            println!(
+                "index_equivalence=ok dataset={name} scale={scale} candidates={survivors} \
+                 speedup={:.1}x",
+                rate_idx / rate_pre.max(1.0)
             );
 
             // Full vectorization on a deterministic pair sample.
@@ -346,10 +387,10 @@ fn main() {
                 format!("{scale}"),
                 format!("{:.2}M", rate_string / 1e6),
                 format!("{:.2}M", rate_pre / 1e6),
-                format!("{:.1}x", rate_pre / rate_string.max(1.0)),
+                format!("{:.2}M", rate_idx / 1e6),
+                format!("{:.1}x", rate_idx / rate_pre.max(1.0)),
                 format!("{:.0}k", vrate_s / 1e3),
                 format!("{:.0}k", vrate_p / 1e3),
-                format!("{:.1}x", vrate_p / vrate_s.max(1.0)),
             ]);
 
             if args.kinds {
@@ -366,16 +407,17 @@ fn main() {
                 "scale",
                 "rules str p/s",
                 "rules pre p/s",
-                "speedup",
+                "index eff p/s",
+                "idx speedup",
                 "vec str p/s",
                 "vec pre p/s",
-                "speedup",
             ],
             &table_rows
         )
     );
 
-    let json = serde_json::to_string_pretty(&records).expect("serialize bench records");
+    let report = BenchReport { schema_version: BENCH_SCHEMA_VERSION, records };
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench records");
     std::fs::write(&args.out, json + "\n").expect("write bench json");
     eprintln!("wrote {}", args.out);
 }

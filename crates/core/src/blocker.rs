@@ -16,6 +16,7 @@ use crate::learner::{run_active_learning, LearnOutcome};
 use crate::ruleeval::{
     coverage_of, evaluate_rules_jointly, select_top_rules, EvaluatedRule, RuleEvalConfig,
 };
+use crate::source::{plan_blocking_source, CandidateSource, CartesianScan};
 use crate::task::MatchTask;
 use crowd::{CrowdPlatform, PairKey, TruthOracle};
 use exec::Threads;
@@ -51,6 +52,10 @@ pub struct BlockerReport {
     pub pairs_labeled: u64,
     /// Crowd spend during blocking, in cents.
     pub cost_cents: f64,
+    /// How the umbrella set was generated (the planner's
+    /// [`CandidateSource`] choice): `"cartesian_scan"` or
+    /// `"indexed_join[...]"` with the probe list.
+    pub source: String,
 }
 
 /// Outcome: the candidate set `C` passed to the Matcher, plus the report.
@@ -78,9 +83,11 @@ pub fn run_blocker(
     let cartesian = task.cartesian_size();
     let ledger_start = *platform.ledger();
 
-    // 1. Decide whether to block (§4.1 step 1).
+    // 1. Decide whether to block (§4.1 step 1). No rules to apply, so
+    //    the scan source streams every pair.
     if cartesian <= cfg.t_b {
-        let candidates = CandidateSet::full_cartesian_with(task, env.threads, env.cache);
+        let source = CartesianScan::new(task, Vec::new());
+        let candidates = CandidateSet::from_source(task, &source, env.threads, env.cache);
         let umbrella_size = candidates.len();
         return BlockerOutcome {
             candidates,
@@ -97,6 +104,7 @@ pub fn run_blocker(
                 umbrella_size,
                 pairs_labeled: 0,
                 cost_cents: 0.0,
+                source: source.describe(),
             },
         };
     }
@@ -266,9 +274,9 @@ pub fn run_blocker(
                 er.est_precision, er.coverage.len(), er.rule.display_with(&names));
         }
     }
-    let survivors = apply_rules_with(task, &rules, env.threads);
-    let umbrella_size = survivors.len();
-    let candidates = CandidateSet::build_with(task, survivors, env.threads, env.cache);
+    let source = plan_blocking_source(task, &rules);
+    let candidates = CandidateSet::from_source(task, &source, env.threads, env.cache);
+    let umbrella_size = candidates.len();
 
     let names = task.feature_names();
     let ledger_end = *platform.ledger();
@@ -290,73 +298,31 @@ pub fn run_blocker(
             umbrella_size,
             pairs_labeled: ledger_end.pairs_labeled - ledger_start.pairs_labeled,
             cost_cents: ledger_end.total_cents - ledger_start.total_cents,
+            source: source.describe(),
         },
     }
 }
 
 /// Apply blocking rules over the full Cartesian product on the machine's
-/// available parallelism. Engine runs use [`apply_rules_with`].
+/// available parallelism.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `CartesianScan::new(task, rules.to_vec()).generate(Threads::auto())` or let \
+            `plan_blocking_source` pick the indexed path (see `corleone::source`)"
+)]
 pub fn apply_rules_parallel(task: &MatchTask, rules: &[Rule]) -> Vec<PairKey> {
-    apply_rules_with(task, rules, Threads::auto())
+    CartesianScan::new(task, rules.to_vec()).generate(Threads::auto())
 }
 
 /// Apply blocking rules over the full Cartesian product with an explicit
-/// thread budget, computing only the features the rules mention (lazy +
-/// memoized per pair). Returns the surviving pairs, in row-major order.
-///
-/// This is the machine-side hot path of the whole pipeline: it builds the
-/// task's record-analysis layer first (a one-time, parallel cost) so every
-/// per-pair feature runs through the allocation-free interned kernels.
+/// thread budget. Returns the surviving pairs, in row-major order.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `CartesianScan::new(task, rules.to_vec()).generate(threads)` or let \
+            `plan_blocking_source` pick the indexed path (see `corleone::source`)"
+)]
 pub fn apply_rules_with(task: &MatchTask, rules: &[Rule], threads: Threads) -> Vec<PairKey> {
-    let n_a = task.table_a.len() as u32;
-    let n_b = task.table_b.len() as u32;
-    if rules.is_empty() {
-        // No rules: every pair survives. Stream the keys in parallel
-        // chunks (row-major order is preserved by indexed_par_map) rather
-        // than a serial push loop.
-        let n = n_a as usize * n_b as usize;
-        return exec::indexed_par_map(threads, n, |i| {
-            PairKey::new((i / n_b as usize) as u32, (i % n_b as usize) as u32)
-        });
-    }
-    let analysis = task.ensure_analysis(threads);
-    // One work item per A-row; the exec core chunks and self-schedules
-    // them. Scratch buffers live per item (n_features is small), and
-    // kernel counters flush once per row, not once per feature.
-    let n_features = task.n_features();
-    let per_row: Vec<Vec<PairKey>> = exec::indexed_par_map(threads, n_a as usize, |a| {
-        let a = a as u32;
-        let rec_a = task.table_a.record(a);
-        let mut memo: Vec<f64> = vec![f64::NAN; n_features];
-        let mut computed: Vec<bool> = vec![false; n_features];
-        let mut out = Vec::new();
-        let mut n_computed = 0u64;
-        for b in 0..n_b {
-            let rec_b = task.table_b.record(b);
-            computed.iter_mut().for_each(|c| *c = false);
-            let mut blocked = false;
-            'rules: for rule in rules {
-                for p in &rule.predicates {
-                    if !computed[p.feature] {
-                        memo[p.feature] =
-                            task.vectorizer.feature_pre(p.feature, rec_a, rec_b, analysis);
-                        computed[p.feature] = true;
-                        n_computed += 1;
-                    }
-                }
-                if rule.matches(&memo) {
-                    blocked = true;
-                    break 'rules;
-                }
-            }
-            if !blocked {
-                out.push(PairKey::new(a, b));
-            }
-        }
-        task.analysis.note_single_features(n_computed, 0);
-        out
-    });
-    per_row.into_iter().flatten().collect()
+    CartesianScan::new(task, rules.to_vec()).generate(threads)
 }
 
 #[cfg(test)]
@@ -458,14 +424,24 @@ mod tests {
     }
 
     #[test]
-    fn apply_rules_parallel_no_rules_returns_all() {
+    fn scan_source_no_rules_returns_all() {
         let (task, _) = toy_task(6);
-        let all = apply_rules_parallel(&task, &[]);
+        let all = CartesianScan::new(&task, Vec::new()).generate(Threads::auto());
         assert_eq!(all.len(), 36);
     }
 
     #[test]
-    fn apply_rules_parallel_matches_sequential_semantics() {
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_scan_source() {
+        let (task, _) = toy_task(5);
+        let via_wrapper = apply_rules_with(&task, &[], Threads::new(2));
+        let via_source = CartesianScan::new(&task, Vec::new()).generate(Threads::new(2));
+        assert_eq!(via_wrapper, via_source);
+        assert_eq!(apply_rules_parallel(&task, &[]), via_source);
+    }
+
+    #[test]
+    fn scan_source_matches_sequential_semantics() {
         let (task, _) = toy_task(8);
         let f = task
             .feature_names()
@@ -484,7 +460,8 @@ mod tests {
             n_pos: 0,
             n_neg: 0,
         };
-        let survivors = apply_rules_parallel(&task, std::slice::from_ref(&rule));
+        let survivors =
+            CartesianScan::new(&task, vec![rule.clone()]).generate(Threads::auto());
         // Sequential reference.
         let mut expected = Vec::new();
         for a in 0..8u32 {

@@ -10,6 +10,7 @@
 //! earlier phase is never recomputed.
 
 use crate::cache::FeatureCache;
+use crate::source::{CandidateSource, CartesianScan};
 use crate::task::MatchTask;
 use crowd::PairKey;
 use exec::Threads;
@@ -50,8 +51,21 @@ impl CandidateSet {
         CandidateSet { pairs, n_features, matrix }
     }
 
+    /// Materialize the pairs produced by a [`CandidateSource`]: generate
+    /// (deterministic row-major order at any thread count), then
+    /// vectorize. The Blocker's sole entry into this type.
+    pub fn from_source(
+        task: &MatchTask,
+        source: &dyn CandidateSource,
+        threads: Threads,
+        cache: Option<&FeatureCache>,
+    ) -> Self {
+        Self::build_with(task, source.generate(threads), threads, cache)
+    }
+
     /// All `|A| × |B|` pairs, vectorized. Only sensible when the Cartesian
-    /// product is at most `t_B` (the no-blocking path).
+    /// product is at most `t_B` (the no-blocking path). An empty table on
+    /// either side yields an empty set.
     pub fn full_cartesian(task: &MatchTask) -> Self {
         Self::full_cartesian_with(task, Threads::auto(), None)
     }
@@ -63,13 +77,7 @@ impl CandidateSet {
         threads: Threads,
         cache: Option<&FeatureCache>,
     ) -> Self {
-        let mut pairs = Vec::with_capacity(task.table_a.len() * task.table_b.len());
-        for a in 0..task.table_a.len() as u32 {
-            for b in 0..task.table_b.len() as u32 {
-                pairs.push(PairKey::new(a, b));
-            }
-        }
-        Self::build_with(task, pairs, threads, cache)
+        Self::from_source(task, &CartesianScan::new(task, Vec::new()), threads, cache)
     }
 
     /// Number of pairs.
@@ -190,6 +198,51 @@ mod tests {
         let t = task();
         let c = CandidateSet::build(&t, vec![]);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn full_cartesian_on_empty_tables_is_empty() {
+        // Regression: an empty table on either side (seedless tasks can
+        // be constructed directly or deserialized) must yield an empty
+        // set, never panic on a zero-length matrix.
+        let schema = Arc::new(Schema::new(vec![Attribute::text("name")]));
+        type Rows = Vec<Vec<Value>>;
+        let cases: [(Rows, Rows); 3] = [
+            (vec![], vec![vec!["x".into()]]),
+            (vec![vec!["x".into()]], vec![]),
+            (vec![], vec![]),
+        ];
+        for (rows_a, rows_b) in cases {
+            let a = Table::new("a", schema.clone(), rows_a);
+            let b = Table::new("b", schema.clone(), rows_b);
+            let vectorizer = similarity::FeatureVectorizer::fit(&a, &b);
+            let t = MatchTask {
+                table_a: a,
+                table_b: b,
+                instruction: String::new(),
+                seeds: vec![],
+                vectorizer,
+                analysis: Default::default(),
+            };
+            let c = CandidateSet::full_cartesian(&t);
+            assert!(c.is_empty());
+            assert_eq!(c.matrix().len(), 0);
+        }
+    }
+
+    #[test]
+    fn from_source_matches_full_cartesian() {
+        let t = task();
+        let direct = CandidateSet::full_cartesian(&t);
+        let via = CandidateSet::from_source(
+            &t,
+            &CartesianScan::new(&t, Vec::new()),
+            Threads::new(2),
+            None,
+        );
+        assert_eq!(direct.pairs(), via.pairs());
+        let bits = |m: &[f64]| m.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(direct.matrix()), bits(via.matrix()));
     }
 
     #[test]

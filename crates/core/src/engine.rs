@@ -216,29 +216,6 @@ impl Engine {
         self
     }
 
-    /// Run the full hands-off workflow.
-    ///
-    /// Deprecated compatibility shim over the session API; it runs with
-    /// auto-detected threads and the default cache capacity. Use
-    /// [`Engine::session`] to control both.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Engine::session(&task).platform(&mut p).oracle(&o).run()"
-    )]
-    pub fn run(
-        &self,
-        task: &MatchTask,
-        platform: &mut CrowdPlatform,
-        oracle: &dyn TruthOracle,
-        gold: Option<&HashSet<PairKey>>,
-    ) -> RunReport {
-        let mut session = self.session(task).platform(platform).oracle(oracle);
-        if let Some(g) = gold {
-            session = session.gold(g);
-        }
-        session.run()
-    }
-
     /// Execute one full run. All session knobs arrive resolved: the
     /// thread budget, the shared feature cache (`None` disables caching),
     /// the RNG seed, and the checkpoint/resume plan.
@@ -987,19 +964,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_shim_matches_session_api() {
+    fn session_api_runs_are_reproducible() {
+        // Successor of the removed `Engine::run` shim-parity test: two
+        // independent session-API runs with identical inputs must be
+        // byte-identical under the determinism contract.
         let (task, gold) = toy();
         let engine = Engine::new(CorleoneConfig::small()).with_seed(6);
         let mut p1 = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
-        let old = engine.run(&task, &mut p1, &gold, Some(gold.matches()));
+        let first = engine
+            .session(&task)
+            .platform(&mut p1)
+            .oracle(&gold)
+            .gold(gold.matches())
+            .run();
         let mut p2 = CrowdPlatform::new(WorkerPool::perfect(5), CrowdConfig::default());
-        let new = engine
+        let second = engine
             .session(&task)
             .platform(&mut p2)
             .oracle(&gold)
             .gold(gold.matches())
             .run();
-        assert_eq!(old.deterministic_json(), new.deterministic_json());
+        assert_eq!(first.deterministic_json(), second.deterministic_json());
     }
 }

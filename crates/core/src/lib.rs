@@ -78,6 +78,7 @@ pub mod report;
 pub mod ruleeval;
 pub mod session;
 pub mod snapshot;
+pub mod source;
 pub mod stopping;
 pub mod task;
 
@@ -100,6 +101,9 @@ pub use locator::{locate_difficult_pairs, LocatorOutcome, LocatorReport};
 pub use metrics::{evaluate, Prf};
 pub use session::RunSession;
 pub use snapshot::RunSnapshot;
+pub use source::{
+    plan_blocking_source, CandidateSource, CartesianScan, IndexedJoin, PlannedSource,
+};
 pub use task::MatchTask;
 
 /// Everything needed to configure and launch a hands-off matching run.
@@ -114,6 +118,9 @@ pub mod prelude {
     pub use crate::env::{RunEnv, Threads};
     pub use crate::error::CorleoneError;
     pub use crate::session::RunSession;
+    pub use crate::source::{
+        plan_blocking_source, CandidateSource, CartesianScan, IndexedJoin, PlannedSource,
+    };
     pub use crate::task::{task_from_parts, MatchTask};
     pub use crowd::{
         CrowdConfig, CrowdPlatform, GoldOracle, PairKey, TruthOracle, WorkerPool,

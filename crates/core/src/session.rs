@@ -1,8 +1,9 @@
 //! The session-based run API.
 //!
-//! A [`RunSession`] is a builder for one engine run. It separates two
-//! kinds of settings that the old `Engine::run(task, platform, oracle,
-//! gold)` signature conflated with the algorithmic configuration:
+//! A [`RunSession`] is a builder for one engine run — the sole entry
+//! point since the deprecated `Engine::run` shim was removed. It
+//! separates two kinds of settings the old positional signature
+//! conflated with the algorithmic configuration:
 //!
 //! * **collaborators** — the crowd platform, the truth oracle, and an
 //!   optional gold standard for experiment metrics;

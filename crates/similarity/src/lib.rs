@@ -31,6 +31,7 @@ pub mod csv;
 pub mod edit;
 pub mod exact;
 pub mod features;
+pub mod index;
 pub mod jaccard;
 pub mod jaro;
 pub mod monge_elkan;
@@ -42,5 +43,6 @@ pub mod vector;
 
 pub use analysis::{AnalysisStats, AttrAnalysis, TableAnalysis, TaskAnalysis};
 pub use features::{FeatureDef, FeatureKind, FeatureLibrary};
+pub use index::{ExactIndex, InvertedIndex, ProbeScratch, SetMeasure, TokenSpace};
 pub use record::{AttrType, Attribute, Record, RecordId, Schema, Table, Value};
 pub use vector::FeatureVectorizer;

@@ -75,6 +75,13 @@ impl FeatureVectorizer {
         self.lib.len()
     }
 
+    /// True when `attr` has a fitted TF/IDF corpus model. Without one,
+    /// `CosineTfIdf` features of that attribute are always `NaN` — the
+    /// blocking planner uses this to decide indexability.
+    pub fn has_corpus_model(&self, attr: usize) -> bool {
+        self.tfidf.get(attr).is_some_and(|m| m.is_some())
+    }
+
     /// Compute the full feature vector for a record pair.
     pub fn vectorize(&self, a: &Record, b: &Record) -> Vec<f64> {
         self.lib

@@ -49,7 +49,11 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Schema version written into (and required from) every envelope.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `BlockerReport` gained the `source` field (candidate-generation
+/// strategy); v1 snapshots no longer decode and fail with a typed
+/// [`StoreError::SchemaMismatch`] instead of a field error.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Magic string identifying a snapshot file.
 pub const MAGIC: &str = "corleone.run-snapshot";
@@ -427,7 +431,7 @@ mod tests {
         write_snapshot(&path, &sample()).expect("write");
         let text = fs::read_to_string(&path)
             .unwrap()
-            .replace("\"schema_version\":1", "\"schema_version\":99");
+            .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":99");
         fs::write(&path, text).unwrap();
         match read_snapshot::<Payload>(&path) {
             Err(StoreError::SchemaMismatch { found, expected, .. }) => {

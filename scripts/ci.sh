@@ -37,9 +37,16 @@ echo "==> blocking hot-path perf smoke (quick: restaurants, scale 0.05)"
 # reference (the bin asserts bit-identity internally) and keeps the
 # blocking_perf harness itself from rotting. Quick numbers go to a temp
 # file so the committed BENCH_blocking.json (full-scale run) is untouched.
+# The bin also asserts the indexed join's candidate list is byte-identical
+# to the Cartesian scan's and prints an index_equivalence=ok marker; the
+# grep below turns a silently-missing assertion into a CI failure.
 perf_tmp=$(mktemp)
-cargo run --release -q -p bench --bin blocking_perf -- --quick --kinds --out "$perf_tmp"
-rm -f "$perf_tmp"
+perf_log=$(mktemp)
+cargo run --release -q -p bench --bin blocking_perf -- --quick --kinds --out "$perf_tmp" \
+    | tee "$perf_log"
+grep -q "index_equivalence=ok" "$perf_log" \
+    || { echo "FAIL: blocking_perf did not report index_equivalence=ok"; exit 1; }
+rm -f "$perf_tmp" "$perf_log"
 
 echo "==> fault-injection smoke (30% HIT expiry, 20% abandonment)"
 # The run must finish without a panic and report a labeled termination

@@ -188,7 +188,8 @@ fn corrupted_checksum_is_a_typed_error() {
 fn schema_version_mismatch_is_a_typed_error() {
     let (task, gold, latest, dir) = checkpointed_run("schema");
     let text = std::fs::read_to_string(&latest).expect("read snapshot");
-    let future = text.replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+    let current = format!("\"schema_version\":{}", store::SCHEMA_VERSION);
+    let future = text.replacen(&current, "\"schema_version\":999", 1);
     assert_ne!(text, future, "envelope layout changed; update the version probe");
     std::fs::write(&latest, future).expect("write future snapshot");
     match try_resume(&task, &gold, &latest) {
