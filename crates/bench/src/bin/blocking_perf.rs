@@ -18,10 +18,16 @@
 //!   speedup over `rule_apply_pre` is read directly off the two rates
 //! * `vectorize_string` / `vectorize_pre` — full feature vectors on a
 //!   deterministic sample of pairs
+//! * `char_kernels_string` / `char_kernels_pre` — only the five
+//!   character-level measures (Levenshtein, Jaro, Jaro-Winkler,
+//!   Monge-Elkan, Smith-Waterman) on the same pair sample, isolating the
+//!   bit-parallel/scratch kernels from the set/vector ones
 //!
-//! Every dataset × scale also asserts the indexed candidate list is
-//! byte-identical to the scan's and prints an `index_equivalence=ok`
-//! marker line that `scripts/ci.sh` greps for.
+//! Every dataset × scale also asserts (a) the indexed candidate list is
+//! byte-identical to the scan's (`index_equivalence=ok` marker) and
+//! (b) every char-kernel feature value is bit-identical between the two
+//! paths on every sampled pair (`char_equivalence=ok` marker); both
+//! markers are grepped by `scripts/ci.sh`.
 //!
 //! Flags: `--quick` (CI-sized run), `--out PATH`, `--scales a,b`,
 //! `--datasets a,b`, `--threads N`, `--kinds` (per-kernel ns/pair table,
@@ -37,8 +43,9 @@ use similarity::{FeatureKind, TaskAnalysis};
 use std::time::Instant;
 
 /// Bump when the JSON layout changes. v2 added the envelope object and
-/// the `index_probe` phase.
-const BENCH_SCHEMA_VERSION: u32 = 2;
+/// the `index_probe` phase; v3 added the `char_kernels_string` /
+/// `char_kernels_pre` phases.
+const BENCH_SCHEMA_VERSION: u32 = 3;
 
 #[derive(Debug, Clone, Serialize)]
 struct BenchRecord {
@@ -58,6 +65,7 @@ struct BenchReport {
 struct Args {
     quick: bool,
     kinds: bool,
+    defs: bool,
     out: String,
     scales: Vec<f64>,
     datasets: Vec<String>,
@@ -68,6 +76,7 @@ fn parse() -> Args {
     let mut args = Args {
         quick: false,
         kinds: false,
+        defs: false,
         out: "BENCH_blocking.json".to_string(),
         scales: vec![0.3, 1.0, 3.0],
         datasets: vec!["restaurants".into(), "citations".into(), "products".into()],
@@ -82,6 +91,10 @@ fn parse() -> Args {
                 args.datasets = vec!["restaurants".into()];
             }
             "--kinds" => args.kinds = true,
+            "--defs" => {
+                args.kinds = true;
+                args.defs = true;
+            }
             "--out" => args.out = it.next().expect("--out needs a path"),
             "--scales" => {
                 args.scales = it
@@ -207,15 +220,17 @@ fn time_ms(f: impl FnOnce()) -> f64 {
 }
 
 /// Per-kernel ns/pair on both paths (calibration data for
-/// `FeatureKind::unit_cost`).
-fn kind_timings(task: &MatchTask, an: &TaskAnalysis, threads: Threads) {
+/// `FeatureKind::unit_cost`). With `all_defs`, times every feature def
+/// (per attribute) instead of the first def per kind — the per-def
+/// breakdown of a full `vectorize_pre` pass.
+fn kind_timings(task: &MatchTask, an: &TaskAnalysis, threads: Threads, all_defs: bool) {
     let pairs = sample_pairs(task, 20_000);
     let vz = &task.vectorizer;
     let mut rows = Vec::new();
     for def_idx in 0..task.n_features() {
         let def = &vz.library().defs[def_idx];
         // One def per kind: skip repeats on later attributes.
-        if vz.library().defs[..def_idx].iter().any(|d| d.kind == def.kind) {
+        if !all_defs && vz.library().defs[..def_idx].iter().any(|d| d.kind == def.kind) {
             continue;
         }
         let run = |pre: bool| {
@@ -241,7 +256,7 @@ fn kind_timings(task: &MatchTask, an: &TaskAnalysis, threads: Threads) {
         let (ns_pre, s2) = run(true);
         assert_eq!(s1.to_bits(), s2.to_bits(), "paths diverged on {}", def.name());
         rows.push(vec![
-            format!("{:?}", def.kind),
+            if all_defs { def.name() } else { format!("{:?}", def.kind) },
             format!("{:.0}", ns_string),
             format!("{:.0}", ns_pre),
             format!("{:.1}x", ns_string / ns_pre.max(1.0)),
@@ -363,16 +378,26 @@ fn main() {
             // Full vectorization on a deterministic pair sample.
             let pairs = sample_pairs(&task, vec_sample);
             let vectorize = |pre: bool| -> f64 {
+                // Reused per-thread output buffer: the pre phase measures
+                // the allocation-free `vectorize_pre_into` hot path.
+                thread_local! {
+                    static VBUF: std::cell::RefCell<Vec<f64>> =
+                        const { std::cell::RefCell::new(Vec::new()) };
+                }
                 time_ms(|| {
                     let sums: Vec<f64> = exec::indexed_par_map(threads, pairs.len(), |i| {
                         let (a, b) = pairs[i];
                         let (ra, rb) = (task.table_a.record(a), task.table_b.record(b));
-                        let v = if pre {
-                            task.vectorizer.vectorize_pre(ra, rb, an)
+                        if pre {
+                            VBUF.with(|v| {
+                                let mut v = v.borrow_mut();
+                                task.vectorizer.vectorize_pre_into(ra, rb, an, &mut v);
+                                v.iter().filter(|x| !x.is_nan()).sum()
+                            })
                         } else {
-                            task.vectorizer.vectorize(ra, rb)
-                        };
-                        v.iter().filter(|x| !x.is_nan()).sum()
+                            let v = task.vectorizer.vectorize(ra, rb);
+                            v.iter().filter(|x| !x.is_nan()).sum()
+                        }
                     });
                     std::hint::black_box(sums.iter().sum::<f64>());
                 })
@@ -381,6 +406,67 @@ fn main() {
             let (_, vrate_s) = push("vectorize_string", wall_s, pairs.len() as f64);
             let wall_p = vectorize(true);
             let (_, vrate_p) = push("vectorize_pre", wall_p, pairs.len() as f64);
+
+            // Char-kernel phase: the five character-level measures alone,
+            // on the same pair sample, with per-pair per-feature bit
+            // equality between the two paths asserted afterwards.
+            let char_defs: Vec<usize> = task
+                .vectorizer
+                .library()
+                .defs
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| {
+                    matches!(
+                        d.kind,
+                        FeatureKind::Levenshtein
+                            | FeatureKind::Jaro
+                            | FeatureKind::JaroWinkler
+                            | FeatureKind::MongeElkan
+                            | FeatureKind::SmithWaterman
+                    )
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let char_run = |pre: bool| -> (f64, Vec<Vec<u64>>) {
+                let mut bits = Vec::new();
+                let wall = time_ms(|| {
+                    bits = exec::indexed_par_map(threads, pairs.len(), |i| {
+                        let (a, b) = pairs[i];
+                        let (ra, rb) = (task.table_a.record(a), task.table_b.record(b));
+                        char_defs
+                            .iter()
+                            .map(|&fi| {
+                                let x = if pre {
+                                    task.vectorizer.feature_pre(fi, ra, rb, an)
+                                } else {
+                                    task.vectorizer.feature(fi, ra, rb)
+                                };
+                                x.to_bits()
+                            })
+                            .collect::<Vec<u64>>()
+                    });
+                });
+                (wall, bits)
+            };
+            let (wall_cs, bits_s) = char_run(false);
+            let (_, crate_s) = push("char_kernels_string", wall_cs, pairs.len() as f64);
+            let (wall_cp, bits_p) = char_run(true);
+            let (_, crate_p) = push("char_kernels_pre", wall_cp, pairs.len() as f64);
+            for (pi, (bs, bp)) in bits_s.iter().zip(&bits_p).enumerate() {
+                assert_eq!(
+                    bs, bp,
+                    "char kernels diverged on {name} @ {scale}, pair {:?}",
+                    pairs[pi]
+                );
+            }
+            println!(
+                "char_equivalence=ok dataset={name} scale={scale} features={} pairs={} \
+                 speedup={:.1}x",
+                char_defs.len(),
+                pairs.len(),
+                crate_p / crate_s.max(1.0)
+            );
 
             table_rows.push(vec![
                 name.clone(),
@@ -391,10 +477,12 @@ fn main() {
                 format!("{:.1}x", rate_idx / rate_pre.max(1.0)),
                 format!("{:.0}k", vrate_s / 1e3),
                 format!("{:.0}k", vrate_p / 1e3),
+                format!("{:.0}k", crate_s / 1e3),
+                format!("{:.0}k", crate_p / 1e3),
             ]);
 
             if args.kinds {
-                kind_timings(&task, an, threads);
+                kind_timings(&task, an, threads, args.defs);
             }
         }
     }
@@ -411,6 +499,8 @@ fn main() {
                 "idx speedup",
                 "vec str p/s",
                 "vec pre p/s",
+                "char str p/s",
+                "char pre p/s",
             ],
             &table_rows
         )

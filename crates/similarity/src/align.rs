@@ -12,6 +12,13 @@
 pub fn smith_waterman_score(a: &str, b: &str) -> i64 {
     let a: Vec<char> = a.to_lowercase().chars().collect();
     let b: Vec<char> = b.to_lowercase().chars().collect();
+    score_chars(&a, &b)
+}
+
+/// The DP over already-lowercased char sequences. Shared with the
+/// normalized similarity so both score and normalization lengths are
+/// computed over the same sequences.
+fn score_chars(a: &[char], b: &[char]) -> i64 {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
@@ -21,7 +28,7 @@ pub fn smith_waterman_score(a: &str, b: &str) -> i64 {
     let mut prev = vec![0i64; b.len() + 1];
     let mut cur = vec![0i64; b.len() + 1];
     let mut best = 0i64;
-    for &ca in &a {
+    for &ca in a {
         for (j, &cb) in b.iter().enumerate() {
             let diag = prev[j] + if ca == cb { MATCH } else { MISMATCH };
             let up = prev[j + 1] + GAP;
@@ -38,17 +45,23 @@ pub fn smith_waterman_score(a: &str, b: &str) -> i64 {
 /// Normalized Smith-Waterman similarity in `[0, 1]`: the local alignment
 /// score divided by the maximum achievable (`2 × min(|a|, |b|)`).
 /// Both empty → 1; exactly one empty → 0.
+///
+/// The normalization lengths are the **lower-cased** scalar counts — the
+/// same sequences the score is computed over. `str::to_lowercase` can
+/// change the scalar count ('İ' → `"i\u{307}"`), and normalizing by the
+/// raw counts used to produce ratios over 1 that the clamp silently
+/// masked (and under-normalized ratios it did not).
 pub fn smith_waterman_similarity(a: &str, b: &str) -> f64 {
-    let la = a.chars().count();
-    let lb = b.chars().count();
-    if la == 0 && lb == 0 {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    if la == 0 || lb == 0 {
+    if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let max_score = 2 * la.min(lb) as i64;
-    (smith_waterman_score(a, b) as f64 / max_score as f64).clamp(0.0, 1.0)
+    let max_score = 2 * a.len().min(b.len()) as i64;
+    (score_chars(&a, &b) as f64 / max_score as f64).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -93,6 +106,21 @@ mod tests {
         assert_eq!(smith_waterman_similarity("", ""), 1.0);
         assert_eq!(smith_waterman_similarity("", "x"), 0.0);
         assert_eq!(smith_waterman_score("", "abc"), 0);
+    }
+
+    #[test]
+    fn length_changing_lowercase_normalizes_over_scored_chars() {
+        // 'İ' lowercases to two scalars ("i\u{307}"), so the raw char
+        // count (3) undercounts the scored sequence ("i\u{307}ab", 4).
+        // The best local alignment against "i\u{307}xy" matches the two
+        // leading scalars (+4) out of a 2·min(4,4) = 8 maximum: 0.5.
+        // Normalizing by raw counts gave 4/6 ≈ 0.667.
+        let s = smith_waterman_similarity("İab", "i\u{307}xy");
+        assert_eq!(s, 0.5);
+        // And a perfect match stays exactly 1.0 rather than a clamped >1.
+        let t = smith_waterman_similarity("İİ", "i\u{307}i\u{307}");
+        assert_eq!(t, 1.0);
+        assert_eq!(smith_waterman_score("İİ", "i\u{307}i\u{307}"), 8);
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //! built once per task (in parallel through [`exec`]): for every record
 //! and text attribute it precomputes the whitespace-collapsed normalized
 //! string, the trimmed char sequence, interned word-token and 3-gram ids
-//! as sorted `u32` vectors, packed Soundex code sets, and the sparse
-//! TF/IDF weight vector with its precomputed L2 norm. The per-pair kernels
+//! as sorted `u32` vectors, packed Soundex code sets, the sparse TF/IDF
+//! weight vector with its precomputed L2 norm, and the interned char-id
+//! sequences (raw, lowercased, and per-word-token) that the char-level
+//! kernels in [`crate::charkernels`] consume. The per-pair set kernels
 //! then reduce to allocation-free sorted-merge intersections and sparse
-//! dot products.
+//! dot products, and the char-level measures to bit-parallel /
+//! scratch-buffer sweeps with no per-pair allocation.
 //!
 //! # Bit-identity contract
 //!
@@ -36,7 +39,7 @@
 use crate::cosine::TfIdfModel;
 use crate::record::{AttrType, Record, RecordId, Table};
 use crate::tokenize::{normalize, qgrams, words};
-use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Precomputed forms of one non-null text attribute value.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +63,63 @@ pub struct AttrAnalysis {
     /// `sqrt(Σ w²)` over `tfidf`, accumulated in id order (identical to
     /// the reference's per-call norm computation).
     pub tfidf_norm: f64,
+    /// Interned char ids (ranks into the task's shared char pool) of the
+    /// **raw** value's scalars — the sequence Levenshtein, Jaro, and
+    /// Jaro-Winkler walk. Ids are dense `0..distinct_chars`, so the
+    /// bit-parallel kernels can use direct-indexed scratch tables; id
+    /// equality is char equality (all char kernels need only equality).
+    pub raw_char_ids: Vec<u32>,
+    /// Interned char ids of `str::to_lowercase` of the raw value (the
+    /// str-level mapping, so context rules like final sigma match the
+    /// reference exactly) — the sequence Smith-Waterman aligns.
+    pub lower_char_ids: Vec<u32>,
+    /// `lower_char_ids` narrowed to `i16`, populated only when the shared
+    /// char pool fits (`distinct_chars <= i16::MAX`, true for any real
+    /// dataset). Smith-Waterman's inner loops compare and accumulate in
+    /// 16-bit cells, doubling the auto-vectorized lane count; empty means
+    /// the kernel falls back to the 32-bit path.
+    pub lower_char_i16: Vec<i16>,
+    /// Flattened interned char ids of the word tokens in occurrence
+    /// order, duplicates kept — Monge-Elkan's inner strings.
+    pub word_char_ids: Vec<u32>,
+    /// End offset (exclusive) into `word_char_ids` of each word token:
+    /// token `k` spans `word_ends[k-1]..word_ends[k]` (`0` for `k = 0`).
+    pub word_ends: Vec<u32>,
+    /// Interned pool id of each word token in occurrence order (parallel
+    /// to `word_ends`, duplicates kept). Id equality is token equality —
+    /// Monge-Elkan uses it to dedup inner comparisons.
+    pub word_token_ids: Vec<u32>,
+    /// Distinct entries of `word_token_ids` in first-occurrence order
+    /// (parallel to `word_dedup_first`). Monge-Elkan reads these instead
+    /// of re-deduplicating the token list on every pair.
+    pub word_dedup_ids: Vec<u32>,
+    /// Position of the first occurrence of each `word_dedup_ids` entry,
+    /// i.e. the representative token index compared for that id.
+    pub word_dedup_first: Vec<u32>,
+    /// Rank into `word_dedup_ids` of each token position (parallel to
+    /// `word_token_ids`), making per-token memo lookups O(1).
+    pub word_dedup_rank: Vec<u32>,
+    /// Rank of the **raw** value string in the task's shared sorted
+    /// distinct-value pool. Id equality is raw-string equality, hence
+    /// equality of every derived form above — the char kernels use it to
+    /// memoize whole-value results across the many record pairs that
+    /// repeat an attribute value (cities, brands, venues, ...).
+    pub value_id: u32,
+}
+
+impl AttrAnalysis {
+    /// Char ids of word token `k` (see `word_ends`).
+    #[inline]
+    pub fn word_token(&self, k: usize) -> &[u32] {
+        let lo = if k == 0 { 0 } else { self.word_ends[k - 1] as usize };
+        &self.word_char_ids[lo..self.word_ends[k] as usize]
+    }
+
+    /// Number of word tokens (duplicates included).
+    #[inline]
+    pub fn n_word_tokens(&self) -> usize {
+        self.word_ends.len()
+    }
 }
 
 /// Size and interning statistics of a built analysis (for perf logs).
@@ -73,6 +133,13 @@ pub struct AnalysisStats {
     pub distinct_words: usize,
     /// Distinct 3-grams interned.
     pub distinct_grams: usize,
+    /// Distinct chars interned (raw, lowercased, and token scalars of
+    /// both tables). Bounds every char id; the bit-parallel kernels size
+    /// their direct-indexed scratch tables off this.
+    pub distinct_chars: usize,
+    /// Distinct raw text values interned across both tables — the pool
+    /// behind `AttrAnalysis::value_id`.
+    pub distinct_values: usize,
     /// Approximate resident bytes of the analysis rows.
     pub approx_bytes: usize,
 }
@@ -112,6 +179,12 @@ pub struct TaskAnalysis {
     pub b: TableAnalysis,
     /// Build statistics.
     pub stats: AnalysisStats,
+    /// Process-unique id of this analysis build. `value_id` / word ids
+    /// are ranks into *this task's* pools, so cross-task caches (the char
+    /// kernels' per-thread result cache) key on the generation to never
+    /// serve an id interned by a different task. The counter only
+    /// disambiguates cache entries — no output depends on its value.
+    pub generation: u64,
 }
 
 impl TaskAnalysis {
@@ -156,12 +229,68 @@ fn analyze_value(
     model: Option<&TfIdfModel>,
     word_pool: &[String],
     gram_pool: &[String],
+    char_pool: &[char],
+    value_pool: &[String],
 ) -> AttrAnalysis {
+    let value_id = value_pool
+        .binary_search_by(|v| v.as_str().cmp(s))
+        .map(|i| i as u32)
+        .unwrap_or_else(|_| panic!("value {s:?} missing from intern pool"));
     let norm = normalize(s);
     let collapsed = norm.split_whitespace().collect::<Vec<_>>().join(" ");
     let prefix_chars: Vec<char> = norm.trim().chars().collect();
 
+    let intern_char = |c: char| -> u32 {
+        char_pool
+            .binary_search(&c)
+            .map(|i| i as u32)
+            .unwrap_or_else(|_| panic!("char {c:?} missing from intern pool"))
+    };
+    let raw_char_ids: Vec<u32> = s.chars().map(intern_char).collect();
+    let lower_char_ids: Vec<u32> = s.to_lowercase().chars().map(intern_char).collect();
+    let lower_char_i16: Vec<i16> = if char_pool.len() <= i16::MAX as usize {
+        lower_char_ids.iter().map(|&c| c as i16).collect()
+    } else {
+        Vec::new()
+    };
+
     let toks = words(s);
+    // Token char material in occurrence order, duplicates kept: the order
+    // and multiplicity Monge-Elkan's reference tokenization produces.
+    let mut word_char_ids = Vec::new();
+    let mut word_ends = Vec::with_capacity(toks.len());
+    for w in &toks {
+        word_char_ids.extend(w.chars().map(intern_char));
+        word_ends.push(word_char_ids.len() as u32);
+    }
+    let word_token_ids: Vec<u32> = toks
+        .iter()
+        .map(|w| {
+            word_pool
+                .binary_search(w)
+                .map(|i| i as u32)
+                .unwrap_or_else(|_| panic!("token {w:?} missing from intern pool"))
+        })
+        .collect();
+
+    // First-occurrence dedup of the token ids, hoisted out of the
+    // Monge-Elkan inner loop (values typically hold well under a few
+    // dozen tokens, so the quadratic scan here is negligible one-time
+    // work against the per-pair rebuild it replaces).
+    let mut word_dedup_ids: Vec<u32> = Vec::new();
+    let mut word_dedup_first: Vec<u32> = Vec::new();
+    let mut word_dedup_rank: Vec<u32> = Vec::with_capacity(word_token_ids.len());
+    for (k, &id) in word_token_ids.iter().enumerate() {
+        match word_dedup_ids.iter().position(|&x| x == id) {
+            Some(r) => word_dedup_rank.push(r as u32),
+            None => {
+                word_dedup_rank.push(word_dedup_ids.len() as u32);
+                word_dedup_ids.push(id);
+                word_dedup_first.push(k as u32);
+            }
+        }
+    }
+
     let mut soundex_codes: Vec<u32> = toks
         .iter()
         .filter_map(|w| crate::phonetic::soundex(w))
@@ -204,6 +333,16 @@ fn analyze_value(
         soundex_codes,
         tfidf,
         tfidf_norm,
+        raw_char_ids,
+        lower_char_ids,
+        lower_char_i16,
+        word_char_ids,
+        word_ends,
+        word_token_ids,
+        word_dedup_ids,
+        word_dedup_first,
+        word_dedup_rank,
+        value_id,
     }
 }
 
@@ -212,6 +351,16 @@ fn attr_bytes(a: &AttrAnalysis) -> usize {
         + a.collapsed.len()
         + a.prefix_chars.len() * std::mem::size_of::<char>()
         + (a.word_ids.len() + a.gram_ids.len() + a.soundex_codes.len()) * 4
+        + (a.raw_char_ids.len()
+            + a.lower_char_ids.len()
+            + a.word_char_ids.len()
+            + a.word_ends.len()
+            + a.word_token_ids.len()
+            + a.word_dedup_ids.len()
+            + a.word_dedup_first.len()
+            + a.word_dedup_rank.len())
+            * 4
+        + a.lower_char_i16.len() * 2
         + a.tfidf.len() * std::mem::size_of::<(u32, f64)>()
 }
 
@@ -236,33 +385,56 @@ pub fn analyze_task(
         .map(|(i, _)| i)
         .collect();
 
-    // Pass 1: collect every word token and 3-gram of both tables, in
-    // parallel per record, then sort + dedup into the shared pools.
-    let collect = |t: &Table| -> Vec<(Vec<String>, Vec<String>)> {
+    // Pass 1: collect every word token, 3-gram, and char of both tables,
+    // in parallel per record, then sort + dedup into the shared pools.
+    // The char pool covers the raw scalars, the `str::to_lowercase`
+    // scalars, and the token scalars — token chars are *not* a subset of
+    // the lowercased string's (str-level lowercasing applies context
+    // rules like final sigma that the char-wise token path does not).
+    type Collected = (Vec<String>, Vec<String>, Vec<char>, Vec<String>);
+    let collect = |t: &Table| -> Vec<Collected> {
         exec::par_map(threads, &t.records, |r: &Record| {
             let mut ws = Vec::new();
             let mut gs = Vec::new();
+            let mut cs = Vec::new();
+            let mut vs = Vec::new();
             for &ai in &text_attrs {
                 if let Some(s) = r.value(ai).as_text() {
                     ws.extend(words(s));
                     gs.extend(qgrams(s, 3));
+                    cs.extend(s.chars());
+                    cs.extend(s.to_lowercase().chars());
+                    vs.push(s.to_string());
                 }
             }
-            (ws, gs)
+            for w in &ws {
+                cs.extend(w.chars());
+            }
+            cs.sort_unstable();
+            cs.dedup();
+            (ws, gs, cs, vs)
         })
     };
     let mut word_pool: Vec<String> = Vec::new();
     let mut gram_pool: Vec<String> = Vec::new();
+    let mut char_pool: Vec<char> = Vec::new();
+    let mut value_pool: Vec<String> = Vec::new();
     for t in [a, b] {
-        for (ws, gs) in collect(t) {
+        for (ws, gs, cs, vs) in collect(t) {
             word_pool.extend(ws);
             gram_pool.extend(gs);
+            char_pool.extend(cs);
+            value_pool.extend(vs);
         }
     }
     word_pool.sort_unstable();
     word_pool.dedup();
     gram_pool.sort_unstable();
     gram_pool.dedup();
+    char_pool.sort_unstable();
+    char_pool.dedup();
+    value_pool.sort_unstable();
+    value_pool.dedup();
 
     // Pass 2: per-record analyses against the frozen pools.
     let analyze_table = |t: &Table| -> TableAnalysis {
@@ -272,7 +444,14 @@ pub fn analyze_task(
                 .enumerate()
                 .map(|(ai, v)| {
                     v.as_text().map(|s| {
-                        analyze_value(s, tfidf[ai].as_ref(), &word_pool, &gram_pool)
+                        analyze_value(
+                            s,
+                            tfidf[ai].as_ref(),
+                            &word_pool,
+                            &gram_pool,
+                            &char_pool,
+                            &value_pool,
+                        )
                     })
                 })
                 .collect::<Vec<Option<AttrAnalysis>>>()
@@ -286,6 +465,8 @@ pub fn analyze_task(
         records: a.len() + b.len(),
         distinct_words: word_pool.len(),
         distinct_grams: gram_pool.len(),
+        distinct_chars: char_pool.len(),
+        distinct_values: value_pool.len(),
         ..Default::default()
     };
     for t in [&ta, &tb] {
@@ -297,7 +478,9 @@ pub fn analyze_task(
         }
     }
 
-    TaskAnalysis { a: ta, b: tb, stats }
+    static TASK_GENERATION: AtomicU64 = AtomicU64::new(1);
+    let generation = TASK_GENERATION.fetch_add(1, AtomicOrdering::Relaxed);
+    TaskAnalysis { a: ta, b: tb, stats, generation }
 }
 
 // ---- allocation-free kernels over precomputed analyses -------------------
@@ -305,17 +488,15 @@ pub fn analyze_task(
 /// `|a ∩ b|` of two sorted, deduped id slices (linear merge).
 #[inline]
 pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    // Branchless two-pointer merge: on random id data the three-way
+    // `match` mispredicts constantly; conditional increments keep the
+    // loop body branch-free (the bound check is the only branch).
     let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
-            Ordering::Equal => {
-                n += 1;
-                i += 1;
-                j += 1;
-            }
-        }
+        let (x, y) = (a[i], b[j]);
+        n += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
     }
     n
 }
@@ -382,16 +563,16 @@ pub fn cosine_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
     }
     let mut dot = 0.0f64;
     let (mut i, mut j) = (0usize, 0usize);
+    // Pointer advances are branchless (see intersect_count); the add
+    // stays guarded so the accumulation order and terms are exactly the
+    // reference's.
     while i < wa.len() && j < wb.len() {
-        match wa[i].0.cmp(&wb[j].0) {
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
-            Ordering::Equal => {
-                dot += wa[i].1 * wb[j].1;
-                i += 1;
-                j += 1;
-            }
+        let (ka, kb) = (wa[i].0, wb[j].0);
+        if ka == kb {
+            dot += wa[i].1 * wb[j].1;
         }
+        i += usize::from(ka <= kb);
+        j += usize::from(kb <= ka);
     }
     (dot / (a.tfidf_norm * b.tfidf_norm)).clamp(0.0, 1.0)
 }

@@ -17,14 +17,12 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
     let mut b_taken = vec![false; b.len()];
     let mut a_matches: Vec<char> = Vec::new();
-    let mut b_match_flags = vec![false; a.len()];
     for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
         for j in lo..hi {
             if !b_taken[j] && b[j] == ca {
                 b_taken[j] = true;
-                b_match_flags[i] = true;
                 a_matches.push(ca);
                 break;
             }

@@ -26,6 +26,7 @@
 
 pub mod align;
 pub mod analysis;
+pub mod charkernels;
 pub mod cosine;
 pub mod csv;
 pub mod edit;

@@ -2,16 +2,23 @@
 
 /// Lower-case a string and replace every non-alphanumeric character with a
 /// space. This is the canonical normalization applied before tokenizing.
+///
+/// Lowercasing is the full Unicode char-wise mapping (`char::to_lowercase`,
+/// no locale/context rules), so `"CAFÉ"` normalizes to `"café"` — not the
+/// ASCII-only mapping that used to leave accented uppercase intact and
+/// silently weakened every token-based measure on accented data. A char
+/// whose lowercase expands to several scalars ('İ' → `"i\u{307}"`) keeps
+/// every output scalar, so normalized strings can be longer than the input.
 pub fn normalize(s: &str) -> String {
-    s.chars()
-        .map(|c| {
-            if c.is_alphanumeric() {
-                c.to_ascii_lowercase()
-            } else {
-                ' '
-            }
-        })
-        .collect()
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(' ');
+        }
+    }
+    out
 }
 
 /// Split a string into lower-cased alphanumeric word tokens.
@@ -51,6 +58,17 @@ mod tests {
     #[test]
     fn normalize_lowercases_and_strips() {
         assert_eq!(normalize("Kingston HyperX-4GB!"), "kingston hyperx 4gb ");
+    }
+
+    #[test]
+    fn normalize_lowercases_non_ascii() {
+        // The contract is full Unicode lowercasing, not ASCII-only: the
+        // accented uppercase must fold, and multi-scalar expansions keep
+        // every output scalar.
+        assert_eq!(normalize("CAFÉ"), "café");
+        assert_eq!(normalize("École!"), "école ");
+        assert_eq!(normalize("İ"), "i\u{307}");
+        assert_eq!(words("CAFÉ Crème"), vec!["café", "crème"]);
     }
 
     #[test]

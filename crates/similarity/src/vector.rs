@@ -10,7 +10,8 @@
 //! Missing values produce `NaN` features; the forest learner handles those
 //! with learned missing-value routing (see the `forest` crate).
 
-use crate::analysis::{self, TaskAnalysis};
+use crate::analysis::{self, AttrAnalysis, TaskAnalysis};
+use crate::charkernels;
 use crate::cosine::TfIdfModel;
 use crate::features::{FeatureDef, FeatureKind, FeatureLibrary};
 use crate::record::{Record, Schema, Table, Value};
@@ -110,12 +111,36 @@ impl FeatureVectorizer {
     }
 
     /// [`Self::feature`] through the precomputed analysis: set/vector
-    /// kernels run allocation-free over interned ids; character-level
-    /// measures (edit distance, Jaro, alignment) and numeric comparators
-    /// fall through to the reference path unchanged.
+    /// kernels run allocation-free over interned ids, and character-level
+    /// measures (edit distance, Jaro/Jaro-Winkler, Monge-Elkan,
+    /// Smith-Waterman) run over the precomputed char-id material in
+    /// [`crate::charkernels`] — Levenshtein via Myers' bit-parallel
+    /// algorithm, the rest via zero-alloc scratch rewrites. Only the
+    /// numeric comparators fall through to the reference path (they are
+    /// already allocation-free).
     ///
     /// `a` and `b` must be records of the tables `an` was built from.
     pub fn feature_pre(&self, idx: usize, a: &Record, b: &Record, an: &TaskAnalysis) -> f64 {
+        let def = &self.lib.defs[idx];
+        let ra = an.attr_a(a.id, def.attr);
+        let rb = an.attr_b(b.id, def.attr);
+        charkernels::with_scratch(|s| self.feature_pre_with(idx, a, b, an, ra, rb, s))
+    }
+
+    /// [`Self::feature_pre`] with the per-attribute analyses and the
+    /// char-kernel scratch already in hand — the shared body that lets
+    /// [`Self::vectorize_pre`] hoist both out of the per-feature loop.
+    #[allow(clippy::too_many_arguments)] // hoisted per-pair state, private
+    fn feature_pre_with(
+        &self,
+        idx: usize,
+        a: &Record,
+        b: &Record,
+        an: &TaskAnalysis,
+        ra: Option<&AttrAnalysis>,
+        rb: Option<&AttrAnalysis>,
+        s: &mut charkernels::CharScratch,
+    ) -> f64 {
         let def = &self.lib.defs[idx];
         match def.kind {
             FeatureKind::JaccardWords
@@ -126,13 +151,16 @@ impl FeatureVectorizer {
             | FeatureKind::ExactMatch
             | FeatureKind::Containment
             | FeatureKind::PrefixSim
-            | FeatureKind::Soundex => {
+            | FeatureKind::Soundex
+            | FeatureKind::Levenshtein
+            | FeatureKind::Jaro
+            | FeatureKind::JaroWinkler
+            | FeatureKind::MongeElkan
+            | FeatureKind::SmithWaterman => {
                 // An analysis exists iff the value is non-null text — the
                 // same condition under which the reference path computes
                 // (it returns NaN otherwise).
-                let (Some(ra), Some(rb)) =
-                    (an.attr_a(a.id, def.attr), an.attr_b(b.id, def.attr))
-                else {
+                let (Some(ra), Some(rb)) = (ra, rb) else {
                     return f64::NAN;
                 };
                 match def.kind {
@@ -157,16 +185,85 @@ impl FeatureVectorizer {
                     FeatureKind::Containment => analysis::containment_pre(ra, rb),
                     FeatureKind::PrefixSim => analysis::prefix_pre(ra, rb),
                     FeatureKind::Soundex => analysis::soundex_pre(ra, rb),
+                    FeatureKind::Levenshtein => charkernels::levenshtein_pre_s(
+                        ra,
+                        rb,
+                        an.stats.distinct_chars,
+                        an.generation,
+                        s,
+                    ),
+                    FeatureKind::Jaro => {
+                        charkernels::jaro_pre_s(ra, rb, an.stats.distinct_chars, an.generation, s)
+                    }
+                    FeatureKind::JaroWinkler => charkernels::jaro_winkler_pre_s(
+                        ra,
+                        rb,
+                        an.stats.distinct_chars,
+                        an.generation,
+                        s,
+                    ),
+                    FeatureKind::MongeElkan => charkernels::monge_elkan_pre_s(
+                        ra,
+                        rb,
+                        an.stats.distinct_chars,
+                        an.generation,
+                        s,
+                    ),
+                    FeatureKind::SmithWaterman => {
+                        charkernels::smith_waterman_pre_s(ra, rb, an.generation, s)
+                    }
                     _ => unreachable!(),
                 }
             }
-            _ => self.feature(idx, a, b),
+            FeatureKind::NumExact | FeatureKind::NumRelSim => self.feature(idx, a, b),
         }
     }
 
-    /// [`Self::vectorize`] through the precomputed analysis.
+    /// [`Self::vectorize`] through the precomputed analysis. The
+    /// per-attribute analysis lookups and the char-kernel scratch access
+    /// are hoisted out of the per-feature loop — with tens of features
+    /// per schema they are a measurable share of the per-pair cost.
     pub fn vectorize_pre(&self, a: &Record, b: &Record, an: &TaskAnalysis) -> Vec<f64> {
-        (0..self.lib.len()).map(|fi| self.feature_pre(fi, a, b, an)).collect()
+        let mut out = Vec::with_capacity(self.lib.len());
+        self.vectorize_pre_into(a, b, an, &mut out);
+        out
+    }
+
+    /// [`Self::vectorize_pre`] into a caller-reused buffer — the
+    /// allocation-free form for per-pair hot loops. `out` is cleared and
+    /// refilled; schemas wider than the stack-resident attr-lookup cap
+    /// (far beyond any real schema) take two transient side tables.
+    pub fn vectorize_pre_into(
+        &self,
+        a: &Record,
+        b: &Record,
+        an: &TaskAnalysis,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        const MAX_ATTRS: usize = 32;
+        let n_attrs = self.tfidf.len();
+        let mut abuf = [None; MAX_ATTRS];
+        let mut bbuf = [None; MAX_ATTRS];
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        let (ra, rb): (&[Option<&AttrAnalysis>], &[Option<&AttrAnalysis>]) =
+            if n_attrs <= MAX_ATTRS {
+                for ai in 0..n_attrs {
+                    abuf[ai] = an.attr_a(a.id, ai);
+                    bbuf[ai] = an.attr_b(b.id, ai);
+                }
+                (&abuf[..n_attrs], &bbuf[..n_attrs])
+            } else {
+                va.extend((0..n_attrs).map(|ai| an.attr_a(a.id, ai)));
+                vb.extend((0..n_attrs).map(|ai| an.attr_b(b.id, ai)));
+                (va.as_slice(), vb.as_slice())
+            };
+        charkernels::with_scratch(|s| {
+            for fi in 0..self.lib.len() {
+                let attr = self.lib.defs[fi].attr;
+                out.push(self.feature_pre_with(fi, a, b, an, ra[attr], rb[attr], s));
+            }
+        })
     }
 }
 

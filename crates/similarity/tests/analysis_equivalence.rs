@@ -51,8 +51,16 @@ fn tables(rows_a: Vec<(Value, Value)>, rows_b: Vec<(Value, Value)>) -> (Table, T
 }
 
 fn assert_all_pairs_bitwise(a: &Table, b: &Table) -> Result<(), TestCaseError> {
+    assert_all_pairs_bitwise_at(a, b, 1)
+}
+
+fn assert_all_pairs_bitwise_at(
+    a: &Table,
+    b: &Table,
+    threads: usize,
+) -> Result<(), TestCaseError> {
     let vz = FeatureVectorizer::fit(a, b);
-    let an = vz.analyze(a, b, exec::Threads::new(1));
+    let an = vz.analyze(a, b, exec::Threads::new(threads));
     for ra in &a.records {
         for rb in &b.records {
             let want = vz.vectorize(ra, rb);
@@ -78,6 +86,30 @@ fn assert_all_pairs_bitwise(a: &Table, b: &Table) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Inputs crafted to stress the char-level kernels: combining marks
+/// (dotted vs decomposed 'i̇'), length-changing lowercasing ('İ'),
+/// Greek final-sigma context sensitivity, and strings long enough to
+/// cross the 64- and 128-char Myers word boundaries.
+fn char_heavy_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-cA-C]{55,75}",
+        "[a-z ]{120,140}",
+        "[İIi\u{307}Σσςée\u{301}a]{0,12}",
+        "[a-zA-ZΑ-Ωα-ω ]{0,20}",
+        Just(String::new()),
+        Just("İΣΟΣ ΟΔΟΣ".to_string()),
+    ]
+}
+
+fn char_heavy_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        char_heavy_text().prop_map(Value::Text),
+        char_heavy_text().prop_map(Value::Text),
+        char_heavy_text().prop_map(Value::Text),
+        Just(Value::Null),
+    ]
+}
+
 proptest! {
     #[test]
     fn analysis_path_is_bit_identical(
@@ -86,6 +118,17 @@ proptest! {
     ) {
         let (a, b) = tables(rows_a, rows_b);
         assert_all_pairs_bitwise(&a, &b)?;
+    }
+
+    #[test]
+    fn char_kernels_bit_identical_across_threads(
+        rows_a in vec((char_heavy_value(), any_num_value()), 1..4),
+        rows_b in vec((char_heavy_value(), any_num_value()), 1..4),
+    ) {
+        let (a, b) = tables(rows_a, rows_b);
+        for threads in [1, 2, 8] {
+            assert_all_pairs_bitwise_at(&a, &b, threads)?;
+        }
     }
 }
 
@@ -105,6 +148,15 @@ fn edge_cases_are_bit_identical() {
         Value::Text("kingston hyperx".into()),
         Value::Text("προϊόν 4gb".into()),
         Value::Text("123 456".into()),
+        // Length-changing lowercase and decomposed combining marks.
+        Value::Text("İstanbul KIT".into()),
+        Value::Text("i\u{307}stanbul kit".into()),
+        // Crosses the 64-char Myers word boundary (65 chars, one word of
+        // pattern bits plus a carry into the second block).
+        Value::Text("a".repeat(65)),
+        Value::Text(format!("{}b", "a".repeat(64))),
+        // Well past two blocks.
+        Value::Text("xy".repeat(70)),
     ];
     let rows: Vec<(Value, Value)> = texts
         .iter()

@@ -53,7 +53,13 @@ use std::path::{Path, PathBuf};
 /// v2: `BlockerReport` gained the `source` field (candidate-generation
 /// strategy); v1 snapshots no longer decode and fail with a typed
 /// [`StoreError::SchemaMismatch`] instead of a field error.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: feature *semantics* changed, not the layout — `tokenize::normalize`
+/// switched to full Unicode lowercasing and Smith-Waterman normalizes by
+/// the lower-cased scalar counts. Snapshots carry predictions and labels
+/// derived from feature values, so resuming a v2 snapshot would silently
+/// diverge from its uninterrupted run; a typed refusal is the contract.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Magic string identifying a snapshot file.
 pub const MAGIC: &str = "corleone.run-snapshot";

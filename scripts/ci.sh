@@ -46,6 +46,11 @@ cargo run --release -q -p bench --bin blocking_perf -- --quick --kinds --out "$p
     | tee "$perf_log"
 grep -q "index_equivalence=ok" "$perf_log" \
     || { echo "FAIL: blocking_perf did not report index_equivalence=ok"; exit 1; }
+# Same deal for the char-level kernels: the bin asserts per-pair bit
+# identity between the bit-parallel/scratch kernels and the string
+# reference, then prints this marker.
+grep -q "char_equivalence=ok" "$perf_log" \
+    || { echo "FAIL: blocking_perf did not report char_equivalence=ok"; exit 1; }
 rm -f "$perf_tmp" "$perf_log"
 
 echo "==> fault-injection smoke (30% HIT expiry, 20% abandonment)"
