@@ -12,6 +12,7 @@
 
 // lint:allow-module(D3): perf-timing module — Instant::now feeds only RunReport.perf phase timings, which deterministic_json zeroes; no timing value reaches report bytes or control flow
 use crate::blocker::{run_blocker, BlockerReport};
+use crate::budget::BudgetPlan;
 use crate::cache::{CacheStats, FeatureCache};
 use crate::candidates::CandidateSet;
 use crate::config::CorleoneConfig;
@@ -23,8 +24,8 @@ use crate::locator::{locate_difficult_pairs, LocatorReport};
 use crate::metrics::{blocking_recall, evaluate, Prf};
 use crate::ruleeval::RuleEvalConfig;
 use crate::snapshot::RunSnapshot;
-use crate::task::MatchTask;
-use crowd::{CrowdPlatform, FaultStats, PairKey, TruthOracle};
+use crate::task::{KernelCounters, MatchTask};
+use crowd::{CrowdPlatform, FaultStats, Ledger, PairKey, TruthOracle};
 use exec::Threads;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -216,9 +217,39 @@ impl Engine {
         self
     }
 
+    /// Fingerprint of everything a checkpoint needs held fixed to resume
+    /// safely: the engine configuration, the task's feature schema, and
+    /// the platform architecture. Two knobs are deliberately excluded:
+    /// the RNG seed (a resume continues the snapshot's recorded stream
+    /// position, so the seed cannot diverge a resumed run) and the
+    /// monetary budget (topping up the budget to continue a
+    /// `BudgetExhausted` run is a supported operation).
+    ///
+    /// Stamped into snapshot envelopes by
+    /// [`RunSession`](crate::session::RunSession) and the service layer;
+    /// a resume under a different fingerprint refuses with
+    /// [`StoreError::FingerprintMismatch`] instead of silently diverging.
+    pub fn run_fingerprint(&self, task: &MatchTask) -> Result<String, CorleoneError> {
+        let mut cfg = self.cfg;
+        cfg.engine.budget_cents = None;
+        cfg.engine.budget_split = None;
+        let cfg_json = serde_json::to_string(&cfg)
+            .map_err(|e| CorleoneError::Serialization(e.to_string()))?;
+        let material = format!(
+            "{cfg_json}\0{}\0{}",
+            task.feature_names().join(","),
+            std::env::consts::ARCH
+        );
+        Ok(store::fingerprint64(material.as_bytes()))
+    }
+
     /// Execute one full run. All session knobs arrive resolved: the
     /// thread budget, the shared feature cache (`None` disables caching),
     /// the RNG seed, and the checkpoint/resume plan.
+    ///
+    /// Composed from the stepping API so a driver that interleaves many
+    /// runs ([`MatchService`-style](crate::engine::RunState)) exercises
+    /// exactly the code path a solo run does.
     #[allow(clippy::too_many_arguments)] // internal; callers go through RunSession
     pub(crate) fn try_run_inner(
         &self,
@@ -231,6 +262,36 @@ impl Engine {
         seed: u64,
         ckpt: CheckpointPlan,
     ) -> Result<RunReport, CorleoneError> {
+        let mut state = self.start_run(task, platform, oracle, gold, threads, cache, seed, ckpt)?;
+        while !state.is_done() {
+            self.step_run(&mut state, task, platform, oracle, gold, threads, cache)?;
+        }
+        Ok(self.finish_run(state, task, platform, gold, threads, cache))
+    }
+
+    /// Stepping API, part 1 of 3: run everything up to the first
+    /// iteration boundary — the record-analysis build, the Blocker (or a
+    /// snapshot restore), candidate vectorization, and snapshot 0 — and
+    /// return the loop state.
+    ///
+    /// Drive the returned [`RunState`] with [`Self::step_run`] until it
+    /// reports done, then assemble the report with [`Self::finish_run`].
+    /// The collaborators (`task`, `platform`, `oracle`, `gold`) and the
+    /// execution knobs (`threads`, `cache`) must be the same objects on
+    /// every call for one run; `RunState` holds no borrows so a scheduler
+    /// can interleave many runs' states over one thread pool.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_run(
+        &self,
+        task: &MatchTask,
+        platform: &mut CrowdPlatform,
+        oracle: &dyn TruthOracle,
+        gold: Option<&HashSet<PairKey>>,
+        threads: Threads,
+        cache: Option<&FeatureCache>,
+        seed: u64,
+        ckpt: CheckpointPlan,
+    ) -> Result<RunState, CorleoneError> {
         let CheckpointPlan { snapshotter, every, resume } = ckpt;
         let env = RunEnv { threads, cache };
         let resumed_from_iteration = resume.as_ref().map(|s| s.completed_iterations);
@@ -265,16 +326,16 @@ impl Engine {
         let ledger_start;
         let fault_start;
         let t_blocker;
-        let mut t_matcher;
-        let mut t_estimator;
-        let mut t_locator;
+        let t_matcher;
+        let t_estimator;
+        let t_locator;
         let cand: CandidateSet;
         let blocker_report;
-        let mut predictions: Vec<bool>;
-        let mut known_labels: HashMap<usize, bool>;
-        let mut region: Vec<usize>;
-        let mut iterations: Vec<IterationReport>;
-        let mut best: Option<(AccuracyEstimate, Vec<bool>)>;
+        let predictions: Vec<bool>;
+        let known_labels: HashMap<usize, bool>;
+        let region: Vec<usize>;
+        let iterations: Vec<IterationReport>;
+        let best: Option<(AccuracyEstimate, Vec<bool>)>;
         let start_iter;
         let seed_hex;
         let mut snapshots_written;
@@ -410,218 +471,323 @@ impl Engine {
             }
         }
 
-        let budget_left = |platform: &CrowdPlatform| {
-            self.cfg.engine.budget_cents.is_none_or(|b| {
-                platform.ledger().total_cents - ledger_start.total_cents < b
-            })
-        };
+        Ok(RunState {
+            rng,
+            ledger_start,
+            fault_start,
+            t_blocker,
+            t_matcher,
+            t_estimator,
+            t_locator,
+            cand,
+            blocker_report,
+            blocking_rec,
+            predictions,
+            known_labels,
+            region,
+            iterations,
+            best,
+            next_iter: start_iter,
+            seed_hex,
+            snapshots_written,
+            resumed_from_iteration,
+            seed_vectors,
+            plan,
+            kernels_start,
+            analysis_build_ms,
+            termination: Termination::Converged,
+            done: false,
+            snapshotter,
+            every,
+        })
+    }
 
-        let mut termination = Termination::Converged;
-        for iter_no in start_iter..=self.cfg.engine.max_iterations {
-            if region.is_empty() {
-                break;
-            }
-            if !budget_left(platform) {
-                termination = Termination::BudgetExhausted;
-                break;
-            }
-            // ---- Matcher (§5) on this iteration's region.
-            let sub = cand.subset(&region);
-            let ledger_m = *platform.ledger();
-            let mut matcher_cfg = self.cfg.matcher;
-            if let Some(budget) = self.cfg.engine.budget_cents {
-                matcher_cfg.budget_cents_cap = Some(ledger_start.total_cents + budget);
-            }
-            if let Some(p) = &plan {
-                matcher_cfg.budget_cents_cap =
-                    Some(ledger_start.total_cents + p.after_matching);
-            }
-            let t0 = Instant::now();
-            let learn = run_active_learning(
-                &sub,
-                &seed_vectors,
-                platform,
-                oracle,
-                &matcher_cfg,
-                &mut rng,
-                env.threads,
-            );
-            let ledger_m_end = *platform.ledger();
-            for (sub_idx, label) in learn.crowd_labels() {
-                known_labels.insert(region[sub_idx], label);
-            }
-            let region_preds =
-                learn
-                    .forest
-                    .predict_batch(sub.matrix(), sub.n_features(), env.threads);
-            for (j, &global) in region.iter().enumerate() {
-                predictions[global] = region_preds[j];
-            }
-            t_matcher += t0.elapsed().as_secs_f64() * 1000.0;
+    fn budget_left(&self, platform: &CrowdPlatform, ledger_start: &Ledger) -> bool {
+        self.cfg.engine.budget_cents.is_none_or(|b| {
+            platform.ledger().total_cents - ledger_start.total_cents < b
+        })
+    }
 
-            // ---- Accuracy Estimator (§6) over the combined predictions.
-            // Under a monetary budget, cap the estimator's label budget by
-            // what is left, using the observed average cost per labeled
-            // pair so far.
-            let mut est_cfg = self.cfg.estimator;
-            if let Some(budget) = self.cfg.engine.budget_cents {
-                let ledger = platform.ledger();
-                let spent = ledger.total_cents - ledger_start.total_cents;
-                let per_label = if ledger.pairs_labeled > 0 {
-                    (ledger.total_cents / ledger.pairs_labeled as f64).max(0.1)
-                } else {
-                    3.0
-                };
-                let remaining = (budget - spent).max(0.0);
-                est_cfg.max_labels = est_cfg
-                    .max_labels
-                    .min((remaining / per_label) as usize)
-                    .max(est_cfg.probe_batch);
-                est_cfg.budget_cents_cap = Some(
-                    ledger_start.total_cents
-                        + plan.as_ref().map_or(budget, |p| p.after_estimation),
-                );
-            }
-            let t0 = Instant::now();
-            let estimate = estimate_accuracy(
-                &cand,
-                &predictions,
-                &learn.forest,
-                &known_labels,
-                platform,
-                oracle,
-                &est_cfg,
-                &mut rng,
-                &env,
-            );
-            t_estimator += t0.elapsed().as_secs_f64() * 1000.0;
-            // Fold the estimator's uniform sample back into the shared
-            // label pool (it is cached crowd knowledge either way).
-
-            let true_prf = gold.map(|g| {
-                let pred: HashSet<PairKey> = predicted_pairs(&cand, &predictions);
-                evaluate(&pred, g)
-            });
-
-            let feature_names = task.feature_names();
-            let mut importance: Vec<(String, f64)> = learn
+    /// Stepping API, part 2 of 3: run exactly one pipeline iteration —
+    /// matcher, estimator, stopping checks, locator, and the
+    /// iteration-boundary checkpoint — mutating `st` in place. Calling
+    /// it on a finished state is a no-op reporting `finished`.
+    ///
+    /// A scheduler interleaving many runs calls this with each run's own
+    /// state and collaborators; because the state is mutated only here,
+    /// the interleaving order across runs cannot affect any single run's
+    /// bytes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_run(
+        &self,
+        st: &mut RunState,
+        task: &MatchTask,
+        platform: &mut CrowdPlatform,
+        oracle: &dyn TruthOracle,
+        gold: Option<&HashSet<PairKey>>,
+        threads: Threads,
+        cache: Option<&FeatureCache>,
+    ) -> Result<StepOutcome, CorleoneError> {
+        let mut out = StepOutcome { iterated: false, checkpointed: false, finished: false };
+        if st.done {
+            out.finished = true;
+            return Ok(out);
+        }
+        let env = RunEnv { threads, cache };
+        let iter_no = st.next_iter;
+        if iter_no > self.cfg.engine.max_iterations || st.region.is_empty() {
+            st.done = true;
+            out.finished = true;
+            return Ok(out);
+        }
+        if !self.budget_left(platform, &st.ledger_start) {
+            st.termination = Termination::BudgetExhausted;
+            st.done = true;
+            out.finished = true;
+            return Ok(out);
+        }
+        // ---- Matcher (§5) on this iteration's region.
+        let sub = st.cand.subset(&st.region);
+        let ledger_m = *platform.ledger();
+        let mut matcher_cfg = self.cfg.matcher;
+        if let Some(budget) = self.cfg.engine.budget_cents {
+            matcher_cfg.budget_cents_cap = Some(st.ledger_start.total_cents + budget);
+        }
+        if let Some(p) = &st.plan {
+            matcher_cfg.budget_cents_cap =
+                Some(st.ledger_start.total_cents + p.after_matching);
+        }
+        let t0 = Instant::now();
+        let learn = run_active_learning(
+            &sub,
+            &st.seed_vectors,
+            platform,
+            oracle,
+            &matcher_cfg,
+            &mut st.rng,
+            env.threads,
+        );
+        let ledger_m_end = *platform.ledger();
+        for (sub_idx, label) in learn.crowd_labels() {
+            st.known_labels.insert(st.region[sub_idx], label);
+        }
+        let region_preds =
+            learn
                 .forest
-                .feature_importance(task.n_features())
-                .into_iter()
-                .enumerate()
-                .map(|(i, v)| (feature_names[i].clone(), v))
-                .collect();
-            // total_cmp: a NaN importance (zero-variance feature on a
-            // degenerate sample) must sort, not panic mid-run.
-            importance.sort_by(|a, b| b.1.total_cmp(&a.1));
-            importance.truncate(5);
+                .predict_batch(sub.matrix(), sub.n_features(), env.threads);
+        for (j, &global) in st.region.iter().enumerate() {
+            st.predictions[global] = region_preds[j];
+        }
+        st.t_matcher += t0.elapsed().as_secs_f64() * 1000.0;
 
-            let mut report = IterationReport {
-                iteration: iter_no,
-                region_size: region.len(),
-                matcher_al_iterations: learn.iterations,
-                matcher_stop: stop_label(learn.stop),
-                matcher_pairs_labeled: ledger_m_end.pairs_labeled - ledger_m.pairs_labeled,
-                matcher_cost_cents: ledger_m_end.total_cents - ledger_m.total_cents,
-                conf_history: learn.conf_history.clone(),
-                top_features: importance,
-                estimate: estimate.clone(),
-                true_prf,
-                locator: None,
-            };
-
-            // ---- Continue? (§3: stop when estimated accuracy no longer
-            // improves; keep the previous iteration's result.)
-            let improved = best
-                .as_ref()
-                .is_none_or(|(b, _)| estimate.f1 > b.f1);
-            if improved {
-                best = Some((estimate.clone(), predictions.clone()));
+        // ---- Accuracy Estimator (§6) over the combined predictions.
+        // Under a monetary budget, cap the estimator's label budget by
+        // what is left, using the observed average cost per labeled
+        // pair so far.
+        let mut est_cfg = self.cfg.estimator;
+        if let Some(budget) = self.cfg.engine.budget_cents {
+            let ledger = platform.ledger();
+            let spent = ledger.total_cents - st.ledger_start.total_cents;
+            let per_label = if ledger.pairs_labeled > 0 {
+                (ledger.total_cents / ledger.pairs_labeled as f64).max(0.1)
             } else {
-                // Roll back to the better previous result and stop.
-                if let Some((_, ref snap)) = best {
-                    predictions.clone_from(snap);
-                }
-                iterations.push(report);
-                break;
-            }
-            if iter_no == self.cfg.engine.max_iterations {
-                termination = Termination::MaxIterations;
-                iterations.push(report);
-                break;
-            }
-            if !budget_left(platform) {
-                termination = Termination::BudgetExhausted;
-                iterations.push(report);
-                break;
-            }
-
-            // ---- Difficult Pairs' Locator (§7). Locating is the last
-            // phase, so its cap is the whole budget.
-            let eval_cfg = RuleEvalConfig {
-                batch: self.cfg.blocker.eval_batch,
-                p_min: self.cfg.blocker.p_min,
-                eps_max: self.cfg.blocker.eps_max,
-                confidence: self.cfg.blocker.confidence,
-                budget_cents_cap: self
-                    .cfg
-                    .engine
-                    .budget_cents
-                    .map(|b| ledger_start.total_cents + b),
-                ..Default::default()
+                3.0
             };
-            let t0 = Instant::now();
-            let located = locate_difficult_pairs(
-                &cand,
-                &region,
-                &learn.forest,
-                &known_labels,
-                platform,
-                oracle,
-                &self.cfg.locator,
-                &eval_cfg,
-                &mut rng,
-                &env,
+            let remaining = (budget - spent).max(0.0);
+            est_cfg.max_labels = est_cfg
+                .max_labels
+                .min((remaining / per_label) as usize)
+                .max(est_cfg.probe_batch);
+            est_cfg.budget_cents_cap = Some(
+                st.ledger_start.total_cents
+                    + st.plan.as_ref().map_or(budget, |p| p.after_estimation),
             );
-            t_locator += t0.elapsed().as_secs_f64() * 1000.0;
-            report.locator = Some(located.report.clone());
-            iterations.push(report);
-            match located.difficult {
-                Some(next) => region = next,
-                None => break,
-            }
+        }
+        let t0 = Instant::now();
+        let estimate = estimate_accuracy(
+            &st.cand,
+            &st.predictions,
+            &learn.forest,
+            &st.known_labels,
+            platform,
+            oracle,
+            &est_cfg,
+            &mut st.rng,
+            &env,
+        );
+        st.t_estimator += t0.elapsed().as_secs_f64() * 1000.0;
+        // Fold the estimator's uniform sample back into the shared
+        // label pool (it is cached crowd knowledge either way).
 
-            // ---- Iteration boundary: the narrowest point of the loop.
-            // No phase is mid-flight, so the state closure is complete —
-            // checkpoint it.
-            if let Some(sn) = &snapshotter {
-                if every > 0 && iter_no % every == 0 {
-                    let snap = RunSnapshot {
-                        seed_hex: seed_hex.clone(),
-                        completed_iterations: iter_no,
-                        rng_state: store::encode_rng_state(rng.state()),
-                        ledger_start,
-                        fault_start,
-                        cand_pairs: cand.pairs().to_vec(),
-                        n_features: cand.n_features(),
-                        blocker_report: blocker_report.clone(),
-                        predictions: predictions.clone(),
-                        known_labels: sorted_labels(&known_labels),
-                        region: region.clone(),
-                        iterations: iterations.clone(),
-                        best: best.clone(),
-                        timings_ms: [t_blocker, t_matcher, t_estimator, t_locator],
-                        forest_json: Some(learn.forest.to_json()),
-                        platform: platform.export_state(),
-                        cache: cache.map(FeatureCache::dump),
-                        snapshots_written: snapshots_written + 1,
-                    };
-                    sn.write(iter_no as u64, &snap)?;
-                    snapshots_written += 1;
-                }
+        let true_prf = gold.map(|g| {
+            let pred: HashSet<PairKey> = predicted_pairs(&st.cand, &st.predictions);
+            evaluate(&pred, g)
+        });
+
+        let feature_names = task.feature_names();
+        let mut importance: Vec<(String, f64)> = learn
+            .forest
+            .feature_importance(task.n_features())
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (feature_names[i].clone(), v))
+            .collect();
+        // total_cmp: a NaN importance (zero-variance feature on a
+        // degenerate sample) must sort, not panic mid-run.
+        importance.sort_by(|a, b| b.1.total_cmp(&a.1));
+        importance.truncate(5);
+
+        let mut report = IterationReport {
+            iteration: iter_no,
+            region_size: st.region.len(),
+            matcher_al_iterations: learn.iterations,
+            matcher_stop: stop_label(learn.stop),
+            matcher_pairs_labeled: ledger_m_end.pairs_labeled - ledger_m.pairs_labeled,
+            matcher_cost_cents: ledger_m_end.total_cents - ledger_m.total_cents,
+            conf_history: learn.conf_history.clone(),
+            top_features: importance,
+            estimate: estimate.clone(),
+            true_prf,
+            locator: None,
+        };
+        st.next_iter = iter_no + 1;
+        out.iterated = true;
+
+        // ---- Continue? (§3: stop when estimated accuracy no longer
+        // improves; keep the previous iteration's result.)
+        let improved = st.best
+            .as_ref()
+            .is_none_or(|(b, _)| estimate.f1 > b.f1);
+        if improved {
+            st.best = Some((estimate.clone(), st.predictions.clone()));
+        } else {
+            // Roll back to the better previous result and stop.
+            if let Some((_, ref snap)) = st.best {
+                st.predictions.clone_from(snap);
+            }
+            st.iterations.push(report);
+            st.done = true;
+            out.finished = true;
+            return Ok(out);
+        }
+        if iter_no == self.cfg.engine.max_iterations {
+            st.termination = Termination::MaxIterations;
+            st.iterations.push(report);
+            st.done = true;
+            out.finished = true;
+            return Ok(out);
+        }
+        if !self.budget_left(platform, &st.ledger_start) {
+            st.termination = Termination::BudgetExhausted;
+            st.iterations.push(report);
+            st.done = true;
+            out.finished = true;
+            return Ok(out);
+        }
+
+        // ---- Difficult Pairs' Locator (§7). Locating is the last
+        // phase, so its cap is the whole budget.
+        let eval_cfg = RuleEvalConfig {
+            batch: self.cfg.blocker.eval_batch,
+            p_min: self.cfg.blocker.p_min,
+            eps_max: self.cfg.blocker.eps_max,
+            confidence: self.cfg.blocker.confidence,
+            budget_cents_cap: self
+                .cfg
+                .engine
+                .budget_cents
+                .map(|b| st.ledger_start.total_cents + b),
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let located = locate_difficult_pairs(
+            &st.cand,
+            &st.region,
+            &learn.forest,
+            &st.known_labels,
+            platform,
+            oracle,
+            &self.cfg.locator,
+            &eval_cfg,
+            &mut st.rng,
+            &env,
+        );
+        st.t_locator += t0.elapsed().as_secs_f64() * 1000.0;
+        report.locator = Some(located.report.clone());
+        st.iterations.push(report);
+        match located.difficult {
+            Some(next) => st.region = next,
+            None => {
+                st.done = true;
+                out.finished = true;
+                return Ok(out);
             }
         }
 
+        // ---- Iteration boundary: the narrowest point of the loop.
+        // No phase is mid-flight, so the state closure is complete —
+        // checkpoint it.
+        if let Some(sn) = &st.snapshotter {
+            if st.every > 0 && iter_no.is_multiple_of(st.every) {
+                let snap = RunSnapshot {
+                    seed_hex: st.seed_hex.clone(),
+                    completed_iterations: iter_no,
+                    rng_state: store::encode_rng_state(st.rng.state()),
+                    ledger_start: st.ledger_start,
+                    fault_start: st.fault_start,
+                    cand_pairs: st.cand.pairs().to_vec(),
+                    n_features: st.cand.n_features(),
+                    blocker_report: st.blocker_report.clone(),
+                    predictions: st.predictions.clone(),
+                    known_labels: sorted_labels(&st.known_labels),
+                    region: st.region.clone(),
+                    iterations: st.iterations.clone(),
+                    best: st.best.clone(),
+                    timings_ms: [st.t_blocker, st.t_matcher, st.t_estimator, st.t_locator],
+                    forest_json: Some(learn.forest.to_json()),
+                    platform: platform.export_state(),
+                    cache: cache.map(FeatureCache::dump),
+                    snapshots_written: st.snapshots_written + 1,
+                };
+                sn.write(iter_no as u64, &snap)?;
+                st.snapshots_written += 1;
+                out.checkpointed = true;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stepping API, part 3 of 3: assemble the final [`RunReport`] from a
+    /// finished (or deliberately abandoned) state.
+    pub fn finish_run(
+        &self,
+        st: RunState,
+        task: &MatchTask,
+        platform: &mut CrowdPlatform,
+        gold: Option<&HashSet<PairKey>>,
+        threads: Threads,
+        cache: Option<&FeatureCache>,
+    ) -> RunReport {
+        let RunState {
+            ledger_start,
+            fault_start,
+            t_blocker,
+            t_matcher,
+            t_estimator,
+            t_locator,
+            cand,
+            blocker_report,
+            blocking_rec,
+            mut predictions,
+            iterations,
+            best,
+            snapshots_written,
+            resumed_from_iteration,
+            kernels_start,
+            analysis_build_ms,
+            mut termination,
+            ..
+        } = st;
         let ledger_end = *platform.ledger();
         let final_estimate = best.as_ref().map(|(e, _)| e.clone());
         if let Some((_, snap)) = best {
@@ -642,7 +808,7 @@ impl Engine {
         }
 
         let phase = |name: &str, millis: f64| PhaseTiming { phase: name.to_string(), millis };
-        Ok(RunReport {
+        RunReport {
             blocker: blocker_report,
             blocking_recall: blocking_rec,
             iterations,
@@ -675,20 +841,115 @@ impl Engine {
                     }
                 },
             },
-        })
+        }
     }
 }
 
-/// Engine-internal checkpoint/resume controls, resolved by
-/// [`RunSession`](crate::session::RunSession) from its builder settings.
-pub(crate) struct CheckpointPlan {
+/// Checkpoint/resume controls for one run, resolved by
+/// [`RunSession`](crate::session::RunSession) from its builder settings
+/// or built directly by a multi-run driver (the service layer gives each
+/// tenant a registry-scoped snapshotter).
+pub struct CheckpointPlan {
     /// Where to write snapshots; `None` disables checkpointing.
-    pub(crate) snapshotter: Option<Snapshotter>,
+    pub snapshotter: Option<Snapshotter>,
     /// Write a snapshot every N completed iterations (snapshot 0, right
     /// after blocking, is always written when checkpointing is on).
-    pub(crate) every: usize,
+    pub every: usize,
     /// A decoded snapshot to continue from instead of starting fresh.
-    pub(crate) resume: Option<Box<RunSnapshot>>,
+    pub resume: Option<Box<RunSnapshot>>,
+}
+
+impl CheckpointPlan {
+    /// No checkpointing, no resume: a plain in-memory run.
+    pub fn none() -> Self {
+        CheckpointPlan { snapshotter: None, every: 1, resume: None }
+    }
+}
+
+/// The complete between-iterations state of one engine run, produced by
+/// [`Engine::start_run`] and advanced by [`Engine::step_run`].
+///
+/// Holds no borrows — collaborators are passed to every call — so a
+/// scheduler can own many `RunState`s and interleave their iterations in
+/// any order over one shared thread pool. All state a step mutates lives
+/// either here or in the run's own collaborators, which is why
+/// interleaving cannot change any single run's bytes.
+pub struct RunState {
+    rng: StdRng,
+    ledger_start: Ledger,
+    fault_start: FaultStats,
+    t_blocker: f64,
+    t_matcher: f64,
+    t_estimator: f64,
+    t_locator: f64,
+    cand: CandidateSet,
+    blocker_report: BlockerReport,
+    blocking_rec: Option<f64>,
+    predictions: Vec<bool>,
+    known_labels: HashMap<usize, bool>,
+    region: Vec<usize>,
+    iterations: Vec<IterationReport>,
+    best: Option<(AccuracyEstimate, Vec<bool>)>,
+    next_iter: usize,
+    seed_hex: String,
+    snapshots_written: u64,
+    resumed_from_iteration: Option<usize>,
+    seed_vectors: Vec<(Vec<f64>, bool)>,
+    plan: Option<BudgetPlan>,
+    kernels_start: KernelCounters,
+    analysis_build_ms: f64,
+    termination: Termination,
+    done: bool,
+    snapshotter: Option<Snapshotter>,
+    every: usize,
+}
+
+impl RunState {
+    /// Has the run reached a terminal condition? Once true, only
+    /// [`Engine::finish_run`] does anything useful with this state.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Completed pipeline iterations so far (including any restored from
+    /// a resumed snapshot).
+    pub fn completed_iterations(&self) -> usize {
+        self.next_iter - 1
+    }
+
+    /// Per-iteration records so far — `last()` carries the most recent
+    /// interim accuracy estimate, which is what a progress API streams.
+    pub fn iterations(&self) -> &[IterationReport] {
+        &self.iterations
+    }
+
+    /// Candidate pairs that survived blocking.
+    pub fn candidates(&self) -> usize {
+        self.cand.len()
+    }
+
+    /// Snapshots written so far, cumulative across a resume chain.
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots_written
+    }
+
+    /// The iteration count of the snapshot this state resumed from, or
+    /// `None` for a fresh start.
+    pub fn resumed_from_iteration(&self) -> Option<usize> {
+        self.resumed_from_iteration
+    }
+}
+
+/// What one [`Engine::step_run`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// A pipeline iteration completed (a new [`IterationReport`] was
+    /// recorded).
+    pub iterated: bool,
+    /// A checkpoint snapshot was written at this iteration boundary.
+    pub checkpointed: bool,
+    /// The run reached a terminal condition during this step.
+    pub finished: bool,
 }
 
 /// Crowd-labeled candidate indices in ascending order, for snapshot

@@ -91,7 +91,10 @@ pub use config::{
     BlockerConfig, CorleoneConfig, EngineConfig, EstimatorConfig, LocatorConfig, MatcherConfig,
     StoppingConfig,
 };
-pub use engine::{Engine, IterationReport, PerfReport, PhaseTiming, RunReport, Termination};
+pub use engine::{
+    CheckpointPlan, Engine, IterationReport, PerfReport, PhaseTiming, RunReport, RunState,
+    StepOutcome, Termination,
+};
 pub use env::{RunEnv, Threads};
 pub use error::CorleoneError;
 pub use estimator::{estimate_accuracy, AccuracyEstimate};

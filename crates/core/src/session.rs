@@ -187,8 +187,17 @@ impl<'s> RunSession<'s> {
     pub fn try_run(self) -> Result<RunReport, CorleoneError> {
         let platform = self.platform.ok_or(CorleoneError::MissingPlatform)?;
         let oracle = self.oracle.ok_or(CorleoneError::MissingOracle)?;
+        // Fingerprint of the run configuration + feature schema +
+        // platform: stamped into every snapshot this run writes, and
+        // demanded of every snapshot it resumes — a resume under a
+        // different engine config or task schema refuses with a typed
+        // `StoreError::FingerprintMismatch` instead of silently
+        // diverging from the interrupted run.
+        let fingerprint = self.engine.run_fingerprint(self.task)?;
         let resume: Option<Box<RunSnapshot>> = match &self.resume_from {
-            Some(path) => Some(Box::new(store::read_snapshot(path)?)),
+            Some(path) => {
+                Some(Box::new(store::read_snapshot_checked(path, Some(&fingerprint))?))
+            }
             None => None,
         };
         // A resumed run continues the snapshot's cache (warm entries and
@@ -199,7 +208,11 @@ impl<'s> RunSession<'s> {
                 .then(|| FeatureCache::with_capacity(self.cache_capacity)),
         };
         let snapshotter = match &self.checkpoint_dir {
-            Some(dir) => Some(Snapshotter::create(dir.clone())?.keep_last(self.checkpoint_keep)),
+            Some(dir) => Some(
+                Snapshotter::create(dir.clone())?
+                    .keep_last(self.checkpoint_keep)
+                    .with_fingerprint(fingerprint.clone()),
+            ),
             None => None,
         };
         self.engine.try_run_inner(

@@ -73,6 +73,19 @@ impl AnalysisCell {
         }
     }
 
+    /// Install a prebuilt analysis handle (the shared-registry path:
+    /// another task with the same content fingerprint already built it).
+    /// Returns `false` — and changes nothing — if this cell was already
+    /// populated.
+    pub fn install(&self, analysis: Arc<TaskAnalysis>) -> bool {
+        self.cell.set(analysis).is_ok()
+    }
+
+    /// The built analysis as a shareable handle, if any.
+    pub fn shared(&self) -> Option<Arc<TaskAnalysis>> {
+        self.cell.get().cloned()
+    }
+
     /// Current counter values.
     pub fn counters(&self) -> KernelCounters {
         KernelCounters {
@@ -197,6 +210,29 @@ impl MatchTask {
     /// Current feature-kernel counters (cumulative over the task's life).
     pub fn kernel_counters(&self) -> KernelCounters {
         self.analysis.counters()
+    }
+
+    /// Content address of this task's record-analysis layer: a hash of
+    /// both tables and the fitted vectorizer — exactly the inputs
+    /// [`Self::ensure_analysis`] is a pure function of. Two tasks with
+    /// equal fingerprints produce bit-identical [`TaskAnalysis`], so a
+    /// cross-tenant registry can hand one build to all of them.
+    pub fn analysis_fingerprint(&self) -> Result<String, String> {
+        let material = serde_json::to_string(&(&self.table_a, &self.table_b, &self.vectorizer))
+            .map_err(|e| e.to_string())?;
+        Ok(store::fingerprint64(material.as_bytes()))
+    }
+
+    /// Adopt a prebuilt analysis from another task with the same
+    /// [`Self::analysis_fingerprint`]. Returns `false` if this task had
+    /// already built (or adopted) one.
+    pub fn install_analysis(&self, analysis: Arc<TaskAnalysis>) -> bool {
+        self.analysis.install(analysis)
+    }
+
+    /// This task's analysis as a shareable handle, if built.
+    pub fn shared_analysis(&self) -> Option<Arc<TaskAnalysis>> {
+        self.analysis.shared()
     }
 
     /// `|A × B|`.

@@ -17,6 +17,7 @@
 //! | D4   | no `.unwrap()` in library code — typed errors or reasoned `expect` |
 //! | D5   | `unsafe` needs `// SAFETY:`; unsafe-free crates forbid it outright |
 //! | D6   | no raw `thread::spawn` outside `crates/exec` |
+//! | D7   | no truncating `as usize`/`as u32` casts on u64 counters in serializing crates |
 //!
 //! The analysis is lexical: a hand-rolled comment/string/raw-string-aware
 //! lexer ([`lexer`]) feeds token-stream rules ([`rules`]), so rule text
@@ -50,6 +51,7 @@ pub fn rule_name(rule: &str) -> &'static str {
         "D4" => "library-unwrap",
         "D5" => "unsafe-hygiene",
         "D6" => "raw-thread-spawn",
+        "D7" => "u64-truncating-cast",
         _ => "malformed-allow-annotation",
     }
 }
@@ -270,6 +272,7 @@ pub fn lint_file(rel_path: &str, crate_name: &str, src: &str) -> FileOutcome {
     raw.extend(rules::d1(&lexed.toks));
     if D2_DENY_CRATES.contains(&crate_name) {
         raw.extend(rules::d2(&lexed.toks, &skip));
+        raw.extend(rules::d7(&lexed.toks, &skip));
     }
     if crate_name != "bench" {
         raw.extend(rules::d3(&lexed.toks, &skip));

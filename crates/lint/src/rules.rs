@@ -1,4 +1,4 @@
-//! The determinism & robustness rules (D1–D6) and the `lint:allow`
+//! The determinism & robustness rules (D1–D7) and the `lint:allow`
 //! annotation grammar.
 //!
 //! Each rule encodes a project invariant that an ordinary Rust idiom has
@@ -10,12 +10,14 @@
 use crate::lexer::{Comment, Lexed, Tok, TokKind};
 
 /// All rule codes, in report order.
-pub const RULES: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
+pub const RULES: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "D6", "D7"];
 
-/// Crates where D2 (HashMap/HashSet iteration) is deny-by-default: these
-/// are the crates that serialize state or accumulate floats, where
-/// iteration order leaks into bytes.
-pub const D2_DENY_CRATES: [&str; 5] = ["core", "similarity", "forest", "crowd", "store"];
+/// Crates where D2 (HashMap/HashSet iteration) and D7 (truncating casts
+/// on u64 counters) are deny-by-default: these are the crates that
+/// serialize state or accumulate floats, where iteration order — or a
+/// platform-dependent cast — leaks into bytes.
+pub const D2_DENY_CRATES: [&str; 6] =
+    ["core", "similarity", "forest", "crowd", "store", "service"];
 
 /// The comparator-position methods D1 inspects for `partial_cmp`.
 pub const D1_COMPARATOR_METHODS: [&str; 4] = ["sort_by", "sort_unstable_by", "max_by", "min_by"];
@@ -577,6 +579,81 @@ pub fn has_forbid_unsafe(toks: &[Tok<'_>]) -> bool {
             && w[6].is_punct(")")
             && w[7].is_punct("]")
     })
+}
+
+/// The narrowing cast targets D7 rejects on a u64-typed source. `usize`
+/// is the insidious one: lossless on today's 64-bit dev machines, silently
+/// truncating on 32-bit targets — so the divergence only shows up when the
+/// serialized bytes are compared across platforms.
+const D7_NARROW_TARGETS: [&str; 2] = ["usize", "u32"];
+
+/// Collect names that are u64-typed in this file, via `name : [&][mut] u64`
+/// type ascriptions (lets, params, struct fields). File-scoped and
+/// name-based, the same deliberate heuristic as [`d2_map_names`];
+/// cross-file field types are out of scope for a lexical lint.
+fn d7_u64_names<'a>(toks: &[Tok<'a>]) -> Vec<&'a str> {
+    let mut names: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name : <type>` (but not `name ::`).
+        if i + 2 < toks.len() && toks[i + 1].is_punct(":") && !toks[i + 2].is_punct(":") {
+            let mut j = i + 2;
+            while j < toks.len()
+                && (toks[j].is_punct("&")
+                    || toks[j].is_ident("mut")
+                    || toks[j].kind == TokKind::Lifetime)
+            {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_ident("u64") {
+                names.push(toks[i].text);
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// D7: truncating `as` cast on a u64-typed counter in a serializing crate.
+/// `count as usize` is lossless where it was written and truncating on a
+/// 32-bit target; once such a value feeds report or snapshot bytes, the
+/// determinism contract silently becomes platform-conditional. Use
+/// `usize::try_from(count)` with a typed error (or keep the arithmetic in
+/// u64), or annotate `// lint:allow(D7): <reason>`.
+pub fn d7(toks: &[Tok<'_>], skip: &[(u32, u32)]) -> Vec<RawFinding> {
+    let names = d7_u64_names(toks);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let known = |t: &str| names.binary_search(&t).is_ok();
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(2) {
+        if toks[i].kind == TokKind::Ident
+            && known(toks[i].text)
+            && toks[i + 1].is_ident("as")
+            && toks[i + 2].kind == TokKind::Ident
+            && D7_NARROW_TARGETS.contains(&toks[i + 2].text)
+            && !in_ranges(toks[i].line, skip)
+        {
+            out.push(RawFinding {
+                rule: "D7",
+                line: toks[i].line,
+                message: format!(
+                    "`{} as {}` narrows a u64 counter: lossless on 64-bit dev machines, \
+                     truncating on 32-bit targets, so serialized bytes become \
+                     platform-conditional; use `{}::try_from` (typed error) or keep the \
+                     arithmetic in u64, or annotate `// lint:allow(D7): <reason>`",
+                    toks[i].text,
+                    toks[i + 2].text,
+                    toks[i + 2].text
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// D6: `thread::spawn` outside `crates/exec`. All parallelism must route

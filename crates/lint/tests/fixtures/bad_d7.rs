@@ -1,0 +1,34 @@
+// D7 fixture: truncating casts on u64 counters in a serializing crate.
+
+struct Perf {
+    ticks: u64,
+    pairs: u64,
+}
+
+fn narrow(p: &Perf, total: u64) -> usize {
+    let a = p.ticks as usize; // line 9: field-typed u64 → usize
+    let b = total as u32; // line 10: param-typed u64 → u32
+    let widened = p.pairs as u128; // widening: not a finding
+    let _ = widened;
+    a + b as usize // line 13: b is not u64-typed, no finding here
+}
+
+fn fine(p: &Perf) -> u64 {
+    // Staying in u64, and checked conversions, are the sanctioned idioms.
+    let sum: u64 = p.ticks + p.pairs;
+    let _ = usize::try_from(p.ticks);
+    sum
+}
+
+fn annotated(count: u64) -> usize {
+    count as usize // lint:allow(D7): bounded by table row count, < 2^32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast_freely() {
+        let n: u64 = 7;
+        assert_eq!(n as usize, 7);
+    }
+}

@@ -90,6 +90,22 @@ fn d6_is_allowed_in_exec() {
 }
 
 #[test]
+fn d7_bad_fixture_exact_lines() {
+    let out = lint_fixture("bad_d7.rs", "service");
+    assert_eq!(lines_for(&out, "D7"), vec![9, 10]);
+    // The same-line waiver is inventoried, not counted as a finding.
+    assert_eq!(out.allows.len(), 1);
+    assert_eq!(out.allows[0].rule, "D7");
+}
+
+#[test]
+fn d7_is_scoped_to_deny_crates() {
+    // The same source in a non-deny crate (datagen) must yield no D7.
+    let out = lint::lint_file("crates/datagen/src/bad_d7.rs", "datagen", &fixture("bad_d7.rs"));
+    assert_eq!(lines_for(&out, "D7"), Vec::<u32>::new());
+}
+
+#[test]
 fn decoys_yield_nothing() {
     // Rule text inside strings, raw strings, and comments must not fire —
     // in the strictest crate configuration (a D2 deny crate).
@@ -180,7 +196,7 @@ fn workspace_json_report_is_wellformed_and_deterministic() {
     assert!(a.contains("\"files_scanned\""));
     assert!(a.contains("\"stats\""));
     // Counters present for every rule code.
-    for code in ["D1", "D2", "D3", "D4", "D5", "D6", "A0"] {
+    for code in ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "A0"] {
         assert!(a.contains(&format!("\"{code}\"")), "missing counter for {code}");
     }
 }

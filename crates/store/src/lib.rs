@@ -59,7 +59,13 @@ use std::path::{Path, PathBuf};
 /// the lower-cased scalar counts. Snapshots carry predictions and labels
 /// derived from feature values, so resuming a v2 snapshot would silently
 /// diverge from its uninterrupted run; a typed refusal is the contract.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: the envelope gained an optional `fingerprint` field — a hash of
+/// the writer's run configuration, feature schema, and platform — so a
+/// resume under a different `RunConfig` or feature schema refuses with a
+/// typed [`StoreError::FingerprintMismatch`] instead of silently
+/// diverging (see [`read_snapshot_checked`]).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Magic string identifying a snapshot file.
 pub const MAGIC: &str = "corleone.run-snapshot";
@@ -115,6 +121,31 @@ pub enum StoreError {
         /// Directory searched.
         dir: String,
     },
+    /// The envelope's fingerprint does not match the reader's — the
+    /// snapshot was written under a different run configuration, feature
+    /// schema, or platform, and resuming it would silently diverge.
+    FingerprintMismatch {
+        /// Path involved.
+        path: String,
+        /// Fingerprint the reader expected.
+        expected: String,
+        /// Fingerprint recorded in the envelope (`None`: the envelope
+        /// carries no fingerprint at all).
+        found: Option<String>,
+    },
+    /// A [`Registry`] operation named a run id with no registered run.
+    UnknownRun {
+        /// The run id requested.
+        run_id: String,
+        /// Registry root directory.
+        root: String,
+    },
+    /// A run id unusable as a directory name (empty, or containing
+    /// characters outside `[A-Za-z0-9._-]`).
+    InvalidRunId {
+        /// The offending id.
+        run_id: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -139,6 +170,27 @@ impl fmt::Display for StoreError {
             StoreError::NoSnapshots { dir } => {
                 write!(f, "no snapshots found under {dir}")
             }
+            StoreError::FingerprintMismatch { path, expected, found } => match found {
+                Some(found) => write!(
+                    f,
+                    "snapshot {path} was written under a different run configuration \
+                     (fingerprint {found}, this run is {expected}); resuming would \
+                     silently diverge"
+                ),
+                None => write!(
+                    f,
+                    "snapshot {path} carries no run fingerprint but this reader \
+                     requires {expected}; refusing to resume"
+                ),
+            },
+            StoreError::UnknownRun { run_id, root } => {
+                write!(f, "no run {run_id:?} registered under {root}")
+            }
+            StoreError::InvalidRunId { run_id } => write!(
+                f,
+                "run id {run_id:?} is not usable as a directory name \
+                 (need non-empty `[A-Za-z0-9._-]+`)"
+            ),
         }
     }
 }
@@ -200,14 +252,35 @@ fn checksum_hex(bytes: &[u8]) -> String {
     format!("{:016x}", fnv1a64(bytes))
 }
 
+/// Hex-rendered FNV-1a 64 of arbitrary bytes: the workspace's standard
+/// content fingerprint. Used for the snapshot-envelope run fingerprint and
+/// the service layer's content-addressed analysis cache keys.
+pub fn fingerprint64(bytes: &[u8]) -> String {
+    checksum_hex(bytes)
+}
+
 /// Serialize `payload` into a versioned, checksummed envelope and write it
 /// to `path` atomically (temp file + rename). The parent directory must
 /// exist.
 pub fn write_snapshot<T: Serialize>(path: &Path, payload: &T) -> Result<(), StoreError> {
+    write_snapshot_tagged(path, payload, None)
+}
+
+/// [`write_snapshot`] with an optional run fingerprint stamped into the
+/// envelope (see [`read_snapshot_checked`] for the verification side).
+pub fn write_snapshot_tagged<T: Serialize>(
+    path: &Path,
+    payload: &T,
+    fingerprint: Option<&str>,
+) -> Result<(), StoreError> {
     let payload_json = serde_json::to_string(payload)
         .map_err(|e| StoreError::Decode { path: path.display().to_string(), message: e.to_string() })?;
+    let fp_field = match fingerprint {
+        Some(fp) => format!("\"fingerprint\":\"{fp}\","),
+        None => String::new(),
+    };
     let envelope = format!(
-        "{{\"magic\":\"{MAGIC}\",\"schema_version\":{SCHEMA_VERSION},\
+        "{{\"magic\":\"{MAGIC}\",\"schema_version\":{SCHEMA_VERSION},{fp_field}\
          \"checksum\":\"{}\",\"payload\":{payload_json}}}",
         checksum_hex(payload_json.as_bytes()),
     );
@@ -226,7 +299,22 @@ pub fn write_snapshot<T: Serialize>(path: &Path, payload: &T) -> Result<(), Stor
 /// Read, verify, and decode a snapshot envelope written by
 /// [`write_snapshot`]. Verification order: parse → magic → schema version
 /// → checksum → payload decode, each failing with its own typed error.
+/// The envelope's fingerprint, if any, is not checked — use
+/// [`read_snapshot_checked`] to require one.
 pub fn read_snapshot<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
+    read_snapshot_checked(path, None)
+}
+
+/// [`read_snapshot`] that additionally requires the envelope to carry
+/// exactly the expected run fingerprint. A missing or different
+/// fingerprint fails with [`StoreError::FingerprintMismatch`] — the typed
+/// refusal that keeps a resume under a different run configuration,
+/// feature schema, or platform from silently diverging. The check runs
+/// after schema-version verification and before the checksum.
+pub fn read_snapshot_checked<T: Deserialize>(
+    path: &Path,
+    expected_fingerprint: Option<&str>,
+) -> Result<T, StoreError> {
     let p = path.display().to_string();
     let text = fs::read_to_string(path).map_err(|e| io_err(path, e))?;
     let envelope: Value = serde_json::from_str(&text)
@@ -251,6 +339,19 @@ pub fn read_snapshot<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
     };
     if found != SCHEMA_VERSION {
         return Err(StoreError::SchemaMismatch { path: p, found, expected: SCHEMA_VERSION });
+    }
+    if let Some(expected_fp) = expected_fingerprint {
+        let recorded = match envelope.get("fingerprint") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        if recorded.as_deref() != Some(expected_fp) {
+            return Err(StoreError::FingerprintMismatch {
+                path: p,
+                expected: expected_fp.to_string(),
+                found: recorded,
+            });
+        }
     }
     let expected = match envelope.get("checksum") {
         Some(Value::Str(s)) => s.clone(),
@@ -286,6 +387,7 @@ pub fn read_snapshot<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
 pub struct Snapshotter {
     dir: PathBuf,
     keep_last: usize,
+    fingerprint: Option<String>,
 }
 
 impl Snapshotter {
@@ -294,13 +396,20 @@ impl Snapshotter {
     pub fn create(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
-        Ok(Snapshotter { dir, keep_last: DEFAULT_KEEP_LAST })
+        Ok(Snapshotter { dir, keep_last: DEFAULT_KEEP_LAST, fingerprint: None })
     }
 
     /// Retain only the newest `k` snapshots after each write; `0` keeps
     /// everything.
     pub fn keep_last(mut self, k: usize) -> Self {
         self.keep_last = k;
+        self
+    }
+
+    /// Stamp every written envelope with this run fingerprint (see
+    /// [`write_snapshot_tagged`] / [`read_snapshot_checked`]).
+    pub fn with_fingerprint(mut self, fp: impl Into<String>) -> Self {
+        self.fingerprint = Some(fp.into());
         self
     }
 
@@ -318,7 +427,7 @@ impl Snapshotter {
     /// per the retention policy. Returns the path written.
     pub fn write<T: Serialize>(&self, seq: u64, payload: &T) -> Result<PathBuf, StoreError> {
         let path = self.path_for(seq);
-        write_snapshot(&path, payload)?;
+        write_snapshot_tagged(&path, payload, self.fingerprint.as_deref())?;
         self.prune()?;
         Ok(path)
     }
@@ -357,6 +466,164 @@ impl Snapshotter {
             }
         }
         Ok(())
+    }
+}
+
+/// Metadata for one registered run in a [`Registry`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// The run's id (also its directory name under `<root>/runs/`).
+    pub run_id: String,
+    /// Keep-last-K retention applied to the run's snapshots (`0` keeps
+    /// everything).
+    pub keep_last: usize,
+    /// Run fingerprint stamped into the run's snapshot envelopes, if any.
+    pub fingerprint: Option<String>,
+}
+
+/// The registry's on-disk index payload (`<root>/registry.json`), stored
+/// through the same checksummed envelope as snapshots. Runs are kept
+/// sorted by id so the index bytes are deterministic.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct RegistryIndex {
+    runs: Vec<RunMeta>,
+}
+
+/// A multi-run snapshot store: run id → snapshot directory, with a
+/// crash-safe metadata index and per-run keep-last-K retention.
+///
+/// Layout under the registry root:
+///
+/// ```text
+/// <root>/registry.json          checksummed index of RunMeta entries
+/// <root>/runs/<run_id>/snap-*.json
+/// ```
+///
+/// This is the piece the multi-tenant service layer checkpoints through —
+/// every tenant registers its run id and gets a [`Snapshotter`] scoped to
+/// its own directory — and what bench sweeps can use to checkpoint and
+/// resume a whole sweep as a unit. Operations naming an unregistered id
+/// fail with the typed [`StoreError::UnknownRun`].
+#[derive(Debug, Clone)]
+pub struct Registry {
+    root: PathBuf,
+    index: RegistryIndex,
+}
+
+/// Run ids become directory names: restrict to a path-safe alphabet and
+/// reject the `.`/`..` traversal names.
+fn valid_run_id(id: &str) -> bool {
+    !id.is_empty()
+        && id != "."
+        && id != ".."
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+impl Registry {
+    /// Open (creating if needed) a registry rooted at `root`, loading the
+    /// index if one exists.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("runs")).map_err(|e| io_err(&root, e))?;
+        let index_path = root.join("registry.json");
+        let index = if index_path.is_file() {
+            read_snapshot::<RegistryIndex>(&index_path)?
+        } else {
+            RegistryIndex::default()
+        };
+        Ok(Registry { root, index })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// All registered runs, sorted by run id.
+    pub fn runs(&self) -> &[RunMeta] {
+        &self.index.runs
+    }
+
+    /// Is this run id registered?
+    pub fn contains(&self, run_id: &str) -> bool {
+        self.index.runs.iter().any(|m| m.run_id == run_id)
+    }
+
+    /// The directory a run's snapshots live (or would live) in.
+    pub fn run_dir(&self, run_id: &str) -> PathBuf {
+        self.root.join("runs").join(run_id)
+    }
+
+    fn persist(&self) -> Result<(), StoreError> {
+        write_snapshot(&self.root.join("registry.json"), &self.index)
+    }
+
+    fn meta(&self, run_id: &str) -> Result<&RunMeta, StoreError> {
+        self.index.runs.iter().find(|m| m.run_id == run_id).ok_or_else(|| {
+            StoreError::UnknownRun {
+                run_id: run_id.to_string(),
+                root: self.root.display().to_string(),
+            }
+        })
+    }
+
+    /// Register a run (idempotent: re-registering updates its retention
+    /// and fingerprint) and return a [`Snapshotter`] scoped to its
+    /// directory. The index write is atomic, so a crash leaves either the
+    /// old or the new index, never a torn one.
+    pub fn register(
+        &mut self,
+        run_id: &str,
+        keep_last: usize,
+        fingerprint: Option<&str>,
+    ) -> Result<Snapshotter, StoreError> {
+        if !valid_run_id(run_id) {
+            return Err(StoreError::InvalidRunId { run_id: run_id.to_string() });
+        }
+        let meta = RunMeta {
+            run_id: run_id.to_string(),
+            keep_last,
+            fingerprint: fingerprint.map(str::to_string),
+        };
+        match self.index.runs.iter_mut().find(|m| m.run_id == run_id) {
+            Some(existing) => *existing = meta,
+            None => {
+                self.index.runs.push(meta);
+                self.index.runs.sort_by(|a, b| a.run_id.cmp(&b.run_id));
+            }
+        }
+        self.persist()?;
+        self.snapshotter(run_id)
+    }
+
+    /// A [`Snapshotter`] for a registered run, configured with the run's
+    /// recorded retention and fingerprint.
+    pub fn snapshotter(&self, run_id: &str) -> Result<Snapshotter, StoreError> {
+        let meta = self.meta(run_id)?;
+        let mut sn = Snapshotter::create(self.run_dir(run_id))?.keep_last(meta.keep_last);
+        if let Some(fp) = &meta.fingerprint {
+            sn = sn.with_fingerprint(fp.clone());
+        }
+        Ok(sn)
+    }
+
+    /// The newest snapshot of a registered run
+    /// ([`StoreError::NoSnapshots`] when it has not checkpointed yet).
+    pub fn latest_snapshot(&self, run_id: &str) -> Result<PathBuf, StoreError> {
+        self.snapshotter(run_id)?.latest()
+    }
+
+    /// Unregister a run and delete its snapshot directory.
+    pub fn remove_run(&mut self, run_id: &str) -> Result<(), StoreError> {
+        self.meta(run_id)?;
+        let dir = self.run_dir(run_id);
+        if dir.is_dir() {
+            fs::remove_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        }
+        self.index.runs.retain(|m| m.run_id != run_id);
+        self.persist()
     }
 }
 
@@ -534,6 +801,118 @@ mod tests {
         assert_eq!(decode_rng_state(&enc).expect("decode"), state);
         assert_eq!(decode_u64(&encode_u64(u64::MAX)).expect("u64"), u64::MAX);
         assert!(decode_u64("not-hex").is_err());
+    }
+
+    #[test]
+    fn fingerprint_tag_round_trips_and_mismatch_is_typed() {
+        let dir = tmp_dir("fingerprint");
+        let path = dir.join("snap-00000001.json");
+        let fp = fingerprint64(b"config+schema+platform");
+        write_snapshot_tagged(&path, &sample(), Some(&fp)).expect("write");
+        // Checked read with the matching fingerprint succeeds; the plain
+        // reader ignores the tag entirely.
+        let back: Payload = read_snapshot_checked(&path, Some(&fp)).expect("checked read");
+        assert_eq!(back.name, "iteration-3");
+        assert_eq!(back.words, sample().words);
+        let _: Payload = read_snapshot(&path).expect("untagged read");
+        // A different expected fingerprint refuses with the typed error.
+        match read_snapshot_checked::<Payload>(&path, Some("deadbeef00000000")) {
+            Err(StoreError::FingerprintMismatch { expected, found, .. }) => {
+                assert_eq!(expected, "deadbeef00000000");
+                assert_eq!(found.as_deref(), Some(fp.as_str()));
+            }
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untagged_snapshot_refuses_checked_read() {
+        let dir = tmp_dir("fingerprint-missing");
+        let path = dir.join("snap-00000001.json");
+        write_snapshot(&path, &sample()).expect("write");
+        match read_snapshot_checked::<Payload>(&path, Some("aa11")) {
+            Err(StoreError::FingerprintMismatch { found, .. }) => assert_eq!(found, None),
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshotter_fingerprint_applies_to_every_write() {
+        let dir = tmp_dir("fingerprint-snap");
+        let snap = Snapshotter::create(dir.join("ck"))
+            .expect("create")
+            .with_fingerprint("feedface01020304");
+        snap.write(1, &sample()).expect("write");
+        let _: Payload =
+            read_snapshot_checked(&snap.path_for(1), Some("feedface01020304")).expect("checked");
+        assert!(matches!(
+            read_snapshot_checked::<Payload>(&snap.path_for(1), Some("other")),
+            Err(StoreError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_round_trips_runs_and_persists_across_reopen() {
+        let dir = tmp_dir("registry");
+        let mut reg = Registry::open(&dir).expect("open");
+        assert!(reg.runs().is_empty());
+        let snap = reg.register("tenant-b", 2, Some("fp-b")).expect("register b");
+        snap.write(1, &sample()).expect("write");
+        reg.register("tenant-a", 0, None).expect("register a");
+        // Sorted by run id, independent of registration order.
+        let ids: Vec<&str> = reg.runs().iter().map(|m| m.run_id.as_str()).collect();
+        assert_eq!(ids, ["tenant-a", "tenant-b"]);
+        // Reopen from disk: index survives, snapshotter is reconstructed
+        // with the recorded retention + fingerprint.
+        let reg2 = Registry::open(&dir).expect("reopen");
+        assert!(reg2.contains("tenant-a") && reg2.contains("tenant-b"));
+        assert_eq!(reg2.latest_snapshot("tenant-b").expect("latest"), snap.path_for(1));
+        let _: Payload =
+            read_snapshot_checked(&snap.path_for(1), Some("fp-b")).expect("tagged via registry");
+        let snap2 = reg2.snapshotter("tenant-b").expect("snapshotter");
+        for seq in 2..=5u64 {
+            snap2.write(seq, &sample()).expect("write");
+        }
+        assert_eq!(snap2.list().expect("list").len(), 2, "keep-last-2 GC per run");
+    }
+
+    #[test]
+    fn registry_unknown_and_invalid_run_ids_are_typed() {
+        let dir = tmp_dir("registry-errs");
+        let mut reg = Registry::open(&dir).expect("open");
+        assert!(matches!(
+            reg.snapshotter("ghost"),
+            Err(StoreError::UnknownRun { run_id, .. }) if run_id == "ghost"
+        ));
+        assert!(matches!(
+            reg.latest_snapshot("ghost"),
+            Err(StoreError::UnknownRun { .. })
+        ));
+        assert!(matches!(
+            reg.remove_run("ghost"),
+            Err(StoreError::UnknownRun { .. })
+        ));
+        for bad in ["", "..", ".", "a/b", "a b", "x\u{e9}"] {
+            assert!(
+                matches!(reg.register(bad, 0, None), Err(StoreError::InvalidRunId { .. })),
+                "id {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_remove_run_deletes_dir_and_index_entry() {
+        let dir = tmp_dir("registry-rm");
+        let mut reg = Registry::open(&dir).expect("open");
+        let snap = reg.register("gone", 0, None).expect("register");
+        snap.write(1, &sample()).expect("write");
+        let run_dir = reg.run_dir("gone");
+        assert!(run_dir.is_dir());
+        reg.remove_run("gone").expect("remove");
+        assert!(!run_dir.exists());
+        assert!(!reg.contains("gone"));
+        let reg2 = Registry::open(&dir).expect("reopen");
+        assert!(!reg2.contains("gone"), "removal persisted");
     }
 
     #[test]

@@ -13,7 +13,7 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> corleone-lint (determinism & robustness contract, D1-D6)"
+echo "==> corleone-lint (determinism & robustness contract, D1-D7)"
 # Fails CI on any un-annotated finding. The machine-readable report goes to
 # a temp file (it is the CI artifact of record); the human pass prints the
 # allow-annotation inventory (rule, file:line, reason) so waivers stay
@@ -89,5 +89,33 @@ if ! diff -q "$ckpt_dir/reference/restaurants.json" "$ckpt_dir/resumed/restauran
     exit 1
 fi
 echo "resumed run is byte-identical to the uninterrupted reference"
+
+echo "==> service smoke (3 concurrent tenants, kill mid-flight, restart)"
+# The multi-tenant durability contract end-to-end through the corleone-serve
+# bin: run three tenants uninterrupted for reference, then the same three
+# against a fresh registry but killed after a few scheduling quanta
+# (--max-ticks), then restart over the same registry. Every tenant must
+# resume (tenants_resumed=3 in the service_perf line) and every final
+# report must be byte-identical to the uninterrupted reference.
+svc_dir=$(mktemp -d)
+trap 'rm -rf "$ckpt_dir" "$svc_dir"' EXIT
+serve_flags=(--datasets restaurants,citations,products --scale 0.08 --seed 7 --quiet)
+cargo run --release -q -p service --bin corleone-serve -- \
+    "${serve_flags[@]}" --root "$svc_dir/reg-ref" --out "$svc_dir/ref"
+kill_out=$(cargo run --release -q -p service --bin corleone-serve -- \
+    "${serve_flags[@]}" --root "$svc_dir/reg" --out "$svc_dir/resumed" --max-ticks 4)
+echo "$kill_out" | grep -q '"killed"' \
+    || { echo "FAIL: --max-ticks 4 did not interrupt the service mid-flight"; exit 1; }
+resume_out=$(cargo run --release -q -p service --bin corleone-serve -- \
+    "${serve_flags[@]}" --root "$svc_dir/reg" --out "$svc_dir/resumed")
+echo "$resume_out" | grep -q '"tenants_resumed":3' \
+    || { echo "FAIL: restarted service did not resume all 3 tenants"; exit 1; }
+for ds in restaurants citations products; do
+    if ! diff -q "$svc_dir/ref/$ds.json" "$svc_dir/resumed/$ds.json"; then
+        echo "service tenant $ds diverged after kill-and-restart" >&2
+        exit 1
+    fi
+done
+echo "all 3 tenants resumed; reports byte-identical to the uninterrupted service"
 
 echo "==> CI OK"

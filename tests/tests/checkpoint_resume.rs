@@ -226,8 +226,9 @@ fn missing_snapshot_is_a_typed_error() {
 #[test]
 fn snapshot_from_a_different_task_is_a_typed_error() {
     let (_task, gold, latest, dir) = checkpointed_run("othertask");
-    // A task with a different schema vectorizes to a different feature
-    // count; resuming against it must be refused, not garbage-matched.
+    // A task with a different schema carries a different run
+    // fingerprint; resuming against it must be refused at the envelope,
+    // not garbage-matched.
     let ds = datagen::by_name("citations", GenConfig { scale: 0.1, seed: 29 }).unwrap();
     let other = task_from_parts(
         ds.table_a.clone(),
@@ -237,8 +238,11 @@ fn snapshot_from_a_different_task_is_a_typed_error() {
         ds.seeds.negative,
     );
     match try_resume(&other, &gold, &latest) {
-        Err(CorleoneError::Store(StoreError::Decode { .. })) => {}
-        other => panic!("expected Decode, got {other:?}"),
+        Err(CorleoneError::Store(StoreError::FingerprintMismatch { expected, found, .. })) => {
+            assert!(found.is_some(), "snapshot was written with a fingerprint");
+            assert_ne!(Some(expected), found);
+        }
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
