@@ -4,9 +4,11 @@
 //! ("string"), the precomputed-analysis Cartesian scan ("pre"), and the
 //! output-sensitive indexed join ("index_probe").
 //!
-//! Writes `BENCH_blocking.json` (v2: `{schema_version, records}` where
-//! each record is `{dataset, scale, phase, wall_ms, pairs_per_sec}`) so
-//! future PRs have a perf trajectory, and prints a before/after table.
+//! Writes `BENCH_blocking.json` (v3: `{schema_version, records}` where
+//! each record is `{dataset, scale, phase, wall_ms, pairs_per_sec,
+//! analysis_bytes}` — the last being the resident bytes of the arena
+//! analysis for that dataset × scale) so future PRs have a perf
+//! trajectory, and prints a before/after table.
 //!
 //! Phases per dataset × scale:
 //! * `analysis_build`   — one-time `TableAnalysis` build (rate = records/s)
@@ -24,10 +26,13 @@
 //!   bit-parallel/scratch kernels from the set/vector ones
 //!
 //! Every dataset × scale also asserts (a) the indexed candidate list is
-//! byte-identical to the scan's (`index_equivalence=ok` marker) and
+//! byte-identical to the scan's (`index_equivalence=ok` marker),
 //! (b) every char-kernel feature value is bit-identical between the two
-//! paths on every sampled pair (`char_equivalence=ok` marker); both
-//! markers are grepped by `scripts/ci.sh`.
+//! paths on every sampled pair (`char_equivalence=ok` marker), and
+//! (c) the *full* feature vector off the arena-packed analysis is
+//! bit-identical to the string path on every sampled pair
+//! (`arena_equivalence=ok` marker); all three markers are grepped by
+//! `scripts/ci.sh`.
 //!
 //! Flags: `--quick` (CI-sized run), `--out PATH`, `--scales a,b`,
 //! `--datasets a,b`, `--threads N`, `--kinds` (per-kernel ns/pair table,
@@ -44,7 +49,7 @@ use std::time::Instant;
 
 /// Bump when the JSON layout changes. v2 added the envelope object and
 /// the `index_probe` phase; v3 added the `char_kernels_string` /
-/// `char_kernels_pre` phases.
+/// `char_kernels_pre` phases and the per-record `analysis_bytes` field.
 const BENCH_SCHEMA_VERSION: u32 = 3;
 
 #[derive(Debug, Clone, Serialize)]
@@ -54,6 +59,10 @@ struct BenchRecord {
     phase: String,
     wall_ms: f64,
     pairs_per_sec: f64,
+    /// Resident bytes of the arena-packed analysis for this dataset ×
+    /// scale (same value on every phase record of the combination;
+    /// backfilled after the analysis builds).
+    analysis_bytes: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -294,6 +303,7 @@ fn main() {
                 rules.len()
             );
 
+            let ds_start = records.len();
             let mut push = |phase: &str, wall_ms: f64, items: f64| {
                 let rate = items / (wall_ms / 1000.0).max(1e-9);
                 records.push(BenchRecord {
@@ -302,6 +312,7 @@ fn main() {
                     phase: phase.to_string(),
                     wall_ms,
                     pairs_per_sec: rate,
+                    analysis_bytes: 0,
                 });
                 (wall_ms, rate)
             };
@@ -330,12 +341,20 @@ fn main() {
             push("analysis_build", wall, (n_a + n_b) as f64);
             let an = task.analysis.get().expect("analysis just built");
             let stats = an.stats;
+            let mib = |x: usize| x as f64 / (1024.0 * 1024.0);
             eprintln!(
-                "[{name} @ {scale}] analysis: {} values, {} words, {} grams, ~{:.1} MiB",
+                "[{name} @ {scale}] analysis: {} values, {} words, {} grams, \
+                 {:.1} MiB arena ({:.1} ids + {:.1} weights + {:.1} text + \
+                 {:.1} headers) vs {:.1} MiB owned layout",
                 stats.values,
                 stats.distinct_words,
                 stats.distinct_grams,
-                stats.approx_bytes as f64 / (1024.0 * 1024.0)
+                mib(stats.resident_bytes),
+                mib(stats.id_bytes),
+                mib(stats.weight_bytes),
+                mib(stats.text_bytes + stats.char_bytes + stats.narrow_bytes),
+                mib(stats.header_bytes),
+                mib(stats.owned_layout_bytes)
             );
 
             // Pre-path rule application over the full Cartesian product.
@@ -375,37 +394,55 @@ fn main() {
                 rate_idx / rate_pre.max(1.0)
             );
 
-            // Full vectorization on a deterministic pair sample.
+            // Full vectorization on a deterministic pair sample. Both
+            // paths collect the vector's bits per pair (one small Vec per
+            // pair on each path, so the timing overhead cancels), which
+            // feeds the whole-vector byte-identity assertion below.
             let pairs = sample_pairs(&task, vec_sample);
-            let vectorize = |pre: bool| -> f64 {
+            let vectorize = |pre: bool| -> (f64, Vec<Vec<u64>>) {
                 // Reused per-thread output buffer: the pre phase measures
                 // the allocation-free `vectorize_pre_into` hot path.
                 thread_local! {
                     static VBUF: std::cell::RefCell<Vec<f64>> =
                         const { std::cell::RefCell::new(Vec::new()) };
                 }
-                time_ms(|| {
-                    let sums: Vec<f64> = exec::indexed_par_map(threads, pairs.len(), |i| {
+                let mut bits = Vec::new();
+                let wall = time_ms(|| {
+                    bits = exec::indexed_par_map(threads, pairs.len(), |i| {
                         let (a, b) = pairs[i];
                         let (ra, rb) = (task.table_a.record(a), task.table_b.record(b));
                         if pre {
                             VBUF.with(|v| {
                                 let mut v = v.borrow_mut();
                                 task.vectorizer.vectorize_pre_into(ra, rb, an, &mut v);
-                                v.iter().filter(|x| !x.is_nan()).sum()
+                                v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
                             })
                         } else {
                             let v = task.vectorizer.vectorize(ra, rb);
-                            v.iter().filter(|x| !x.is_nan()).sum()
+                            v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
                         }
                     });
-                    std::hint::black_box(sums.iter().sum::<f64>());
-                })
+                });
+                (wall, bits)
             };
-            let wall_s = vectorize(false);
+            let (wall_s, vbits_s) = vectorize(false);
             let (_, vrate_s) = push("vectorize_string", wall_s, pairs.len() as f64);
-            let wall_p = vectorize(true);
+            let (wall_p, vbits_p) = vectorize(true);
             let (_, vrate_p) = push("vectorize_pre", wall_p, pairs.len() as f64);
+            for (pi, (bs, bp)) in vbits_s.iter().zip(&vbits_p).enumerate() {
+                assert_eq!(
+                    bs, bp,
+                    "arena vectorization diverged on {name} @ {scale}, pair {:?}",
+                    pairs[pi]
+                );
+            }
+            println!(
+                "arena_equivalence=ok dataset={name} scale={scale} features={} pairs={} \
+                 speedup={:.1}x",
+                task.n_features(),
+                pairs.len(),
+                vrate_p / vrate_s.max(1.0)
+            );
 
             // Char-kernel phase: the five character-level measures alone,
             // on the same pair sample, with per-pair per-feature bit
@@ -483,6 +520,11 @@ fn main() {
 
             if args.kinds {
                 kind_timings(&task, an, threads, args.defs);
+            }
+
+            let analysis_bytes = stats.resident_bytes as u64;
+            for r in &mut records[ds_start..] {
+                r.analysis_bytes = analysis_bytes;
             }
         }
     }

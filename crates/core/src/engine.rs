@@ -126,6 +126,48 @@ pub struct KernelPerf {
     pub features_pre: u64,
     /// Feature values computed via the string-based reference kernels.
     pub features_string: u64,
+    /// Memory telemetry of the arena-packed analysis layer.
+    pub analysis_memory: AnalysisMemory,
+}
+
+/// Resident-byte telemetry of the arena-packed analysis layer (see
+/// `similarity::analysis`): one field per slab segment, the dense header
+/// array, their total, and the modeled bytes of the retired per-value
+/// owned-`Vec` layout so the repack's before/after stays observable.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AnalysisMemory {
+    /// `u32` id slabs (token/gram/soundex/char-id/offset runs).
+    pub id_bytes: u64,
+    /// `f64` TF/IDF weight slabs.
+    pub weight_bytes: u64,
+    /// `i16` narrowed-char slabs.
+    pub narrow_bytes: u64,
+    /// `char` prefix slabs.
+    pub char_bytes: u64,
+    /// Collapsed-string slabs.
+    pub text_bytes: u64,
+    /// Dense row-major header arrays.
+    pub header_bytes: u64,
+    /// Total resident bytes (sum of the six above).
+    pub resident_bytes: u64,
+    /// Modeled bytes under the pre-arena owned-`Vec` layout.
+    pub owned_layout_bytes: u64,
+}
+
+impl AnalysisMemory {
+    /// Snapshot the byte fields of a built analysis' stats.
+    pub fn from_stats(s: &similarity::AnalysisStats) -> AnalysisMemory {
+        AnalysisMemory {
+            id_bytes: s.id_bytes as u64,
+            weight_bytes: s.weight_bytes as u64,
+            narrow_bytes: s.narrow_bytes as u64,
+            char_bytes: s.char_bytes as u64,
+            text_bytes: s.text_bytes as u64,
+            header_bytes: s.header_bytes as u64,
+            resident_bytes: s.resident_bytes as u64,
+            owned_layout_bytes: s.owned_layout_bytes as u64,
+        }
+    }
 }
 
 /// Why a run ended.
@@ -838,6 +880,11 @@ impl Engine {
                         single_features: d.single_features,
                         features_pre: d.features_pre,
                         features_string: d.features_string,
+                        analysis_memory: task
+                            .analysis
+                            .get()
+                            .map(|an| AnalysisMemory::from_stats(&an.stats))
+                            .unwrap_or_default(),
                     }
                 },
             },

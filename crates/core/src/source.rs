@@ -317,7 +317,7 @@ impl CandidateSource for IndexedJoin<'_> {
                         }
                         (ProbeSpec::Exact { attr }, BuiltIndex::Exact(idx)) => {
                             if let Some(an) = analysis.attr_b(b as u32, *attr) {
-                                idx.matches(&analysis.a, &an.collapsed, &mut hits);
+                                idx.matches(&analysis.a, an.collapsed(), &mut hits);
                             }
                         }
                         // Planner pairs specs with matching indexes.

@@ -94,6 +94,11 @@ pub struct ServicePerf {
     /// Tenant starts that had to build the analysis themselves (the
     /// build is then published for later tenants).
     pub analysis_cache_misses: u64,
+    /// Resident arena bytes of analyses built by cache-missing tenants.
+    pub analysis_bytes_built: u64,
+    /// Resident arena bytes cache-hitting tenants did NOT have to build
+    /// (the byte-denominated value of the shared-analysis registry).
+    pub analysis_bytes_saved: u64,
     /// Scheduling quanta executed (one tenant iteration each).
     pub ticks: u64,
     /// Checkpoint snapshots written across all tenants.
@@ -123,6 +128,9 @@ pub struct TenantPerf {
     /// Milliseconds spent building the record-analysis layer (0 when it
     /// was adopted from the shared registry — the hit is visible here).
     pub analysis_build_ms: f64,
+    /// Resident arena bytes of the tenant's analysis (slabs + headers),
+    /// whether built locally or adopted from the shared registry.
+    pub analysis_bytes: u64,
     /// Pairs vectorized during the run.
     pub pairs_vectorized: u64,
     /// Snapshots written, cumulative across the tenant's resume chain.

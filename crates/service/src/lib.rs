@@ -510,6 +510,9 @@ fn start_tenant(
     }
     if adopted {
         perf.analysis_cache_hits += 1;
+        if let Some(a) = t.task.shared_analysis() {
+            perf.analysis_bytes_saved += a.stats.resident_bytes as u64;
+        }
     } else {
         perf.analysis_cache_misses += 1;
     }
@@ -540,6 +543,7 @@ fn start_tenant(
     )?;
     if !adopted {
         if let Some(a) = t.task.shared_analysis() {
+            perf.analysis_bytes_built += a.stats.resident_bytes as u64;
             analyses.push((afp, a));
         }
     }
@@ -583,6 +587,7 @@ fn record_completion(
         pairs_labeled: report.total_pairs_labeled,
         cache: report.perf.cache,
         analysis_build_ms: report.perf.kernels.analysis_build_ms,
+        analysis_bytes: report.perf.kernels.analysis_memory.resident_bytes,
         pairs_vectorized: report.perf.kernels.pairs_vectorized,
         snapshots_written: report.perf.snapshots_written,
         resumed_from_iteration: report.perf.resumed_from_iteration,

@@ -10,13 +10,35 @@
 //! built once per task (in parallel through [`exec`]): for every record
 //! and text attribute it precomputes the whitespace-collapsed normalized
 //! string, the trimmed char sequence, interned word-token and 3-gram ids
-//! as sorted `u32` vectors, packed Soundex code sets, the sparse TF/IDF
+//! as sorted `u32` runs, packed Soundex code sets, the sparse TF/IDF
 //! weight vector with its precomputed L2 norm, and the interned char-id
 //! sequences (raw, lowercased, and per-word-token) that the char-level
 //! kernels in [`crate::charkernels`] consume. The per-pair set kernels
 //! then reduce to allocation-free sorted-merge intersections and sparse
 //! dot products, and the char-level measures to bit-parallel /
 //! scratch-buffer sweeps with no per-pair allocation.
+//!
+//! # Arena layout
+//!
+//! The analysis material lives in a handful of contiguous per-table slabs
+//! owned by [`TableAnalysis`] — one `u32` slab for every id sequence, an
+//! `f64` slab for TF/IDF weights, an `i16` slab for the narrowed char
+//! ids, a `char` slab for the prefix sequences, and one `String` slab for
+//! the collapsed forms. Each `(record, attr)` cell is described by a
+//! fixed-size header of offsets/lengths in a dense row-major array
+//! (`record * n_attrs + attr`), and **all segments of one value are
+//! adjacent** in the `u32` slab, so evaluating a pair's feature defs
+//! reads sequential cache lines instead of chasing ~12 separately
+//! allocated `Vec`s per value. [`AttrView`] is the borrowed accessor
+//! type: a `Copy` pair of pointers whose methods return slices into the
+//! slabs.
+//!
+//! The build is two-pass deterministic: pass 1 interns the shared pools;
+//! pass 2 analyzes records in parallel into *record-local* slab chunks,
+//! then a serial stitch appends the chunks in record order and rebases
+//! their offsets. Offsets therefore depend only on the input data and
+//! its order — never on the thread count — so the slabs (not just the
+//! values read out of them) are byte-identical at 1/2/8 threads.
 //!
 //! # Bit-identity contract
 //!
@@ -34,95 +56,280 @@
 //!   is computed by the same expression as the reference.
 //!
 //! The property suite (`tests/analysis_equivalence.rs`) enforces the
-//! contract with `f64::to_bits` equality on random inputs.
+//! contract with `f64::to_bits` equality on random inputs, and checks
+//! slab-offset identity across thread counts.
 
 use crate::cosine::TfIdfModel;
 use crate::record::{AttrType, Record, RecordId, Table};
 use crate::tokenize::{normalize, qgrams, words};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
-/// Precomputed forms of one non-null text attribute value.
-#[derive(Debug, Clone, PartialEq)]
-pub struct AttrAnalysis {
+// Segment ranks of one value's runs inside the shared `u32` slab. All
+// segments of a value are adjacent (segment `k` ends where `k + 1`
+// starts), so a header stores N_SEGS + 1 boundaries, not lengths.
+const SEG_WORDS: usize = 0; // distinct word-token ids, sorted
+const SEG_GRAMS: usize = 1; // distinct 3-gram ids, sorted
+const SEG_SOUNDEX: usize = 2; // packed soundex codes, sorted, deduped
+const SEG_TFIDF_IDS: usize = 3; // TF/IDF token ids (weights in f64 slab)
+const SEG_RAW_CHARS: usize = 4; // raw-value char ids, in order
+const SEG_LOWER_CHARS: usize = 5; // lowercased-value char ids, in order
+const SEG_WORD_CHARS: usize = 6; // flattened token char ids, in order
+const SEG_WORD_ENDS: usize = 7; // exclusive end of token k in WORD_CHARS
+const SEG_WORD_TOKEN_IDS: usize = 8; // pool id of token k, duplicates kept
+const SEG_DEDUP_RANK: usize = 9; // rank into DEDUP_IDS of token k
+const SEG_DEDUP_IDS: usize = 10; // distinct token ids, first-occurrence order
+const SEG_DEDUP_FIRST: usize = 11; // first token index of DEDUP_IDS entry
+const N_SEGS: usize = 12;
+
+/// `value_id` sentinel marking a `(record, attr)` cell with no analysis
+/// (null or non-text). Real ids are ranks into the distinct-value pool,
+/// which a `u32`-indexed build can never fill to `u32::MAX` entries.
+const MISSING: u32 = u32::MAX;
+
+/// Fixed-size descriptor of one analyzed `(record, attr)` cell: offsets
+/// and lengths into the owning [`TableAnalysis`] slabs. 88 bytes, stored
+/// densely row-major — the only per-value metadata the arena keeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AttrHeader {
+    /// Segment boundaries in the `u32` slab: segment `k` spans
+    /// `segs[k]..segs[k + 1]` (absolute slab offsets after stitching).
+    segs: [u32; N_SEGS + 1],
+    /// Start of the TF/IDF weight run in the `f64` slab (its length is
+    /// the `SEG_TFIDF_IDS` segment length).
+    f64_off: u32,
+    /// Start of the narrowed lowercase run in the `i16` slab (length =
+    /// `SEG_LOWER_CHARS` length; meaningful only when the table narrows).
+    i16_off: u32,
+    /// Prefix-char run in the `char` slab.
+    char_off: u32,
+    char_len: u32,
+    /// Collapsed-string run in the string slab (byte offsets).
+    str_off: u32,
+    str_len: u32,
+    /// Rank of the raw value in the shared distinct-value pool, or
+    /// [`MISSING`]. Id equality is raw-string equality — the char
+    /// kernels key their whole-value memo cache on it.
+    value_id: u32,
+    /// `sqrt(Σ w²)` over the TF/IDF weights, accumulated in id order
+    /// (identical to the reference's per-call norm computation).
+    tfidf_norm: f64,
+}
+
+const MISSING_HEADER: AttrHeader = AttrHeader {
+    segs: [0; N_SEGS + 1],
+    f64_off: 0,
+    i16_off: 0,
+    char_off: 0,
+    char_len: 0,
+    str_off: 0,
+    str_len: 0,
+    value_id: MISSING,
+    tfidf_norm: 0.0,
+};
+
+/// Borrowed view of one non-null text attribute value — the arena
+/// replacement for the retired owned-`Vec` `AttrAnalysis` struct. `Copy`
+/// (two pointers); every accessor returns a slice into the owning
+/// [`TableAnalysis`] slabs, so consumers read sequential cache lines.
+#[derive(Clone, Copy)]
+pub struct AttrView<'a> {
+    table: &'a TableAnalysis,
+    h: &'a AttrHeader,
+}
+
+impl<'a> AttrView<'a> {
+    #[inline]
+    fn seg(&self, k: usize) -> &'a [u32] {
+        &self.table.u32s[self.h.segs[k] as usize..self.h.segs[k + 1] as usize]
+    }
+
     /// Normalized string with whitespace runs collapsed to single spaces
     /// (the form `exact_match` / `containment` compare).
-    pub collapsed: String,
+    #[inline]
+    pub fn collapsed(&self) -> &'a str {
+        &self.table.text[self.h.str_off as usize..(self.h.str_off + self.h.str_len) as usize]
+    }
+
     /// Chars of the *uncollapsed* normalized string, trimmed — the form
     /// `prefix_similarity` walks (interior whitespace runs preserved).
-    pub prefix_chars: Vec<char>,
+    #[inline]
+    pub fn prefix_chars(&self) -> &'a [char] {
+        &self.table.chars[self.h.char_off as usize..(self.h.char_off + self.h.char_len) as usize]
+    }
+
     /// Interned ids of the distinct word tokens, sorted ascending.
-    pub word_ids: Vec<u32>,
+    #[inline]
+    pub fn word_ids(&self) -> &'a [u32] {
+        self.seg(SEG_WORDS)
+    }
+
     /// Interned ids of the distinct padded character 3-grams, sorted.
-    pub gram_ids: Vec<u32>,
+    #[inline]
+    pub fn gram_ids(&self) -> &'a [u32] {
+        self.seg(SEG_GRAMS)
+    }
+
     /// Packed 4-byte Soundex codes of the word tokens, sorted, deduped.
-    pub soundex_codes: Vec<u32>,
-    /// Sparse TF/IDF weights `(word id, tf·idf)` in id order — which is
-    /// lexicographic token order, matching the reference merge-join.
-    /// Empty when the attribute has no fitted TF/IDF model.
-    pub tfidf: Vec<(u32, f64)>,
-    /// `sqrt(Σ w²)` over `tfidf`, accumulated in id order (identical to
-    /// the reference's per-call norm computation).
-    pub tfidf_norm: f64,
+    #[inline]
+    pub fn soundex_codes(&self) -> &'a [u32] {
+        self.seg(SEG_SOUNDEX)
+    }
+
+    /// TF/IDF token ids in id order — which is lexicographic token
+    /// order, matching the reference merge-join. Empty when the
+    /// attribute has no fitted TF/IDF model.
+    #[inline]
+    pub fn tfidf_ids(&self) -> &'a [u32] {
+        self.seg(SEG_TFIDF_IDS)
+    }
+
+    /// TF/IDF weights, parallel to [`Self::tfidf_ids`].
+    #[inline]
+    pub fn tfidf_weights(&self) -> &'a [f64] {
+        let len = self.h.segs[SEG_TFIDF_IDS + 1] - self.h.segs[SEG_TFIDF_IDS];
+        &self.table.f64s[self.h.f64_off as usize..(self.h.f64_off + len) as usize]
+    }
+
+    /// `sqrt(Σ w²)` over the TF/IDF weights (see [`AttrHeader`]).
+    #[inline]
+    pub fn tfidf_norm(&self) -> f64 {
+        self.h.tfidf_norm
+    }
+
     /// Interned char ids (ranks into the task's shared char pool) of the
     /// **raw** value's scalars — the sequence Levenshtein, Jaro, and
     /// Jaro-Winkler walk. Ids are dense `0..distinct_chars`, so the
     /// bit-parallel kernels can use direct-indexed scratch tables; id
     /// equality is char equality (all char kernels need only equality).
-    pub raw_char_ids: Vec<u32>,
+    #[inline]
+    pub fn raw_char_ids(&self) -> &'a [u32] {
+        self.seg(SEG_RAW_CHARS)
+    }
+
     /// Interned char ids of `str::to_lowercase` of the raw value (the
     /// str-level mapping, so context rules like final sigma match the
     /// reference exactly) — the sequence Smith-Waterman aligns.
-    pub lower_char_ids: Vec<u32>,
-    /// `lower_char_ids` narrowed to `i16`, populated only when the shared
-    /// char pool fits (`distinct_chars <= i16::MAX`, true for any real
-    /// dataset). Smith-Waterman's inner loops compare and accumulate in
-    /// 16-bit cells, doubling the auto-vectorized lane count; empty means
-    /// the kernel falls back to the 32-bit path.
-    pub lower_char_i16: Vec<i16>,
+    #[inline]
+    pub fn lower_char_ids(&self) -> &'a [u32] {
+        self.seg(SEG_LOWER_CHARS)
+    }
+
+    /// [`Self::lower_char_ids`] narrowed to `i16`, populated only when
+    /// the shared char pool fits (`distinct_chars <= i16::MAX`, true for
+    /// any real dataset). Smith-Waterman's inner loops compare and
+    /// accumulate in 16-bit cells, doubling the auto-vectorized lane
+    /// count; empty means the kernel falls back to the 32-bit path.
+    #[inline]
+    pub fn lower_char_i16(&self) -> &'a [i16] {
+        if !self.table.narrow {
+            return &[];
+        }
+        let len = self.h.segs[SEG_LOWER_CHARS + 1] - self.h.segs[SEG_LOWER_CHARS];
+        &self.table.i16s[self.h.i16_off as usize..(self.h.i16_off + len) as usize]
+    }
+
     /// Flattened interned char ids of the word tokens in occurrence
     /// order, duplicates kept — Monge-Elkan's inner strings.
-    pub word_char_ids: Vec<u32>,
-    /// End offset (exclusive) into `word_char_ids` of each word token:
-    /// token `k` spans `word_ends[k-1]..word_ends[k]` (`0` for `k = 0`).
-    pub word_ends: Vec<u32>,
-    /// Interned pool id of each word token in occurrence order (parallel
-    /// to `word_ends`, duplicates kept). Id equality is token equality —
-    /// Monge-Elkan uses it to dedup inner comparisons.
-    pub word_token_ids: Vec<u32>,
-    /// Distinct entries of `word_token_ids` in first-occurrence order
-    /// (parallel to `word_dedup_first`). Monge-Elkan reads these instead
-    /// of re-deduplicating the token list on every pair.
-    pub word_dedup_ids: Vec<u32>,
-    /// Position of the first occurrence of each `word_dedup_ids` entry,
-    /// i.e. the representative token index compared for that id.
-    pub word_dedup_first: Vec<u32>,
-    /// Rank into `word_dedup_ids` of each token position (parallel to
-    /// `word_token_ids`), making per-token memo lookups O(1).
-    pub word_dedup_rank: Vec<u32>,
-    /// Rank of the **raw** value string in the task's shared sorted
-    /// distinct-value pool. Id equality is raw-string equality, hence
-    /// equality of every derived form above — the char kernels use it to
-    /// memoize whole-value results across the many record pairs that
-    /// repeat an attribute value (cities, brands, venues, ...).
-    pub value_id: u32,
-}
-
-impl AttrAnalysis {
-    /// Char ids of word token `k` (see `word_ends`).
     #[inline]
-    pub fn word_token(&self, k: usize) -> &[u32] {
-        let lo = if k == 0 { 0 } else { self.word_ends[k - 1] as usize };
-        &self.word_char_ids[lo..self.word_ends[k] as usize]
+    pub fn word_char_ids(&self) -> &'a [u32] {
+        self.seg(SEG_WORD_CHARS)
+    }
+
+    /// End offset (exclusive) into [`Self::word_char_ids`] of each word
+    /// token: token `k` spans `word_ends[k-1]..word_ends[k]` (`0` for
+    /// `k = 0`). Offsets are value-local.
+    #[inline]
+    pub fn word_ends(&self) -> &'a [u32] {
+        self.seg(SEG_WORD_ENDS)
+    }
+
+    /// Interned pool id of each word token in occurrence order (parallel
+    /// to [`Self::word_ends`], duplicates kept). Id equality is token
+    /// equality — Monge-Elkan uses it to dedup inner comparisons.
+    #[inline]
+    pub fn word_token_ids(&self) -> &'a [u32] {
+        self.seg(SEG_WORD_TOKEN_IDS)
+    }
+
+    /// Distinct entries of [`Self::word_token_ids`] in first-occurrence
+    /// order (parallel to [`Self::word_dedup_first`]). Monge-Elkan reads
+    /// these instead of re-deduplicating the token list on every pair.
+    #[inline]
+    pub fn word_dedup_ids(&self) -> &'a [u32] {
+        self.seg(SEG_DEDUP_IDS)
+    }
+
+    /// Position of the first occurrence of each [`Self::word_dedup_ids`]
+    /// entry, i.e. the representative token index compared for that id.
+    #[inline]
+    pub fn word_dedup_first(&self) -> &'a [u32] {
+        self.seg(SEG_DEDUP_FIRST)
+    }
+
+    /// Rank into [`Self::word_dedup_ids`] of each token position
+    /// (parallel to [`Self::word_token_ids`]), making per-token memo
+    /// lookups O(1).
+    #[inline]
+    pub fn word_dedup_rank(&self) -> &'a [u32] {
+        self.seg(SEG_DEDUP_RANK)
+    }
+
+    /// Rank of the **raw** value string in the task's shared sorted
+    /// distinct-value pool (see [`AttrHeader::value_id`]).
+    #[inline]
+    pub fn value_id(&self) -> u32 {
+        self.h.value_id
+    }
+
+    /// Char ids of word token `k` (see [`Self::word_ends`]).
+    #[inline]
+    pub fn word_token(&self, k: usize) -> &'a [u32] {
+        let ends = self.word_ends();
+        let base = self.h.segs[SEG_WORD_CHARS] as usize;
+        let lo = if k == 0 { 0 } else { ends[k - 1] as usize };
+        &self.table.u32s[base + lo..base + ends[k] as usize]
     }
 
     /// Number of word tokens (duplicates included).
     #[inline]
     pub fn n_word_tokens(&self) -> usize {
-        self.word_ends.len()
+        self.word_ends().len()
     }
 }
 
-/// Size and interning statistics of a built analysis (for perf logs).
+impl PartialEq for AttrView<'_> {
+    /// Value equality of everything a view exposes (floats bitwise) —
+    /// views into different arenas compare equal iff every derived form
+    /// matches, which is what the determinism tests assert.
+    fn eq(&self, other: &Self) -> bool {
+        self.value_id() == other.value_id()
+            && self.tfidf_norm().to_bits() == other.tfidf_norm().to_bits()
+            && self.collapsed() == other.collapsed()
+            && self.prefix_chars() == other.prefix_chars()
+            && (0..N_SEGS).all(|k| self.seg(k) == other.seg(k))
+            && self.lower_char_i16() == other.lower_char_i16()
+            && self
+                .tfidf_weights()
+                .iter()
+                .map(|w| w.to_bits())
+                .eq(other.tfidf_weights().iter().map(|w| w.to_bits()))
+    }
+}
+
+impl std::fmt::Debug for AttrView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttrView")
+            .field("value_id", &self.value_id())
+            .field("collapsed", &self.collapsed())
+            .field("word_ids", &self.word_ids())
+            .field("gram_ids", &self.gram_ids())
+            .field("raw_char_ids", &self.raw_char_ids())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Size and interning statistics of a built analysis (for perf logs and
+/// the memory telemetry surfaced through run reports).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AnalysisStats {
     /// Records analyzed across both tables.
@@ -138,35 +345,103 @@ pub struct AnalysisStats {
     /// their direct-indexed scratch tables off this.
     pub distinct_chars: usize,
     /// Distinct raw text values interned across both tables — the pool
-    /// behind `AttrAnalysis::value_id`.
+    /// behind [`AttrView::value_id`].
     pub distinct_values: usize,
-    /// Approximate resident bytes of the analysis rows.
-    pub approx_bytes: usize,
+    /// Bytes of the `u32` id slabs (both tables): every token/gram/
+    /// soundex/char-id/offset sequence.
+    pub id_bytes: usize,
+    /// Bytes of the `f64` TF/IDF weight slabs.
+    pub weight_bytes: usize,
+    /// Bytes of the `i16` narrowed-char slabs.
+    pub narrow_bytes: usize,
+    /// Bytes of the `char` prefix slabs.
+    pub char_bytes: usize,
+    /// Bytes of the collapsed-string slabs.
+    pub text_bytes: usize,
+    /// Bytes of the dense row-major header arrays.
+    pub header_bytes: usize,
+    /// Total resident bytes of the arena (sum of the six fields above).
+    pub resident_bytes: usize,
+    /// Modeled resident bytes of the retired owned-`Vec` layout (15 heap
+    /// containers + scalars per value, same payloads) — kept so the
+    /// before/after of the arena repack stays observable in perf logs.
+    pub owned_layout_bytes: usize,
 }
 
-/// Per-record analyses of one table: `rows[record][attr]` is `Some` iff
-/// that attribute value is non-null text.
-#[derive(Debug)]
+/// Per-record analyses of one table, arena-packed: a dense row-major
+/// header array over contiguous typed slabs (see the module docs).
+/// `PartialEq` compares the raw slabs — equality means byte-identical
+/// layout, which the thread-count determinism tests assert directly.
+#[derive(Debug, PartialEq)]
 pub struct TableAnalysis {
-    rows: Vec<Vec<Option<AttrAnalysis>>>,
+    n_records: usize,
+    n_attrs: usize,
+    /// True when `distinct_chars <= i16::MAX` and the `i16` slab holds
+    /// the narrowed lowercase runs.
+    narrow: bool,
+    /// `headers[record * n_attrs + attr]`; `value_id == MISSING` marks
+    /// null / non-text cells.
+    headers: Vec<AttrHeader>,
+    u32s: Vec<u32>,
+    f64s: Vec<f64>,
+    i16s: Vec<i16>,
+    chars: Vec<char>,
+    text: String,
 }
 
 impl TableAnalysis {
     /// The analysis of one attribute of one record, if it is text.
     #[inline]
-    pub fn attr(&self, record: RecordId, attr: usize) -> Option<&AttrAnalysis> {
-        self.rows[record as usize][attr].as_ref()
+    pub fn attr(&self, record: RecordId, attr: usize) -> Option<AttrView<'_>> {
+        let h = &self.headers[record as usize * self.n_attrs + attr];
+        if h.value_id == MISSING {
+            None
+        } else {
+            Some(AttrView { table: self, h })
+        }
     }
 
     /// Number of analyzed records.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.n_records
     }
 
     /// True when no records were analyzed.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.n_records == 0
     }
+
+    /// Resident bytes of this table's slabs + headers.
+    fn tally(&self, stats: &mut AnalysisStats) {
+        stats.id_bytes += self.u32s.len() * 4;
+        stats.weight_bytes += self.f64s.len() * 8;
+        stats.narrow_bytes += self.i16s.len() * 2;
+        stats.char_bytes += self.chars.len() * std::mem::size_of::<char>();
+        stats.text_bytes += self.text.len();
+        stats.header_bytes += self.headers.len() * std::mem::size_of::<AttrHeader>();
+        for h in &self.headers {
+            if h.value_id == MISSING {
+                continue;
+            }
+            stats.values += 1;
+            stats.owned_layout_bytes += owned_layout_bytes(h, self.narrow);
+        }
+    }
+}
+
+/// Modeled bytes of one value under the retired per-value owned-`Vec`
+/// layout: a 376-byte struct (15 `Vec`/`String` headers at 24 bytes plus
+/// the scalar fields) and the same payloads, with TF/IDF stored as
+/// 16-byte `(u32, f64)` pairs rather than split parallel runs.
+fn owned_layout_bytes(h: &AttrHeader, narrow: bool) -> usize {
+    let u32_total = (h.segs[N_SEGS] - h.segs[0]) as usize;
+    let tfidf_len = (h.segs[SEG_TFIDF_IDS + 1] - h.segs[SEG_TFIDF_IDS]) as usize;
+    let lower_len = (h.segs[SEG_LOWER_CHARS + 1] - h.segs[SEG_LOWER_CHARS]) as usize;
+    376 + h.str_len as usize
+        + h.char_len as usize * std::mem::size_of::<char>()
+        + (u32_total - tfidf_len) * 4
+        + tfidf_len * 16
+        + if narrow { lower_len * 2 } else { 0 }
 }
 
 /// The analysis layer of one EM task: both tables, analyzed against a
@@ -190,13 +465,13 @@ pub struct TaskAnalysis {
 impl TaskAnalysis {
     /// Analysis of attribute `attr` of record `rec` in table A.
     #[inline]
-    pub fn attr_a(&self, rec: RecordId, attr: usize) -> Option<&AttrAnalysis> {
+    pub fn attr_a(&self, rec: RecordId, attr: usize) -> Option<AttrView<'_>> {
         self.a.attr(rec, attr)
     }
 
     /// Analysis of attribute `attr` of record `rec` in table B.
     #[inline]
-    pub fn attr_b(&self, rec: RecordId, attr: usize) -> Option<&AttrAnalysis> {
+    pub fn attr_b(&self, rec: RecordId, attr: usize) -> Option<AttrView<'_>> {
         self.b.attr(rec, attr)
     }
 }
@@ -207,6 +482,13 @@ fn pack_soundex(code: &str) -> u32 {
     let b = code.as_bytes();
     debug_assert_eq!(b.len(), 4, "soundex codes are 4 ASCII chars");
     u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Narrow a slab cursor to the `u32` offsets the headers store. The
+/// guard fires long after any realistic dataset (a 4-billion-entry id
+/// slab is 16 GiB per table).
+fn off32(n: usize) -> u32 {
+    u32::try_from(n).expect("analysis slab exceeds u32 offsets")
 }
 
 /// Map sorted tokens to pool ids via binary search. The pool contains
@@ -224,6 +506,20 @@ fn intern_sorted(tokens: &mut Vec<String>, pool: &[String]) -> Vec<u32> {
         .collect()
 }
 
+/// Record-local slab chunk: one parallel worker fills one of these per
+/// record; the serial stitch concatenates them in record order.
+#[derive(Default)]
+struct Slabs {
+    u32s: Vec<u32>,
+    f64s: Vec<f64>,
+    i16s: Vec<i16>,
+    chars: Vec<char>,
+    text: String,
+}
+
+/// Analyze one value, appending its material to `out` and returning a
+/// header with *chunk-local* offsets (rebased during the stitch).
+#[allow(clippy::too_many_arguments)]
 fn analyze_value(
     s: &str,
     model: Option<&TfIdfModel>,
@@ -231,14 +527,15 @@ fn analyze_value(
     gram_pool: &[String],
     char_pool: &[char],
     value_pool: &[String],
-) -> AttrAnalysis {
+    narrow: bool,
+    out: &mut Slabs,
+) -> AttrHeader {
     let value_id = value_pool
         .binary_search_by(|v| v.as_str().cmp(s))
         .map(|i| i as u32)
         .unwrap_or_else(|_| panic!("value {s:?} missing from intern pool"));
     let norm = normalize(s);
     let collapsed = norm.split_whitespace().collect::<Vec<_>>().join(" ");
-    let prefix_chars: Vec<char> = norm.trim().chars().collect();
 
     let intern_char = |c: char| -> u32 {
         char_pool
@@ -248,11 +545,6 @@ fn analyze_value(
     };
     let raw_char_ids: Vec<u32> = s.chars().map(intern_char).collect();
     let lower_char_ids: Vec<u32> = s.to_lowercase().chars().map(intern_char).collect();
-    let lower_char_i16: Vec<i16> = if char_pool.len() <= i16::MAX as usize {
-        lower_char_ids.iter().map(|&c| c as i16).collect()
-    } else {
-        Vec::new()
-    };
 
     let toks = words(s);
     // Token char material in occurrence order, duplicates kept: the order
@@ -304,64 +596,74 @@ fn analyze_value(
     let mut gram_toks = qgrams(s, 3);
     let gram_ids = intern_sorted(&mut gram_toks, gram_pool);
 
-    let (tfidf, tfidf_norm) = match model {
+    let (tfidf_ids, tfidf_weights, tfidf_norm) = match model {
         Some(m) => {
             // The reference weight vector, token-for-token; ids preserve
             // its lexicographic order because ids are sorted ranks.
             let w = m.weights(s);
             let norm = w.iter().map(|(_, x)| x * x).sum::<f64>().sqrt();
-            let ids: Vec<(u32, f64)> = w
-                .into_iter()
-                .map(|(t, x)| {
-                    let id = word_pool
-                        .binary_search(&t)
-                        .unwrap_or_else(|_| panic!("token {t:?} missing from intern pool"));
-                    (id as u32, x)
-                })
-                .collect();
-            debug_assert!(ids.windows(2).all(|p| p[0].0 < p[1].0));
-            (ids, norm)
+            let mut ids = Vec::with_capacity(w.len());
+            let mut weights = Vec::with_capacity(w.len());
+            for (t, x) in w {
+                let id = word_pool
+                    .binary_search(&t)
+                    .unwrap_or_else(|_| panic!("token {t:?} missing from intern pool"));
+                ids.push(id as u32);
+                weights.push(x);
+            }
+            debug_assert!(ids.windows(2).all(|p| p[0] < p[1]));
+            (ids, weights, norm)
         }
-        None => (Vec::new(), 0.0),
+        None => (Vec::new(), Vec::new(), 0.0),
     };
 
-    AttrAnalysis {
-        collapsed,
-        prefix_chars,
-        word_ids,
-        gram_ids,
-        soundex_codes,
-        tfidf,
-        tfidf_norm,
-        raw_char_ids,
-        lower_char_ids,
-        lower_char_i16,
-        word_char_ids,
-        word_ends,
-        word_token_ids,
-        word_dedup_ids,
-        word_dedup_first,
-        word_dedup_rank,
-        value_id,
+    // Append every segment of this value back-to-back in the u32 slab,
+    // recording the boundaries. Fixed order = deterministic offsets.
+    let mut segs = [0u32; N_SEGS + 1];
+    let seg_runs: [&[u32]; N_SEGS] = [
+        &word_ids,
+        &gram_ids,
+        &soundex_codes,
+        &tfidf_ids,
+        &raw_char_ids,
+        &lower_char_ids,
+        &word_char_ids,
+        &word_ends,
+        &word_token_ids,
+        &word_dedup_rank,
+        &word_dedup_ids,
+        &word_dedup_first,
+    ];
+    for (k, run) in seg_runs.iter().enumerate() {
+        segs[k] = off32(out.u32s.len());
+        out.u32s.extend_from_slice(run);
     }
-}
+    segs[N_SEGS] = off32(out.u32s.len());
 
-fn attr_bytes(a: &AttrAnalysis) -> usize {
-    std::mem::size_of::<AttrAnalysis>()
-        + a.collapsed.len()
-        + a.prefix_chars.len() * std::mem::size_of::<char>()
-        + (a.word_ids.len() + a.gram_ids.len() + a.soundex_codes.len()) * 4
-        + (a.raw_char_ids.len()
-            + a.lower_char_ids.len()
-            + a.word_char_ids.len()
-            + a.word_ends.len()
-            + a.word_token_ids.len()
-            + a.word_dedup_ids.len()
-            + a.word_dedup_first.len()
-            + a.word_dedup_rank.len())
-            * 4
-        + a.lower_char_i16.len() * 2
-        + a.tfidf.len() * std::mem::size_of::<(u32, f64)>()
+    let f64_off = off32(out.f64s.len());
+    out.f64s.extend_from_slice(&tfidf_weights);
+    let i16_off = off32(out.i16s.len());
+    if narrow {
+        out.i16s.extend(lower_char_ids.iter().map(|&c| c as i16));
+    }
+    let char_off = off32(out.chars.len());
+    out.chars.extend(norm.trim().chars());
+    let char_len = off32(out.chars.len()) - char_off;
+    let str_off = off32(out.text.len());
+    out.text.push_str(&collapsed);
+    let str_len = off32(out.text.len()) - str_off;
+
+    AttrHeader {
+        segs,
+        f64_off,
+        i16_off,
+        char_off,
+        char_len,
+        str_off,
+        str_len,
+        value_id,
+        tfidf_norm,
+    }
 }
 
 /// Build the analysis layer for a task's two tables in parallel.
@@ -435,28 +737,77 @@ pub fn analyze_task(
     char_pool.dedup();
     value_pool.sort_unstable();
     value_pool.dedup();
+    let narrow = char_pool.len() <= i16::MAX as usize;
 
-    // Pass 2: per-record analyses against the frozen pools.
+    // Pass 2: per-record analyses against the frozen pools, each worker
+    // filling a record-local slab chunk; then a serial stitch appends
+    // the chunks in record order and rebases the headers. Chunk contents
+    // depend only on the record and the pools, and the stitch order only
+    // on record order — so slab offsets are identical at any thread
+    // count (asserted by the equivalence suite).
     let analyze_table = |t: &Table| -> TableAnalysis {
-        let rows = exec::par_map(threads, &t.records, |r: &Record| {
-            r.values
-                .iter()
-                .enumerate()
-                .map(|(ai, v)| {
-                    v.as_text().map(|s| {
-                        analyze_value(
+        let n_attrs = t.schema.attrs.len();
+        let chunks: Vec<(Vec<AttrHeader>, Slabs)> =
+            exec::par_map(threads, &t.records, |r: &Record| {
+                let mut slabs = Slabs::default();
+                let headers: Vec<AttrHeader> = r
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, v)| match v.as_text() {
+                        Some(s) => analyze_value(
                             s,
                             tfidf[ai].as_ref(),
                             &word_pool,
                             &gram_pool,
                             &char_pool,
                             &value_pool,
-                        )
+                            narrow,
+                            &mut slabs,
+                        ),
+                        None => MISSING_HEADER,
                     })
-                })
-                .collect::<Vec<Option<AttrAnalysis>>>()
-        });
-        TableAnalysis { rows }
+                    .collect();
+                (headers, slabs)
+            });
+        let mut table = TableAnalysis {
+            n_records: t.len(),
+            n_attrs,
+            narrow,
+            headers: Vec::with_capacity(t.len() * n_attrs),
+            u32s: Vec::new(),
+            f64s: Vec::new(),
+            i16s: Vec::new(),
+            chars: Vec::new(),
+            text: String::new(),
+        };
+        for (headers, slabs) in chunks {
+            let (bu, bf, bi, bc, bs) = (
+                off32(table.u32s.len()),
+                off32(table.f64s.len()),
+                off32(table.i16s.len()),
+                off32(table.chars.len()),
+                off32(table.text.len()),
+            );
+            for mut h in headers {
+                if h.value_id != MISSING {
+                    for s in &mut h.segs {
+                        *s += bu;
+                    }
+                    h.f64_off += bf;
+                    h.i16_off += bi;
+                    h.char_off += bc;
+                    h.str_off += bs;
+                }
+                table.headers.push(h);
+            }
+            table.u32s.extend_from_slice(&slabs.u32s);
+            table.f64s.extend_from_slice(&slabs.f64s);
+            table.i16s.extend_from_slice(&slabs.i16s);
+            table.chars.extend_from_slice(&slabs.chars);
+            table.text.push_str(&slabs.text);
+        }
+        table
     };
     let ta = analyze_table(a);
     let tb = analyze_table(b);
@@ -470,13 +821,14 @@ pub fn analyze_task(
         ..Default::default()
     };
     for t in [&ta, &tb] {
-        for row in &t.rows {
-            for cell in row.iter().flatten() {
-                stats.values += 1;
-                stats.approx_bytes += attr_bytes(cell);
-            }
-        }
+        t.tally(&mut stats);
     }
+    stats.resident_bytes = stats.id_bytes
+        + stats.weight_bytes
+        + stats.narrow_bytes
+        + stats.char_bytes
+        + stats.text_bytes
+        + stats.header_bytes;
 
     static TASK_GENERATION: AtomicU64 = AtomicU64::new(1);
     let generation = TASK_GENERATION.fetch_add(1, AtomicOrdering::Relaxed);
@@ -537,8 +889,8 @@ pub fn overlap_ids(a: &[u32], b: &[u32]) -> f64 {
 /// Soundex-code-set similarity; mirrors `phonetic::soundex_similarity`
 /// (both code sets empty → 1.0, exactly one empty → 0.0, else Jaccard).
 #[inline]
-pub fn soundex_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
-    let (ca, cb) = (&a.soundex_codes, &b.soundex_codes);
+pub fn soundex_pre(a: AttrView<'_>, b: AttrView<'_>) -> f64 {
+    let (ca, cb) = (a.soundex_codes(), b.soundex_codes());
     if ca.is_empty() && cb.is_empty() {
         return 1.0;
     }
@@ -551,57 +903,60 @@ pub fn soundex_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
 }
 
 /// TF/IDF cosine over precomputed sparse vectors; mirrors
-/// `TfIdfModel::cosine` bit-for-bit (see the module docs).
+/// `TfIdfModel::cosine` bit-for-bit (see the module docs). Ids and
+/// weights are parallel runs, so the merge walks two dense `u32` lanes
+/// and touches the `f64` lane only on hits.
 #[inline]
-pub fn cosine_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
-    let (wa, wb) = (&a.tfidf, &b.tfidf);
-    if wa.is_empty() && wb.is_empty() {
+pub fn cosine_pre(a: AttrView<'_>, b: AttrView<'_>) -> f64 {
+    let (ia, ib) = (a.tfidf_ids(), b.tfidf_ids());
+    if ia.is_empty() && ib.is_empty() {
         return 1.0;
     }
-    if wa.is_empty() || wb.is_empty() {
+    if ia.is_empty() || ib.is_empty() {
         return 0.0;
     }
+    let (wa, wb) = (a.tfidf_weights(), b.tfidf_weights());
     let mut dot = 0.0f64;
     let (mut i, mut j) = (0usize, 0usize);
     // Pointer advances are branchless (see intersect_count); the add
     // stays guarded so the accumulation order and terms are exactly the
     // reference's.
-    while i < wa.len() && j < wb.len() {
-        let (ka, kb) = (wa[i].0, wb[j].0);
+    while i < ia.len() && j < ib.len() {
+        let (ka, kb) = (ia[i], ib[j]);
         if ka == kb {
-            dot += wa[i].1 * wb[j].1;
+            dot += wa[i] * wb[j];
         }
         i += usize::from(ka <= kb);
         j += usize::from(kb <= ka);
     }
-    (dot / (a.tfidf_norm * b.tfidf_norm)).clamp(0.0, 1.0)
+    (dot / (a.tfidf_norm() * b.tfidf_norm())).clamp(0.0, 1.0)
 }
 
 /// Exact match on the collapsed normalized strings; mirrors
 /// `exact::exact_match`.
 #[inline]
-pub fn exact_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
-    f64::from(a.collapsed == b.collapsed)
+pub fn exact_pre(a: AttrView<'_>, b: AttrView<'_>) -> f64 {
+    f64::from(a.collapsed() == b.collapsed())
 }
 
 /// Substring containment on the collapsed normalized strings; mirrors
 /// `exact::containment` (including the tie-break: equal lengths treat
 /// the first argument as the needle).
 #[inline]
-pub fn containment_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
-    let (na, nb) = (&a.collapsed, &b.collapsed);
+pub fn containment_pre(a: AttrView<'_>, b: AttrView<'_>) -> f64 {
+    let (na, nb) = (a.collapsed(), b.collapsed());
     let (short, long) = if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
     if short.is_empty() {
         return f64::from(long.is_empty());
     }
-    f64::from(long.contains(short.as_str()))
+    f64::from(long.contains(short))
 }
 
 /// Common-prefix ratio on the trimmed normalized char sequences; mirrors
 /// `exact::prefix_similarity`.
 #[inline]
-pub fn prefix_pre(a: &AttrAnalysis, b: &AttrAnalysis) -> f64 {
-    let (na, nb) = (&a.prefix_chars, &b.prefix_chars);
+pub fn prefix_pre(a: AttrView<'_>, b: AttrView<'_>) -> f64 {
+    let (na, nb) = (a.prefix_chars(), b.prefix_chars());
     let min = na.len().min(nb.len());
     if min == 0 {
         return f64::from(na.len() == nb.len());
@@ -640,10 +995,10 @@ mod tests {
                 );
                 let (ra, rb) = (an.attr_a(i, 0).unwrap(), an.attr_b(j, 0).unwrap());
                 let cases = [
-                    (jaccard_ids(&ra.word_ids, &rb.word_ids), jaccard::jaccard_words(x, y)),
-                    (jaccard_ids(&ra.gram_ids, &rb.gram_ids), jaccard::jaccard_qgrams(x, y, 3)),
-                    (dice_ids(&ra.word_ids, &rb.word_ids), jaccard::dice_words(x, y)),
-                    (overlap_ids(&ra.word_ids, &rb.word_ids), jaccard::overlap_words(x, y)),
+                    (jaccard_ids(ra.word_ids(), rb.word_ids()), jaccard::jaccard_words(x, y)),
+                    (jaccard_ids(ra.gram_ids(), rb.gram_ids()), jaccard::jaccard_qgrams(x, y, 3)),
+                    (dice_ids(ra.word_ids(), rb.word_ids()), jaccard::dice_words(x, y)),
+                    (overlap_ids(ra.word_ids(), rb.word_ids()), jaccard::overlap_words(x, y)),
                     (soundex_pre(ra, rb), phonetic::soundex_similarity(x, y)),
                     (exact_pre(ra, rb), exact::exact_match(x, y)),
                     (containment_pre(ra, rb), exact::containment(x, y)),
@@ -705,7 +1060,37 @@ mod tests {
         let (an, _, _) = analyzed(&["alpha beta", "beta gamma"]);
         assert_eq!(an.stats.distinct_words, 3);
         assert!(an.stats.distinct_grams > 0);
-        assert!(an.stats.approx_bytes > 0);
+        assert!(an.stats.resident_bytes > 0);
+        assert_eq!(
+            an.stats.resident_bytes,
+            an.stats.id_bytes
+                + an.stats.weight_bytes
+                + an.stats.narrow_bytes
+                + an.stats.char_bytes
+                + an.stats.text_bytes
+                + an.stats.header_bytes
+        );
+        assert!(
+            an.stats.owned_layout_bytes > an.stats.resident_bytes - an.stats.header_bytes,
+            "owned-layout model should dominate the packed payloads"
+        );
+    }
+
+    #[test]
+    fn views_are_contiguous_per_value() {
+        // Every value's u32 segments are adjacent and in fixed order, so
+        // a pair evaluation touches one contiguous byte range per value.
+        let (an, _, _) = analyzed(&["alpha beta gamma", "beta beta delta", ""]);
+        for i in 0..3u32 {
+            let v = an.attr_a(i, 0).unwrap();
+            let h = v.h;
+            for k in 0..N_SEGS {
+                assert!(h.segs[k] <= h.segs[k + 1], "segment {k} boundaries ordered");
+            }
+            assert_eq!(v.word_ids().len() + v.gram_ids().len(), {
+                (h.segs[SEG_SOUNDEX] - h.segs[0]) as usize
+            });
+        }
     }
 
     #[test]
@@ -721,6 +1106,10 @@ mod tests {
         for i in 0..vals.len() as u32 {
             assert_eq!(an1.attr_a(i, 0), an8.attr_a(i, 0));
         }
+        // Stronger than value equality: the arenas themselves (headers,
+        // slab contents, hence all offsets) are identical.
+        assert_eq!(an1.a, an8.a);
+        assert_eq!(an1.b, an8.b);
         assert_eq!(an1.stats, an8.stats);
     }
 }

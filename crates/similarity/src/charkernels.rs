@@ -56,7 +56,7 @@
 //! depend on scratch history (every call fully overwrites the regions it
 //! reads), so the determinism contract is untouched.
 
-use crate::analysis::AttrAnalysis;
+use crate::analysis::AttrView;
 use std::cell::RefCell;
 
 /// Reusable per-thread scratch for the char kernels. All buffers grow to
@@ -87,7 +87,7 @@ pub struct CharScratch {
     /// the precomputed `word_dedup_rank` (NaN = not yet computed).
     me_a_best: Vec<f64>,
     /// Direct-mapped result cache keyed by `(kernel tag, id, id)` — whole
-    /// values through `AttrAnalysis::value_id`, Monge-Elkan inner token
+    /// values through `AttrView::value_id`, Monge-Elkan inner token
     /// pairs through word-pool ids. Attribute values (cities, brands,
     /// venues) and token pairs recur across record pairs far more often
     /// than records do, and id equality is input equality, so a hit
@@ -238,13 +238,13 @@ pub fn myers_distance(a: &[u32], b: &[u32], pool: usize, s: &mut CharScratch) ->
 /// sound because unit-cost edit distance is symmetric: the same integer
 /// comes out whichever side drives the bit matrix.
 fn myers_distance_pat(
-    a: &AttrAnalysis,
-    b: &AttrAnalysis,
+    a: AttrView<'_>,
+    b: AttrView<'_>,
     pool: usize,
     gen: u64,
     s: &mut CharScratch,
 ) -> usize {
-    let (pat, text) = (&a.raw_char_ids, &b.raw_char_ids);
+    let (pat, text) = (a.raw_char_ids(), b.raw_char_ids());
     if pat.is_empty() {
         return text.len();
     }
@@ -253,10 +253,10 @@ fn myers_distance_pat(
     }
     let m = pat.len();
     let words = m.div_ceil(64);
-    if s.pat_gen != gen || s.pat_value_id != a.value_id {
+    if s.pat_gen != gen || s.pat_value_id != a.value_id() {
         build_peq(pat, pool, words, &mut s.pat_peq);
         s.pat_gen = gen;
-        s.pat_value_id = a.value_id;
+        s.pat_value_id = a.value_id();
     }
     match words {
         1 => myers_64(&s.pat_peq, text, m),
@@ -423,20 +423,20 @@ fn myers_blocked(
 /// `edit::levenshtein_similarity` on the raw strings. `pool` is
 /// `AnalysisStats::distinct_chars`.
 #[inline]
-pub fn levenshtein_pre(a: &AttrAnalysis, b: &AttrAnalysis, pool: usize, gen: u64) -> f64 {
+pub fn levenshtein_pre(a: AttrView<'_>, b: AttrView<'_>, pool: usize, gen: u64) -> f64 {
     with_scratch(|s| levenshtein_pre_s(a, b, pool, gen, s))
 }
 
 /// [`levenshtein_pre`] over a caller-held scratch.
 pub(crate) fn levenshtein_pre_s(
-    a: &AttrAnalysis,
-    b: &AttrAnalysis,
+    a: AttrView<'_>,
+    b: AttrView<'_>,
     pool: usize,
     gen: u64,
     s: &mut CharScratch,
 ) -> f64 {
-    cached(s, gen, TAG_LEV, a.value_id, b.value_id, |s| {
-        let max = a.raw_char_ids.len().max(b.raw_char_ids.len());
+    cached(s, gen, TAG_LEV, a.value_id(), b.value_id(), |s| {
+        let max = a.raw_char_ids().len().max(b.raw_char_ids().len());
         if max == 0 {
             return 1.0;
         }
@@ -629,47 +629,47 @@ fn jaro_winkler_ids(a: &[u32], b: &[u32], pool: usize, s: &mut CharScratch) -> f
 
 /// Jaro over precomputed raw char ids; mirrors `jaro::jaro`.
 #[inline]
-pub fn jaro_pre(a: &AttrAnalysis, b: &AttrAnalysis, pool: usize, gen: u64) -> f64 {
+pub fn jaro_pre(a: AttrView<'_>, b: AttrView<'_>, pool: usize, gen: u64) -> f64 {
     with_scratch(|s| jaro_pre_s(a, b, pool, gen, s))
 }
 
 /// [`jaro_pre`] over a caller-held scratch.
 pub(crate) fn jaro_pre_s(
-    a: &AttrAnalysis,
-    b: &AttrAnalysis,
+    a: AttrView<'_>,
+    b: AttrView<'_>,
     pool: usize,
     gen: u64,
     s: &mut CharScratch,
 ) -> f64 {
-    cached(s, gen, TAG_JARO, a.value_id, b.value_id, |s| {
-        jaro_ids(&a.raw_char_ids, &b.raw_char_ids, pool, s)
+    cached(s, gen, TAG_JARO, a.value_id(), b.value_id(), |s| {
+        jaro_ids(a.raw_char_ids(), b.raw_char_ids(), pool, s)
     })
 }
 
 /// Jaro-Winkler over precomputed raw char ids; mirrors
 /// `jaro::jaro_winkler`.
 #[inline]
-pub fn jaro_winkler_pre(a: &AttrAnalysis, b: &AttrAnalysis, pool: usize, gen: u64) -> f64 {
+pub fn jaro_winkler_pre(a: AttrView<'_>, b: AttrView<'_>, pool: usize, gen: u64) -> f64 {
     with_scratch(|s| jaro_winkler_pre_s(a, b, pool, gen, s))
 }
 
 /// [`jaro_winkler_pre`] over a caller-held scratch.
 pub(crate) fn jaro_winkler_pre_s(
-    a: &AttrAnalysis,
-    b: &AttrAnalysis,
+    a: AttrView<'_>,
+    b: AttrView<'_>,
     pool: usize,
     gen: u64,
     s: &mut CharScratch,
 ) -> f64 {
-    cached(s, gen, TAG_JW, a.value_id, b.value_id, |s| {
+    cached(s, gen, TAG_JW, a.value_id(), b.value_id(), |s| {
         // Route the O(n²) matching through the Jaro cache slot: a
         // pair vectorized with both kinds (the common case) does the
         // match work once, and the boost is O(1) on top.
         let j = jaro_pre_s(a, b, pool, gen, s);
         let prefix = a
-            .raw_char_ids
+            .raw_char_ids()
             .iter()
-            .zip(&b.raw_char_ids)
+            .zip(b.raw_char_ids())
             .take(4)
             .take_while(|(x, y)| x == y)
             .count();
@@ -696,8 +696,8 @@ pub(crate) fn jaro_winkler_pre_s(
 /// * an `a` token that also occurs in `b` scores an exact 1.0
 ///   (`jaro_winkler(x, x)`'s bits), which no other score can exceed.
 fn monge_elkan_dir(
-    a: &AttrAnalysis,
-    b: &AttrAnalysis,
+    a: AttrView<'_>,
+    b: AttrView<'_>,
     pool: usize,
     gen: u64,
     s: &mut CharScratch,
@@ -712,20 +712,20 @@ fn monge_elkan_dir(
     // Per-distinct-`a`-token memo; NaN marks "not yet computed" (a real
     // best is always finite: the fold starts at 0.0 over finite scores).
     s.me_a_best.clear();
-    s.me_a_best.resize(a.word_dedup_ids.len(), f64::NAN);
+    s.me_a_best.resize(a.word_dedup_ids().len(), f64::NAN);
     let mut sum = 0.0f64;
     for i in 0..na {
-        let r = a.word_dedup_rank[i] as usize;
+        let r = a.word_dedup_rank()[i] as usize;
         let mut best = s.me_a_best[r];
         if best.is_nan() {
-            let id = a.word_token_ids[i];
+            let id = a.word_token_ids()[i];
             best = 0.0;
-            if b.word_dedup_ids.contains(&id) {
+            if b.word_dedup_ids().contains(&id) {
                 best = 1.0;
             } else {
                 let ta = a.word_token(i);
-                for (p, &idb) in b.word_dedup_ids.iter().enumerate() {
-                    let j = b.word_dedup_first[p] as usize;
+                for (p, &idb) in b.word_dedup_ids().iter().enumerate() {
+                    let j = b.word_dedup_first()[p] as usize;
                     let tb = b.word_token(j);
                     // Tiny token pairs (numeric fragments, initials)
                     // compute faster than a probe-plus-fill on the low
@@ -752,19 +752,19 @@ fn monge_elkan_dir(
 /// Symmetric Monge-Elkan over precomputed token material; mirrors
 /// `monge_elkan::monge_elkan_sym` (forward direction first).
 #[inline]
-pub fn monge_elkan_pre(a: &AttrAnalysis, b: &AttrAnalysis, pool: usize, gen: u64) -> f64 {
+pub fn monge_elkan_pre(a: AttrView<'_>, b: AttrView<'_>, pool: usize, gen: u64) -> f64 {
     with_scratch(|s| monge_elkan_pre_s(a, b, pool, gen, s))
 }
 
 /// [`monge_elkan_pre`] over a caller-held scratch.
 pub(crate) fn monge_elkan_pre_s(
-    a: &AttrAnalysis,
-    b: &AttrAnalysis,
+    a: AttrView<'_>,
+    b: AttrView<'_>,
     pool: usize,
     gen: u64,
     s: &mut CharScratch,
 ) -> f64 {
-    cached(s, gen, TAG_ME, a.value_id, b.value_id, |s| {
+    cached(s, gen, TAG_ME, a.value_id(), b.value_id(), |s| {
         (monge_elkan_dir(a, b, pool, gen, s) + monge_elkan_dir(b, a, pool, gen, s)) / 2.0
     })
 }
@@ -946,19 +946,19 @@ sw_forms!(
 /// mirrors `align::smith_waterman_similarity` (which scores and
 /// normalizes over the lower-cased sequences).
 #[inline]
-pub fn smith_waterman_pre(a: &AttrAnalysis, b: &AttrAnalysis, gen: u64) -> f64 {
+pub fn smith_waterman_pre(a: AttrView<'_>, b: AttrView<'_>, gen: u64) -> f64 {
     with_scratch(|s| smith_waterman_pre_s(a, b, gen, s))
 }
 
 /// [`smith_waterman_pre`] over a caller-held scratch.
 pub(crate) fn smith_waterman_pre_s(
-    a: &AttrAnalysis,
-    b: &AttrAnalysis,
+    a: AttrView<'_>,
+    b: AttrView<'_>,
     gen: u64,
     s: &mut CharScratch,
 ) -> f64 {
-    cached(s, gen, TAG_SW, a.value_id, b.value_id, |s| {
-        let (ca, cb) = (&a.lower_char_ids, &b.lower_char_ids);
+    cached(s, gen, TAG_SW, a.value_id(), b.value_id(), |s| {
+        let (ca, cb) = (a.lower_char_ids(), b.lower_char_ids());
         if ca.is_empty() && cb.is_empty() {
             return 1.0;
         }
@@ -969,7 +969,7 @@ pub(crate) fn smith_waterman_pre_s(
         // 16-bit path when both sides carry narrowed ids (empty means
         // the char pool overflowed i16 — `ca`/`cb` are non-empty here)
         // and the lengths keep every DP intermediate inside i16.
-        let (ca16, cb16) = (&a.lower_char_i16, &b.lower_char_i16);
+        let (ca16, cb16) = (a.lower_char_i16(), b.lower_char_i16());
         let score = if ca16.len() == ca.len()
             && cb16.len() == cb.len()
             && ca.len().max(cb.len()) <= SW_I16_MAX_LEN

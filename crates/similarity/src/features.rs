@@ -85,26 +85,29 @@ impl FeatureKind {
     /// 1.0. The sweep runs kinds in library order over one shared cache
     /// generation, so these are *marginal* costs within a full pass —
     /// e.g. Jaro-Winkler reads Jaro's cached score and prices near the
-    /// probe, and the bit-parallel char kernels (PR 7) sit an order of
-    /// magnitude below their old string-path cost. Smith-Waterman and
-    /// Monge-Elkan still pay per-pair quadratic work and dominate.
+    /// probe. The PR 9 arena repack compressed the spread hard: with
+    /// every segment of a value's analysis on adjacent cache lines, the
+    /// set-merge kernels now cluster just above the header-compare
+    /// kernels, and only the per-pair-quadratic char measures
+    /// (Smith-Waterman, Monge-Elkan) and the wide 3-gram merges still
+    /// stand apart — the old 23× top-to-bottom ratio is now ~15×.
     /// `tests::costs_track_measured_kernel_timings` keeps this table
     /// honest against kernel drift.
     pub fn unit_cost(self) -> f64 {
         match self {
-            FeatureKind::NumRelSim => 0.6,
-            FeatureKind::ExactMatch | FeatureKind::NumExact => 1.0,
-            FeatureKind::PrefixSim => 1.1,
-            FeatureKind::DiceWords => 2.0,
-            FeatureKind::Containment | FeatureKind::OverlapWords => 2.2,
-            FeatureKind::Soundex => 2.4,
-            FeatureKind::CosineTfIdf => 2.5,
-            FeatureKind::JaccardWords | FeatureKind::JaroWinkler => 3.0,
-            FeatureKind::Levenshtein => 5.5,
-            FeatureKind::Jaccard3Grams => 7.5,
-            FeatureKind::Jaro => 10.0,
-            FeatureKind::MongeElkan => 17.0,
-            FeatureKind::SmithWaterman => 23.0,
+            FeatureKind::NumRelSim => 0.4,
+            FeatureKind::NumExact => 0.5,
+            FeatureKind::ExactMatch | FeatureKind::PrefixSim => 1.0,
+            FeatureKind::JaroWinkler => 1.7,
+            FeatureKind::DiceWords | FeatureKind::OverlapWords => 2.1,
+            FeatureKind::JaccardWords => 2.2,
+            FeatureKind::CosineTfIdf | FeatureKind::Soundex => 2.3,
+            FeatureKind::Containment => 2.4,
+            FeatureKind::Levenshtein => 4.5,
+            FeatureKind::Jaccard3Grams => 4.6,
+            FeatureKind::Jaro => 6.0,
+            FeatureKind::MongeElkan => 9.5,
+            FeatureKind::SmithWaterman => 14.5,
         }
     }
 
@@ -294,19 +297,22 @@ mod tests {
             reps[reps.len() / 2]
         };
 
-        // (expensive, cheap) pairs with a claimed cost ratio ≥ 5x.
+        // (expensive, cheap) pairs with a claimed cost ratio ≥ 5x. The
+        // arena repack (PR 9) compressed the table, so the surviving
+        // wide gaps all involve the quadratic char kernels; in exchange
+        // the measured bound is tightened from 2x to 2.5x.
         let pairs = [
             (FeatureKind::MongeElkan, FeatureKind::ExactMatch),
             (FeatureKind::SmithWaterman, FeatureKind::OverlapWords),
+            (FeatureKind::SmithWaterman, FeatureKind::CosineTfIdf),
             (FeatureKind::Jaro, FeatureKind::PrefixSim),
-            (FeatureKind::Jaccard3Grams, FeatureKind::ExactMatch),
         ];
         for (hi, lo) in pairs {
             let claimed = hi.unit_cost() / lo.unit_cost();
             assert!(claimed >= 5.0, "{hi:?}/{lo:?} no longer widely separated; pick new pairs");
             let (t_hi, t_lo) = (median_ns(hi), median_ns(lo));
             assert!(
-                t_hi > 2.0 * t_lo,
+                t_hi > 2.5 * t_lo,
                 "unit_cost says {hi:?} is {claimed:.0}x costlier than {lo:?}, but measured \
                  {t_hi:.0} ns vs {t_lo:.0} ns per pair — recalibrate the cost table"
             );

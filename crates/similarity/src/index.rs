@@ -36,10 +36,10 @@
 //! Probe output order is an implementation detail — callers sort the
 //! final candidate list into row-major pair order.
 
-use crate::analysis::{AttrAnalysis, TableAnalysis};
+use crate::analysis::{AttrView, TableAnalysis};
 use crate::record::RecordId;
 
-/// Which precomputed token set of an [`AttrAnalysis`] an index is built
+/// Which precomputed token set of an [`AttrView`] an index is built
 /// over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenSpace {
@@ -49,7 +49,7 @@ pub enum TokenSpace {
     Grams,
     /// Packed Soundex codes of the word tokens (`soundex_codes`).
     Soundex,
-    /// Word ids carrying TF/IDF weight (`tfidf`, ids only).
+    /// Word ids carrying TF/IDF weight (`tfidf_ids`).
     TfIdf,
 }
 
@@ -195,14 +195,15 @@ pub struct ProbeScratch {
     stamp: u32,
 }
 
-/// Copy the token ids of `an` for `space` into `out` (cleared first).
-fn collect_tokens(an: &AttrAnalysis, space: TokenSpace, out: &mut Vec<u32>) {
-    out.clear();
+/// The token ids of `an` for `space` — a zero-copy slice into the
+/// analysis arena (TF/IDF ids are their own slab segment, so even the
+/// weighted space needs no extraction pass).
+fn tokens_of<'a>(an: AttrView<'a>, space: TokenSpace) -> &'a [u32] {
     match space {
-        TokenSpace::Words => out.extend_from_slice(&an.word_ids),
-        TokenSpace::Grams => out.extend_from_slice(&an.gram_ids),
-        TokenSpace::Soundex => out.extend_from_slice(&an.soundex_codes),
-        TokenSpace::TfIdf => out.extend(an.tfidf.iter().map(|&(id, _)| id)),
+        TokenSpace::Words => an.word_ids(),
+        TokenSpace::Grams => an.gram_ids(),
+        TokenSpace::Soundex => an.soundex_codes(),
+        TokenSpace::TfIdf => an.tfidf_ids(),
     }
 }
 
@@ -212,20 +213,19 @@ impl InvertedIndex {
         let n = table.len();
         let mut sizes = vec![NO_ANALYSIS; n];
         let mut empties = Vec::new();
-        let mut per_record: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut per_record: Vec<&[u32]> = vec![&[]; n];
         let mut all: Vec<u32> = Vec::new();
-        let mut toks = Vec::new();
         for r in 0..n {
             let Some(an) = table.attr(r as RecordId, attr) else {
                 continue;
             };
-            collect_tokens(an, space, &mut toks);
+            let toks = tokens_of(an, space);
             sizes[r] = toks.len() as u32;
             if toks.is_empty() {
                 empties.push(r as u32);
             } else {
-                all.extend_from_slice(&toks);
-                per_record[r] = toks.clone();
+                all.extend_from_slice(toks);
+                per_record[r] = toks;
             }
         }
         all.sort_unstable();
@@ -234,7 +234,7 @@ impl InvertedIndex {
 
         let mut df = vec![0u32; vocab.len()];
         for toks in &per_record {
-            for t in toks {
+            for t in *toks {
                 // Tokens always hit: vocab was built from these lists.
                 if let Ok(rank) = vocab.binary_search(t) {
                     df[rank] += 1;
@@ -300,7 +300,7 @@ impl InvertedIndex {
     /// within this call (via `scratch`) but unsorted.
     pub fn probe(
         &self,
-        probe: Option<&AttrAnalysis>,
+        probe: Option<AttrView<'_>>,
         measure: SetMeasure,
         threshold: f64,
         scratch: &mut ProbeScratch,
@@ -310,8 +310,7 @@ impl InvertedIndex {
         let Some(an) = probe else {
             return;
         };
-        let mut tokens = Vec::new();
-        collect_tokens(an, self.space, &mut tokens);
+        let tokens = tokens_of(an, self.space);
         let y = tokens.len() as u32;
         if y == 0 {
             // Empty-vs-empty scores 1.0 (> t for every t < 1) under all
@@ -334,7 +333,7 @@ impl InvertedIndex {
         // nothing, but keeping them preserves the shared total order the
         // prefix theorem needs.
         scratch.keyed.clear();
-        for &t in &tokens {
+        for &t in tokens {
             match self.vocab.binary_search(&t) {
                 Ok(rank) => scratch.keyed.push((self.df[rank], t, rank as u32)),
                 Err(_) => scratch.keyed.push((0, t, u32::MAX)),
@@ -412,9 +411,9 @@ impl ExactIndex {
     pub fn matches(&self, table: &TableAnalysis, needle: &str, out: &mut Vec<u32>) {
         let lo = self
             .sorted
-            .partition_point(|&r| collapsed_of(table, r, self.attr).as_str() < needle);
+            .partition_point(|&r| collapsed_of(table, r, self.attr) < needle);
         for &r in &self.sorted[lo..] {
-            if collapsed_of(table, r, self.attr).as_str() != needle {
+            if collapsed_of(table, r, self.attr) != needle {
                 break;
             }
             out.push(r);
@@ -422,11 +421,11 @@ impl ExactIndex {
     }
 }
 
-fn collapsed_of(table: &TableAnalysis, rec: u32, attr: usize) -> &String {
-    &table
+fn collapsed_of(table: &TableAnalysis, rec: u32, attr: usize) -> &str {
+    table
         .attr(rec, attr)
         .expect("ExactIndex only holds records with analysis")
-        .collapsed
+        .collapsed()
 }
 
 #[cfg(test)]
@@ -469,11 +468,11 @@ mod tests {
     fn sim(an: &crate::analysis::TaskAnalysis, measure: SetMeasure, space: TokenSpace, x: u32, y: u32) -> f64 {
         let (ra, rb) = (an.attr_a(x, 0).unwrap(), an.attr_b(y, 0).unwrap());
         match (measure, space) {
-            (SetMeasure::Jaccard, TokenSpace::Words) => analysis::jaccard_ids(&ra.word_ids, &rb.word_ids),
-            (SetMeasure::Jaccard, TokenSpace::Grams) => analysis::jaccard_ids(&ra.gram_ids, &rb.gram_ids),
+            (SetMeasure::Jaccard, TokenSpace::Words) => analysis::jaccard_ids(ra.word_ids(), rb.word_ids()),
+            (SetMeasure::Jaccard, TokenSpace::Grams) => analysis::jaccard_ids(ra.gram_ids(), rb.gram_ids()),
             (SetMeasure::Jaccard, TokenSpace::Soundex) => analysis::soundex_pre(ra, rb),
-            (SetMeasure::Dice, TokenSpace::Words) => analysis::dice_ids(&ra.word_ids, &rb.word_ids),
-            (SetMeasure::Overlap, TokenSpace::Words) => analysis::overlap_ids(&ra.word_ids, &rb.word_ids),
+            (SetMeasure::Dice, TokenSpace::Words) => analysis::dice_ids(ra.word_ids(), rb.word_ids()),
+            (SetMeasure::Overlap, TokenSpace::Words) => analysis::overlap_ids(ra.word_ids(), rb.word_ids()),
             (SetMeasure::Cosine, TokenSpace::TfIdf) => analysis::cosine_pre(ra, rb),
             _ => unreachable!("untested combination"),
         }

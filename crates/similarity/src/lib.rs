@@ -42,7 +42,7 @@ pub mod record;
 pub mod tokenize;
 pub mod vector;
 
-pub use analysis::{AnalysisStats, AttrAnalysis, TableAnalysis, TaskAnalysis};
+pub use analysis::{AnalysisStats, AttrView, TableAnalysis, TaskAnalysis};
 pub use features::{FeatureDef, FeatureKind, FeatureLibrary};
 pub use index::{ExactIndex, InvertedIndex, ProbeScratch, SetMeasure, TokenSpace};
 pub use record::{AttrType, Attribute, Record, RecordId, Schema, Table, Value};

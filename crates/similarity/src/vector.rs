@@ -10,7 +10,7 @@
 //! Missing values produce `NaN` features; the forest learner handles those
 //! with learned missing-value routing (see the `forest` crate).
 
-use crate::analysis::{self, AttrAnalysis, TaskAnalysis};
+use crate::analysis::{self, AttrView, TaskAnalysis};
 use crate::charkernels;
 use crate::cosine::TfIdfModel;
 use crate::features::{FeatureDef, FeatureKind, FeatureLibrary};
@@ -137,8 +137,8 @@ impl FeatureVectorizer {
         a: &Record,
         b: &Record,
         an: &TaskAnalysis,
-        ra: Option<&AttrAnalysis>,
-        rb: Option<&AttrAnalysis>,
+        ra: Option<AttrView<'_>>,
+        rb: Option<AttrView<'_>>,
         s: &mut charkernels::CharScratch,
     ) -> f64 {
         let def = &self.lib.defs[idx];
@@ -165,15 +165,15 @@ impl FeatureVectorizer {
                 };
                 match def.kind {
                     FeatureKind::JaccardWords => {
-                        analysis::jaccard_ids(&ra.word_ids, &rb.word_ids)
+                        analysis::jaccard_ids(ra.word_ids(), rb.word_ids())
                     }
                     FeatureKind::Jaccard3Grams => {
-                        analysis::jaccard_ids(&ra.gram_ids, &rb.gram_ids)
+                        analysis::jaccard_ids(ra.gram_ids(), rb.gram_ids())
                     }
                     FeatureKind::OverlapWords => {
-                        analysis::overlap_ids(&ra.word_ids, &rb.word_ids)
+                        analysis::overlap_ids(ra.word_ids(), rb.word_ids())
                     }
-                    FeatureKind::DiceWords => analysis::dice_ids(&ra.word_ids, &rb.word_ids),
+                    FeatureKind::DiceWords => analysis::dice_ids(ra.word_ids(), rb.word_ids()),
                     FeatureKind::CosineTfIdf => {
                         if self.tfidf[def.attr].is_some() {
                             analysis::cosine_pre(ra, rb)
@@ -246,7 +246,7 @@ impl FeatureVectorizer {
         let mut abuf = [None; MAX_ATTRS];
         let mut bbuf = [None; MAX_ATTRS];
         let (mut va, mut vb) = (Vec::new(), Vec::new());
-        let (ra, rb): (&[Option<&AttrAnalysis>], &[Option<&AttrAnalysis>]) =
+        let (ra, rb): (&[Option<AttrView<'_>>], &[Option<AttrView<'_>>]) =
             if n_attrs <= MAX_ATTRS {
                 for ai in 0..n_attrs {
                     abuf[ai] = an.attr_a(a.id, ai);

@@ -51,6 +51,11 @@ grep -q "index_equivalence=ok" "$perf_log" \
 # reference, then prints this marker.
 grep -q "char_equivalence=ok" "$perf_log" \
     || { echo "FAIL: blocking_perf did not report char_equivalence=ok"; exit 1; }
+# And for the arena-packed analysis layer: the bin compares every pair's
+# full feature vector (arena views vs string reference) with to_bits
+# equality before printing this marker.
+grep -q "arena_equivalence=ok" "$perf_log" \
+    || { echo "FAIL: blocking_perf did not report arena_equivalence=ok"; exit 1; }
 rm -f "$perf_tmp" "$perf_log"
 
 echo "==> fault-injection smoke (30% HIT expiry, 20% abandonment)"
