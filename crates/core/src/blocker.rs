@@ -112,7 +112,9 @@ pub fn run_blocker(
     // 2. Sample S: t_B/|A| random B-tuples × all of A, plus seeds (§4.1
     //    step 2). A is the smaller table by convention.
     let n_a = task.table_a.len();
-    let n_b_sample = ((cfg.t_b as usize).div_ceil(n_a)).min(task.table_b.len());
+    let n_b_sample = usize::try_from(cfg.t_b.div_ceil(n_a as u64))
+        .unwrap_or(usize::MAX)
+        .min(task.table_b.len());
     let mut b_ids: Vec<u32> = (0..task.table_b.len() as u32).collect();
     b_ids.shuffle(rng);
     b_ids.truncate(n_b_sample);

@@ -425,7 +425,7 @@ impl Engine {
                 t_locator = snap.timings_ms[3];
                 blocker_report = snap.blocker_report;
                 predictions = snap.predictions;
-                known_labels = snap.known_labels.into_iter().collect(); // lint:allow(D2): snap.known_labels is the snapshot's sorted Vec, not a hash map; lexical lint matches the field name
+                known_labels = snap.known_labels.into_iter().collect();
                 region = snap.region;
                 iterations = snap.iterations;
                 best = snap.best;

@@ -152,7 +152,7 @@ pub struct MatchTask {
     pub vectorizer: FeatureVectorizer,
     /// Lazily-built record-analysis layer (derived state; serialized as
     /// `null` and rebuilt on demand after deserialization).
-    pub analysis: AnalysisCell,
+    pub analysis: AnalysisCell, // lint:allow(D9): derived cache, recomputed from records on first use after resume; counters are observability-only and never reach report bytes
 }
 
 impl MatchTask {

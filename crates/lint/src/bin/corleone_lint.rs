@@ -1,14 +1,18 @@
-//! `corleone-lint` CLI — walk the workspace, enforce D1–D6, exit non-zero
+//! `corleone-lint` CLI — walk the workspace, enforce D1–D9, exit non-zero
 //! on any un-annotated finding.
 //!
 //! ```text
-//! corleone-lint [--json] [--stats] [--root <workspace-root>]
+//! corleone-lint [--json] [--stats] [--ratchet <baseline.json>] [--root <workspace-root>]
 //! ```
 //!
 //! * default: human-readable findings + the allow-annotation inventory
 //! * `--json`:  machine-readable report (findings, allows, stats) on stdout
 //! * `--stats`: add the per-rule counter table to the human output
-//! * exit code: 0 when clean, 1 on findings, 2 on usage/IO errors
+//! * `--ratchet <path>`: check the waiver inventory against the committed
+//!   budget (`lint-baseline.json`); prints `lint_ratchet=ok` on success so
+//!   CI can grep for it like the `*_equivalence=ok` markers
+//! * exit code: 0 when clean (and, with `--ratchet`, within budget),
+//!   1 on findings or ratchet violations, 2 on usage/IO errors
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,6 +21,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut stats = false;
     let mut root: Option<PathBuf> = None;
+    let mut ratchet: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,8 +34,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--ratchet" => match args.next() {
+                Some(p) => ratchet = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("corleone-lint: --ratchet requires a baseline path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: corleone-lint [--json] [--stats] [--root <workspace-root>]");
+                println!(
+                    "usage: corleone-lint [--json] [--stats] [--ratchet <baseline.json>] \
+                     [--root <workspace-root>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -77,6 +92,33 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.render_human(stats));
     }
+
+    if let Some(baseline_path) = ratchet {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("corleone-lint: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match lint::parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("corleone-lint: bad baseline {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let violations = lint::ratchet_violations(&report, &baseline);
+        if violations.is_empty() {
+            println!("lint_ratchet=ok");
+        } else {
+            for v in &violations {
+                eprintln!("lint ratchet violation: {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {

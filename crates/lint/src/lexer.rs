@@ -200,8 +200,26 @@ pub fn lex(src: &str) -> Lexed<'_> {
                             line: start_line,
                         });
                         i = j;
+                    } else if text == "r"
+                        && hashes == 1
+                        && j < n
+                        && is_ident_start(b[j])
+                    {
+                        // `r#ident` raw identifier: one Ident token covering
+                        // the whole `r#name` spelling. Keeping the `r#`
+                        // prefix in the text means keyword raw identifiers
+                        // (`r#struct`, `r#use`) can never be mistaken for
+                        // the keyword by token-pattern rules.
+                        let id_start = start;
+                        while j < n && is_ident_cont(b[j]) {
+                            j += 1;
+                        }
+                        out.toks.push(Tok { kind: TokKind::Ident, text: &src[id_start..j], line });
+                        i = j;
                     } else {
-                        // `r#ident` raw identifiers: treat as an ident.
+                        // `r#` / `br#` not opening a raw string or raw
+                        // identifier: keep the prefix as an ident and let
+                        // the hashes lex as puncts.
                         out.toks.push(Tok { kind: TokKind::Ident, text, line });
                     }
                 } else if byte_str {
@@ -323,5 +341,48 @@ let real = total_cmp;
         let src = "/* outer /* inner unwrap() */ still comment */ let x = 1;";
         let ids = idents(src);
         assert_eq!(ids, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_stay_opaque() {
+        // Two levels of nesting plus trailing code: everything between the
+        // outermost delimiters is one comment, and tokens resume after it.
+        let src = "/* a /* b /* partial_cmp */ thread_rng */ unwrap() */ let tail = 1;";
+        assert_eq!(idents(src), vec!["let", "tail"]);
+        // `/*/` opens without closing (the `*` is shared), as in rustc.
+        let src2 = "/*/ unwrap() */ let after = 2;";
+        assert_eq!(idents(src2), vec!["let", "after"]);
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        // A ≥2-hash raw string may contain shorter `"#` terminator
+        // lookalikes; only the full-width close ends the literal.
+        let src = r####"let a = r##"unwrap() "# partial_cmp"##; let ok1 = 1;"####;
+        assert_eq!(idents(src), vec!["let", "a", "let", "ok1"]);
+        let src3 = "let b = r###\"thread_rng \"## x\"###; let ok2 = 2;";
+        assert_eq!(idents(src3), vec!["let", "b", "let", "ok2"]);
+        // Byte raw strings take the same path.
+        let srcb = "let c = br##\"from_entropy \"# y\"##; let ok3 = 3;";
+        assert_eq!(idents(srcb), vec!["let", "c", "let", "ok3"]);
+        // Line numbers survive multi-line ≥2-hash raw strings.
+        let srcl = "let a = r##\"l1\nl2\nl3\"##;\nlet marker = 1;";
+        let lexed = lex(srcl);
+        let m = lexed.toks.iter().find(|t| t.is_ident("marker")).expect("marker");
+        assert_eq!(m.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        // `r#struct` must not leak a bare `struct` ident into the stream
+        // (it would corrupt the resolver's struct parser), and `r#unwrap`
+        // must not match rules targeting `unwrap`.
+        let src = "let r#struct = 1; let y = r#unwrap; fn r#fn() {}";
+        let ids = idents(src);
+        assert!(ids.contains(&"r#struct"));
+        assert!(ids.contains(&"r#unwrap"));
+        assert!(ids.contains(&"r#fn"));
+        assert!(!ids.contains(&"struct"));
+        assert!(!ids.contains(&"unwrap"));
     }
 }

@@ -18,16 +18,24 @@
 //! | D5   | `unsafe` needs `// SAFETY:`; unsafe-free crates forbid it outright |
 //! | D6   | no raw `thread::spawn` outside `crates/exec` |
 //! | D7   | no truncating `as usize`/`as u32` casts on u64 counters in serializing crates |
+//! | D8   | no order-dependent float accumulation across parallel or hash-ordered boundaries |
+//! | D9   | the `RunSnapshot`/`MatchTask` closure is complete — skipped/volatile fields are waived explicitly |
 //!
-//! The analysis is lexical: a hand-rolled comment/string/raw-string-aware
-//! lexer ([`lexer`]) feeds token-stream rules ([`rules`]), so rule text
-//! inside literals or docs never fires. Escape hatch: a same-line
+//! The analysis runs in two phases: a hand-rolled comment/string/
+//! raw-string-aware lexer ([`lexer`]) feeds a workspace-wide symbol graph
+//! ([`resolve`]) — struct/enum fields with resolved types, `use` aliases,
+//! `let`/param ascriptions, `exec::par_map`-family closure boundaries —
+//! and the token-stream rules ([`rules`]) then query receivers against
+//! *declared types* instead of bare names, falling back to the per-file
+//! name table only when resolution is impossible. Rule text inside
+//! literals or docs never fires. Escape hatch: a same-line
 //! `// lint:allow(Dx): <reason>` annotation (or
 //! `// lint:allow-module(Dx): <reason>` for a whole file); the reason text
 //! is mandatory and every waiver is surfaced in the report so the
 //! inventory stays reviewable. See DESIGN.md §4f.
 
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
 
 use std::collections::BTreeMap;
@@ -52,6 +60,8 @@ pub fn rule_name(rule: &str) -> &'static str {
         "D5" => "unsafe-hygiene",
         "D6" => "raw-thread-spawn",
         "D7" => "u64-truncating-cast",
+        "D8" => "order-dependent-float-accumulation",
+        "D9" => "snapshot-closure-completeness",
         _ => "malformed-allow-annotation",
     }
 }
@@ -259,31 +269,99 @@ pub struct FileOutcome {
     pub module_allows: Vec<String>,
 }
 
-/// Lint one file's source. `rel_path` is workspace-relative (used in
-/// diagnostics and for the `src/bin/` exemption); `crate_name` is the
-/// `crates/<name>` directory name the file belongs to.
-pub fn lint_file(rel_path: &str, crate_name: &str, src: &str) -> FileOutcome {
-    let lexed = lexer::lex(src);
-    let annotations = rules::parse_annotations(&lexed.comments);
-    let skip = rules::test_ranges(&lexed.toks);
-    let is_bin = rel_path.contains("/src/bin/") || rel_path.ends_with("/main.rs");
+/// One file queued for a [`lint_source_set`] pass.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path (used in diagnostics and for the
+    /// `src/bin/` exemption).
+    pub rel: String,
+    /// The `crates/<name>` directory name the file belongs to.
+    pub crate_name: String,
+    pub src: String,
+}
 
-    let mut raw: Vec<RawFinding> = Vec::new();
-    raw.extend(rules::d1(&lexed.toks));
-    if D2_DENY_CRATES.contains(&crate_name) {
-        raw.extend(rules::d2(&lexed.toks, &skip));
-        raw.extend(rules::d7(&lexed.toks, &skip));
+/// Lint a set of files as one workspace: phase 1 builds the cross-file
+/// symbol graph ([`resolve::Workspace`]) from every file's token stream,
+/// phase 2 runs the rules per file with a [`resolve::Resolver`] over that
+/// shared graph, then routes the workspace-level D9 findings to the file
+/// owning each flagged type definition. Outcomes are returned in input
+/// order, one per file.
+pub fn lint_source_set(files: &[SourceFile]) -> Vec<FileOutcome> {
+    // Phase 1: lex everything and merge the symbol graph.
+    let lexed: Vec<lexer::Lexed<'_>> = files.iter().map(|f| lexer::lex(&f.src)).collect();
+    let mut ws = resolve::Workspace::default();
+    let mut facts: Vec<resolve::FileFacts> = Vec::with_capacity(files.len());
+    for (f, lx) in files.iter().zip(&lexed) {
+        let (ff, defs, manual) = resolve::collect(&f.rel, &f.crate_name, &lx.toks);
+        ws.add_types(defs);
+        ws.manual_serde.extend(manual);
+        facts.push(ff);
     }
-    if crate_name != "bench" {
-        raw.extend(rules::d3(&lexed.toks, &skip));
-        if !is_bin {
-            raw.extend(rules::d4(&lexed.toks, &skip));
+
+    // Phase 2: per-file rules against the shared graph.
+    let mut raws: Vec<Vec<RawFinding>> = Vec::with_capacity(files.len());
+    for (i, f) in files.iter().enumerate() {
+        let lx = &lexed[i];
+        let r = resolve::Resolver { facts: &facts[i], ws: &ws };
+        let skip = rules::test_ranges(&lx.toks);
+        let is_bin = f.rel.contains("/src/bin/") || f.rel.ends_with("/main.rs");
+        let crate_name = f.crate_name.as_str();
+
+        let mut raw: Vec<RawFinding> = Vec::new();
+        raw.extend(rules::d1(&lx.toks));
+        if D2_DENY_CRATES.contains(&crate_name) {
+            raw.extend(rules::d2(&lx.toks, &skip, &r));
+            raw.extend(rules::d7(&lx.toks, &skip, &r));
+        }
+        if crate_name != "bench" {
+            raw.extend(rules::d3(&lx.toks, &skip));
+            if !is_bin {
+                raw.extend(rules::d4(&lx.toks, &skip));
+            }
+            raw.extend(rules::d8(&lx.toks, &skip, &r));
+        }
+        raw.extend(rules::d5_unsafe_blocks(lx));
+        if crate_name != "exec" {
+            raw.extend(rules::d6(&lx.toks));
+        }
+        raws.push(raw);
+    }
+
+    // D9 is workspace-level: findings attach to the file that *defines*
+    // the flagged field, where the waiver (if any) must live.
+    for (file, f) in rules::d9(&ws) {
+        if let Some(i) = files.iter().position(|sf| sf.rel == file) {
+            raws[i].push(f);
         }
     }
-    raw.extend(rules::d5_unsafe_blocks(&lexed));
-    if crate_name != "exec" {
-        raw.extend(rules::d6(&lexed.toks));
-    }
+
+    files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let raw = std::mem::take(&mut raws[i]);
+            apply_annotations(&f.rel, &lexed[i], raw)
+        })
+        .collect()
+}
+
+/// Lint one file's source in isolation (the symbol graph sees only this
+/// file). This is the fixture-test entry point; the workspace pass goes
+/// through [`lint_source_set`] so cross-file types resolve.
+pub fn lint_file(rel_path: &str, crate_name: &str, src: &str) -> FileOutcome {
+    lint_source_set(&[SourceFile {
+        rel: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        src: src.to_string(),
+    }])
+    .pop()
+    .expect("one outcome per input file")
+}
+
+/// Apply the `lint:allow` annotation filter to a file's raw findings and
+/// assemble its [`FileOutcome`].
+fn apply_annotations(rel_path: &str, lexed: &lexer::Lexed<'_>, raw: Vec<RawFinding>) -> FileOutcome {
+    let annotations = rules::parse_annotations(&lexed.comments);
 
     let mut out = FileOutcome {
         tokens: lexed.toks.len() as u64,
@@ -379,8 +457,11 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         .collect();
     crate_dirs.sort();
 
-    let mut report = Report::default();
-    for crate_dir in crate_dirs {
+    // Gather every file first: the two-phase pass needs the whole
+    // workspace in hand so types defined in one crate resolve in another.
+    let mut sources: Vec<SourceFile> = Vec::new();
+    let mut is_crate_lib: Vec<bool> = Vec::new();
+    for crate_dir in &crate_dirs {
         let crate_name = crate_dir
             .file_name()
             .and_then(|n| n.to_str())
@@ -392,9 +473,6 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         }
         let mut files = Vec::new();
         walk_rs(&src_dir, &mut files)?;
-
-        let mut crate_has_unsafe = false;
-        let mut lib_rs: Option<(String, bool, Vec<String>)> = None;
         for path in files {
             let src = fs::read_to_string(&path)?;
             let rel = path
@@ -402,30 +480,40 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let outcome = lint_file(&rel, &crate_name, &src);
-            report.stats.files_scanned += 1;
-            report.stats.tokens += outcome.tokens;
-            crate_has_unsafe |= outcome.has_unsafe;
-            if path.file_name().is_some_and(|n| n == "lib.rs")
-                && path.parent().is_some_and(|p| p == src_dir)
-            {
-                lib_rs = Some((
-                    rel.clone(),
-                    outcome.has_forbid_unsafe,
-                    outcome.module_allows.clone(),
-                ));
-            }
-            report.findings.extend(outcome.findings);
-            report.allows.extend(outcome.allows);
-            report.unused_allows.extend(outcome.unused_allows);
+            is_crate_lib.push(
+                path.file_name().is_some_and(|n| n == "lib.rs")
+                    && path.parent().is_some_and(|p| p == src_dir),
+            );
+            sources.push(SourceFile { rel, crate_name: crate_name.clone(), src });
         }
-        // Crate-level D5: an unsafe-free crate must let the compiler hold
-        // the line with `#![forbid(unsafe_code)]`.
+    }
+
+    let outcomes = lint_source_set(&sources);
+
+    let mut report = Report::default();
+    // Per-crate D5 state: (has_unsafe, lib.rs (rel path, has forbid, module allows)).
+    type LibInfo<'a> = (&'a str, bool, &'a [String]);
+    let mut crate_state: BTreeMap<&str, (bool, Option<LibInfo>)> = BTreeMap::new();
+    for ((sf, outcome), is_lib) in sources.iter().zip(&outcomes).zip(&is_crate_lib) {
+        report.stats.files_scanned += 1;
+        report.stats.tokens += outcome.tokens;
+        let entry = crate_state.entry(sf.crate_name.as_str()).or_insert((false, None));
+        entry.0 |= outcome.has_unsafe;
+        if *is_lib {
+            entry.1 = Some((sf.rel.as_str(), outcome.has_forbid_unsafe, &outcome.module_allows));
+        }
+        report.findings.extend(outcome.findings.iter().cloned());
+        report.allows.extend(outcome.allows.iter().cloned());
+        report.unused_allows.extend(outcome.unused_allows.iter().cloned());
+    }
+    // Crate-level D5: an unsafe-free crate must let the compiler hold
+    // the line with `#![forbid(unsafe_code)]`.
+    for (crate_name, (has_unsafe, lib_rs)) in crate_state {
         if let Some((lib_rel, has_forbid, module_allows)) = lib_rs {
-            if !crate_has_unsafe && !has_forbid && !module_allows.iter().any(|r| r == "D5") {
+            if !has_unsafe && !has_forbid && !module_allows.iter().any(|r| r == "D5") {
                 report.findings.push(Finding {
                     rule: "D5".to_string(),
-                    file: lib_rel,
+                    file: lib_rel.to_string(),
                     line: 1,
                     message: format!(
                         "crate `{crate_name}` is unsafe-free but lib.rs lacks \
@@ -437,6 +525,86 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     }
     report.finalize();
     Ok(report)
+}
+
+/// The committed waiver budget (`lint-baseline.json`): the ratchet fails
+/// CI when any rule's allow count exceeds its budgeted ceiling, so the
+/// inventory can only shrink (or grow through an explicit, reviewed
+/// baseline edit).
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub allow_budget: BTreeMap<String, usize>,
+}
+
+/// Parse `lint-baseline.json`. Hand-rolled for the one fixed schema
+/// (`{"schema_version": 1, "allow_budget": {"D2": 13, ...}}`) — the lint
+/// stays dependency-free by design.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let obj_start = text
+        .find("\"allow_budget\"")
+        .ok_or_else(|| "missing \"allow_budget\" key".to_string())?;
+    let brace = text[obj_start..]
+        .find('{')
+        .ok_or_else(|| "missing allow_budget object".to_string())?
+        + obj_start;
+    let end = text[brace..]
+        .find('}')
+        .ok_or_else(|| "unclosed allow_budget object".to_string())?
+        + brace;
+    let mut base = Baseline::default();
+    for pair in text[brace + 1..end].split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, val) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed budget entry `{pair}`"))?;
+        let key = key.trim().trim_matches('"');
+        let val: usize = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("budget for `{key}` is not a non-negative integer"))?;
+        if !RULES.contains(&key) && key != ANNOTATION_RULE {
+            return Err(format!("budget names unknown rule `{key}`"));
+        }
+        base.allow_budget.insert(key.to_string(), val);
+    }
+    Ok(base)
+}
+
+/// Ratchet check: violations that must fail CI. Empty means the ratchet
+/// holds. Three classes: un-annotated findings (the workspace must be
+/// lint-clean), any unused allow (dead waivers may not accumulate), and a
+/// per-rule allow count above the committed budget.
+pub fn ratchet_violations(report: &Report, baseline: &Baseline) -> Vec<String> {
+    let mut out = Vec::new();
+    if !report.findings.is_empty() {
+        out.push(format!(
+            "{} un-annotated finding(s) — the workspace must be lint-clean",
+            report.findings.len()
+        ));
+    }
+    for a in &report.unused_allows {
+        out.push(format!(
+            "unused allow {} at {}:{} — delete it (dead waivers may not accumulate)",
+            a.rule, a.file, a.line
+        ));
+    }
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for a in &report.allows {
+        *counts.entry(a.rule.as_str()).or_insert(0) += 1;
+    }
+    for (rule, n) in counts {
+        let budget = baseline.allow_budget.get(rule).copied().unwrap_or(0);
+        if n > budget {
+            out.push(format!(
+                "rule {rule} has {n} allow(s), budget is {budget} — shrink the inventory \
+                 or raise the baseline in an explicit review"
+            ));
+        }
+    }
+    out
 }
 
 /// Find the workspace root: ascend from `start` until a directory holding

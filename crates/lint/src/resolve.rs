@@ -1,0 +1,1206 @@
+//! Phase 1 of the semantic lint: a workspace-wide symbol graph built from
+//! the token streams of every scanned file.
+//!
+//! The lexical rules of PR 5 kept one name-based symbol table per file,
+//! which both misses cross-file hazards (a `HashMap` field defined in
+//! crate A, iterated in crate B) and false-positives on name collisions
+//! (a snapshot's sorted `known_labels` Vec sharing its name with the
+//! engine's working `HashMap`). This module replaces that with *resolved
+//! types*:
+//!
+//! * [`TypeRef`] — a parsed type shape (`Vec<(PairKey, bool)>` becomes
+//!   `Vec((tuple)(PairKey, bool))`), with references, `mut`, and
+//!   lifetimes stripped and per-file `use .. as` aliases applied;
+//! * [`TypeDef`] — every `struct`/`enum` in the workspace, with field
+//!   names, resolved field types, and serde field attributes;
+//! * [`FileFacts`] — per-file context: local `let`/param/field type
+//!   ascriptions, `= Type::new()`-style init inference,
+//!   `collect::<T>()` turbofish bindings, `impl` block ranges (for
+//!   `self.field` resolution), and the closure argument of every
+//!   `exec::par_map`-family call site (for the D8 parallel-boundary
+//!   rule);
+//! * [`Workspace`] — the merged graph, plus the set of types carrying a
+//!   hand-written `impl Serialize for ..` (for the D9 snapshot rule);
+//! * [`Resolver`] — phase-2 queries: resolve a dotted receiver chain
+//!   (`self.entries`, `snap.known_labels`, `p.ticks`) to a [`TypeRef`].
+//!
+//! Everything here is a *heuristic over tokens*, not a type checker: the
+//! resolver answers `None` whenever a chain passes through a call, an
+//! index, or an unknown name, and the rules treat `None` as "do not
+//! fire". The failure mode is a missed finding, never a false one — the
+//! right bias for a lint whose waiver inventory is itself budgeted.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+
+/// The `exec` fan-out primitives whose closure argument crosses a
+/// parallel boundary (rule D8).
+pub const PAR_FNS: [&str; 3] = ["par_map", "indexed_par_map", "par_map_seeded"];
+
+/// A parsed type shape: last path segment (alias-resolved) plus generic
+/// arguments. References, `mut`, and lifetimes are stripped; tuples get
+/// the pseudo-head `(tuple)` and arrays/slices `[array]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeRef {
+    pub head: String,
+    pub args: Vec<TypeRef>,
+}
+
+impl TypeRef {
+    pub fn leaf(head: &str) -> TypeRef {
+        TypeRef { head: head.to_string(), args: Vec::new() }
+    }
+
+    /// Does this type, or any generic argument at any depth, have a head
+    /// satisfying `pred`?
+    pub fn contains_head(&self, pred: &dyn Fn(&str) -> bool) -> bool {
+        pred(&self.head) || self.args.iter().any(|a| a.contains_head(pred))
+    }
+
+    /// Visit this type and every nested argument.
+    pub fn walk(&self, f: &mut dyn FnMut(&TypeRef)) {
+        f(self);
+        for a in &self.args {
+            a.walk(f);
+        }
+    }
+}
+
+/// Heads that mean "hash-ordered collection" for D2/D8.
+pub fn is_map_head(h: &str) -> bool {
+    h == "HashMap" || h == "HashSet"
+}
+
+/// Heads that mean "IEEE float whose accumulation order matters" for D8.
+pub fn is_float_head(h: &str) -> bool {
+    h == "f64" || h == "f32"
+}
+
+/// One struct field (or enum variant payload) with its resolved type and
+/// the serde attributes the D9 snapshot rule inspects.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    pub name: String,
+    pub line: u32,
+    pub ty: TypeRef,
+    /// `#[serde(skip)]` / `skip_serializing` / `skip_deserializing`.
+    pub serde_skip: bool,
+    /// `#[serde(default)]` (alone: the wire may omit the field).
+    pub serde_default: bool,
+}
+
+/// One `struct` or `enum` definition.
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    pub name: String,
+    pub file: String,
+    pub crate_name: String,
+    pub line: u32,
+    pub is_enum: bool,
+    pub fields: Vec<FieldDef>,
+}
+
+/// Token range of one `impl` block, for `self.field` resolution.
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// Head of the implementing type (`impl Trait for X` resolves to `X`).
+    pub target: String,
+    /// Token index range `[start, end]` of the block, braces included.
+    pub start: usize,
+    pub end: usize,
+}
+
+/// One `par_map`-family call site and its closure argument.
+#[derive(Debug, Clone)]
+pub struct ParClosure {
+    pub callee: String,
+    pub line: u32,
+    /// Closure parameter names (first ident of each `,`-separated param).
+    pub params: Vec<String>,
+    /// Token index range `[start, end]` of the closure body (from the
+    /// token after the closing `|` to the call's closing parenthesis).
+    pub body: (usize, usize),
+}
+
+/// Per-file phase-1 facts.
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    /// `use path::Orig as Alias` → `Alias ↦ Orig`, applied when parsing
+    /// types in this file.
+    pub aliases: BTreeMap<String, String>,
+    /// Name → type, from ascriptions (`let x: T`, params, fields in
+    /// scope), `= Type::new()` init inference, float-literal inits, and
+    /// `collect::<T>()` turbofish bindings. First ascription wins.
+    pub locals: BTreeMap<String, TypeRef>,
+    /// `(name, token index)` of every simple `let [mut] name` binding —
+    /// lets D8 tell closure-local accumulators from captured ones.
+    pub let_sites: Vec<(String, usize)>,
+    pub impls: Vec<ImplBlock>,
+    pub par_closures: Vec<ParClosure>,
+}
+
+/// The merged workspace graph. Type names are keyed by bare name; when
+/// two crates define the same name, field queries answer only where all
+/// definitions agree (conservative: ambiguity resolves to "unknown").
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub types: BTreeMap<String, Vec<TypeDef>>,
+    /// Types with a hand-written `impl [serde::]Serialize/Deserialize`.
+    pub manual_serde: BTreeSet<String>,
+}
+
+impl Workspace {
+    pub fn add_types(&mut self, defs: Vec<TypeDef>) {
+        for d in defs {
+            self.types.entry(d.name.clone()).or_default().push(d);
+        }
+    }
+
+    /// The type of field `field` on the type named `head`, if `head` is
+    /// known and every same-named definition agrees on the field's head.
+    pub fn field_type(&self, head: &str, field: &str) -> Option<&TypeRef> {
+        let defs = self.types.get(head)?;
+        let mut found: Option<&TypeRef> = None;
+        for d in defs {
+            for f in &d.fields {
+                if f.name == field {
+                    match found {
+                        None => found = Some(&f.ty),
+                        Some(prev) if prev.head == f.ty.head => {}
+                        Some(_) => return None, // ambiguous across defs
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// Field lookup by name alone, for chains whose leading ident is not
+    /// resolvable (`snap.known_labels` under a pattern binding): answers
+    /// only when every struct in the workspace that has a field of this
+    /// name gives it the same type head.
+    pub fn unique_field_type(&self, field: &str) -> Option<&TypeRef> {
+        let mut found: Option<&TypeRef> = None;
+        for defs in self.types.values() {
+            for d in defs {
+                for f in &d.fields {
+                    if f.name == field {
+                        match found {
+                            None => found = Some(&f.ty),
+                            Some(prev) if prev.head == f.ty.head => {}
+                            Some(_) => return None,
+                        }
+                    }
+                }
+            }
+        }
+        found
+    }
+}
+
+/// Strip smart-pointer wrappers a field access sees through.
+pub fn deref(ty: &TypeRef) -> &TypeRef {
+    let mut t = ty;
+    while (t.head == "Arc" || t.head == "Box" || t.head == "Rc") && t.args.len() == 1 {
+        t = &t.args[0];
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Type parsing
+// ---------------------------------------------------------------------------
+
+fn is_upper_start(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Parse a type starting at `toks[i]`. Returns the parsed shape and the
+/// index one past it, or `None` when `toks[i]` does not open a type.
+pub fn parse_type(toks: &[Tok<'_>], mut i: usize, aliases: &BTreeMap<String, String>) -> Option<(TypeRef, usize)> {
+    let n = toks.len();
+    // Strip leading `&`, `mut`, `dyn`, and lifetimes.
+    while i < n
+        && (toks[i].is_punct("&")
+            || toks[i].is_ident("mut")
+            || toks[i].is_ident("dyn")
+            || toks[i].kind == TokKind::Lifetime)
+    {
+        i += 1;
+    }
+    if i >= n {
+        return None;
+    }
+    if toks[i].is_punct("(") {
+        // Tuple type (or parenthesized type).
+        let mut args = Vec::new();
+        i += 1;
+        let mut guard = 0usize;
+        while i < n && !toks[i].is_punct(")") {
+            if let Some((t, ni)) = parse_type(toks, i, aliases) {
+                args.push(t);
+                i = ni;
+            } else {
+                i += 1;
+            }
+            if i < n && toks[i].is_punct(",") {
+                i += 1;
+            }
+            guard += 1;
+            if guard > 64 {
+                return None;
+            }
+        }
+        if i >= n {
+            return None;
+        }
+        return Some((TypeRef { head: "(tuple)".to_string(), args }, i + 1));
+    }
+    if toks[i].is_punct("[") {
+        // Array/slice type `[T]` / `[T; N]`.
+        let inner = parse_type(toks, i + 1, aliases);
+        let mut depth = 0usize;
+        while i < n {
+            if toks[i].is_punct("[") {
+                depth += 1;
+            } else if toks[i].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        if i >= n {
+            return None;
+        }
+        let args = inner.map(|(t, _)| vec![t]).unwrap_or_default();
+        return Some((TypeRef { head: "[array]".to_string(), args }, i + 1));
+    }
+    if toks[i].kind != TokKind::Ident {
+        return None;
+    }
+    if toks[i].is_ident("fn") || toks[i].is_ident("Fn") || toks[i].is_ident("FnMut") || toks[i].is_ident("FnOnce") {
+        // Function type: consume `fn(..)` and an optional `-> T`.
+        let mut j = i + 1;
+        if j < n && toks[j].is_punct("(") {
+            let mut depth = 0usize;
+            while j < n {
+                if toks[j].is_punct("(") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j + 1 < n && toks[j].is_punct("-") && toks[j + 1].is_punct(">") {
+            if let Some((_, nj)) = parse_type(toks, j + 2, aliases) {
+                j = nj;
+            }
+        }
+        return Some((TypeRef::leaf("fn"), j));
+    }
+    if toks[i].is_ident("impl") {
+        // `impl Trait` in field/ascription position: opaque.
+        let mut j = i + 1;
+        while j < n && (toks[j].kind == TokKind::Ident || toks[j].is_punct(":")) {
+            j += 1;
+        }
+        return Some((TypeRef::leaf("impl"), j));
+    }
+    // Path: `a::b::C`, keeping the last segment.
+    let mut last = toks[i].text;
+    i += 1;
+    while i + 2 < n
+        && toks[i].is_punct(":")
+        && toks[i + 1].is_punct(":")
+        && toks[i + 2].kind == TokKind::Ident
+    {
+        last = toks[i + 2].text;
+        i += 3;
+    }
+    let head = aliases.get(last).cloned().unwrap_or_else(|| last.to_string());
+    let mut args = Vec::new();
+    if i < n && toks[i].is_punct("<") {
+        i += 1;
+        let mut guard = 0usize;
+        while i < n && !toks[i].is_punct(">") {
+            if toks[i].kind == TokKind::Lifetime || toks[i].is_punct(",") {
+                i += 1;
+                continue;
+            }
+            if let Some((t, ni)) = parse_type(toks, i, aliases) {
+                args.push(t);
+                i = ni;
+            } else {
+                i += 1; // const-generic literal, `=` defaults, etc.
+            }
+            guard += 1;
+            if guard > 64 {
+                return None;
+            }
+        }
+        if i >= n {
+            return None;
+        }
+        i += 1; // past `>`
+    }
+    Some((TypeRef { head, args }, i))
+}
+
+// ---------------------------------------------------------------------------
+// Phase-1 collection
+// ---------------------------------------------------------------------------
+
+fn float_literal_type(text: &str) -> Option<TypeRef> {
+    let bytes = text.as_bytes();
+    if bytes.first().is_none_or(|b| !b.is_ascii_digit()) {
+        return None;
+    }
+    if text.ends_with("f32") {
+        return Some(TypeRef::leaf("f32"));
+    }
+    if text.ends_with("f64") {
+        return Some(TypeRef::leaf("f64"));
+    }
+    if text.contains('.') && !text.starts_with("0x") {
+        return Some(TypeRef::leaf("f64"));
+    }
+    None
+}
+
+/// Collect `use .. as ..` aliases. Grouped imports are handled by pairing
+/// the idents around every `as` inside the `use` statement.
+fn collect_aliases(toks: &[Tok<'_>], aliases: &mut BTreeMap<String, String>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct(";") {
+            if toks[j].is_ident("as")
+                && j >= 1
+                && toks[j - 1].kind == TokKind::Ident
+                && j + 1 < toks.len()
+                && toks[j + 1].kind == TokKind::Ident
+            {
+                aliases.insert(toks[j + 1].text.to_string(), toks[j - 1].text.to_string());
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Find the token index of the brace matching `toks[open]` (which must be
+/// `{`). Returns the last token index when unbalanced.
+fn matching_brace(toks: &[Tok<'_>], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("{") {
+            depth += 1;
+        } else if toks[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skip a balanced `<...>` generics list starting at `toks[i] == "<"`.
+fn skip_generics(toks: &[Tok<'_>], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("<") {
+            depth += 1;
+        } else if toks[i].is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if toks[i].is_punct("{") || toks[i].is_punct(";") {
+            return i; // malformed; bail before the body
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Serde attribute flags gathered from the `#[..]` attributes directly
+/// above a field.
+#[derive(Default, Clone, Copy)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
+}
+
+/// Consume attributes at `toks[i]`, returning serde flags and the index
+/// past them.
+fn consume_attrs(toks: &[Tok<'_>], mut i: usize) -> (SerdeFlags, usize) {
+    let mut flags = SerdeFlags::default();
+    while i + 1 < toks.len() && toks[i].is_punct("#") && toks[i + 1].is_punct("[") {
+        let mut idents: Vec<&str> = Vec::new();
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].kind == TokKind::Ident {
+                idents.push(toks[j].text);
+            }
+            j += 1;
+        }
+        if idents.first() == Some(&"serde") {
+            if idents.iter().any(|t| {
+                matches!(*t, "skip" | "skip_serializing" | "skip_deserializing")
+            }) {
+                flags.skip = true;
+            }
+            if idents.contains(&"default") {
+                flags.default = true;
+            }
+        }
+        i = j + 1;
+    }
+    (flags, i)
+}
+
+/// Parse the struct/enum definitions in a token stream.
+fn collect_typedefs(
+    toks: &[Tok<'_>],
+    rel: &str,
+    crate_name: &str,
+    aliases: &BTreeMap<String, String>,
+) -> Vec<TypeDef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_enum = toks[i].is_ident("enum");
+        if !(toks[i].is_ident("struct") || is_enum) {
+            i += 1;
+            continue;
+        }
+        // Require an ident name next (rules out `r#struct`-style leaks and
+        // `impl Struct` mentions, which never have this shape).
+        if i + 1 >= toks.len() || toks[i + 1].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.to_string();
+        let line = toks[i + 1].line;
+        let mut j = i + 2;
+        if j < toks.len() && toks[j].is_punct("<") {
+            j = skip_generics(toks, j);
+        }
+        // Tuple struct: fields are the parenthesized types.
+        if !is_enum && j < toks.len() && toks[j].is_punct("(") {
+            let mut fields = Vec::new();
+            let mut k = j + 1;
+            let mut idx = 0usize;
+            let mut guard = 0usize;
+            while k < toks.len() && !toks[k].is_punct(")") {
+                // Skip visibility and attributes.
+                let (_, nk) = consume_attrs(toks, k);
+                k = nk;
+                if k < toks.len() && toks[k].is_ident("pub") {
+                    k += 1;
+                    if k < toks.len() && toks[k].is_punct("(") {
+                        let mut d = 0usize;
+                        while k < toks.len() {
+                            if toks[k].is_punct("(") {
+                                d += 1;
+                            } else if toks[k].is_punct(")") {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                if let Some((ty, nk)) = parse_type(toks, k, aliases) {
+                    fields.push(FieldDef {
+                        name: idx.to_string(),
+                        line: toks[k.min(toks.len() - 1)].line,
+                        ty,
+                        serde_skip: false,
+                        serde_default: false,
+                    });
+                    idx += 1;
+                    k = nk;
+                } else {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].is_punct(",") {
+                    k += 1;
+                }
+                guard += 1;
+                if guard > 128 {
+                    break;
+                }
+            }
+            out.push(TypeDef {
+                name,
+                file: rel.to_string(),
+                crate_name: crate_name.to_string(),
+                line,
+                is_enum: false,
+                fields,
+            });
+            i = k + 1;
+            continue;
+        }
+        // Skip a `where` clause.
+        while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].is_punct(";") {
+            // Unit struct.
+            out.push(TypeDef {
+                name,
+                file: rel.to_string(),
+                crate_name: crate_name.to_string(),
+                line,
+                is_enum,
+                fields: Vec::new(),
+            });
+            i = j + 1;
+            continue;
+        }
+        let close = matching_brace(toks, j);
+        let mut fields = Vec::new();
+        let mut k = j + 1;
+        while k < close {
+            let (flags, nk) = consume_attrs(toks, k);
+            k = nk;
+            if k >= close {
+                break;
+            }
+            // Skip visibility (attrs lex *before* `pub`, so the flags
+            // gathered above must survive this step).
+            if toks[k].is_ident("pub") {
+                k += 1;
+                if k < close && toks[k].is_punct("(") {
+                    let mut d = 0usize;
+                    while k < close {
+                        if toks[k].is_punct("(") {
+                            d += 1;
+                        } else if toks[k].is_punct(")") {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            if k < close && toks[k].kind == TokKind::Ident {
+                let fname = toks[k].text;
+                let fline = toks[k].line;
+                if is_enum {
+                    // Variant: `Name`, `Name(T, ..)`, `Name { f: T, .. }`,
+                    // or `Name = disc`.
+                    let mut m = k + 1;
+                    if m < close && toks[m].is_punct("(") {
+                        let mut d = 0usize;
+                        let open = m;
+                        while m < close {
+                            if toks[m].is_punct("(") {
+                                d += 1;
+                            } else if toks[m].is_punct(")") {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            m += 1;
+                        }
+                        // Payload types, comma-separated.
+                        let mut p = open + 1;
+                        let mut guard = 0usize;
+                        while p < m {
+                            if let Some((ty, np)) = parse_type(toks, p, aliases) {
+                                fields.push(FieldDef {
+                                    name: fname.to_string(),
+                                    line: fline,
+                                    ty,
+                                    serde_skip: flags.skip,
+                                    serde_default: flags.default,
+                                });
+                                p = np;
+                            } else {
+                                p += 1;
+                            }
+                            if p < m && toks[p].is_punct(",") {
+                                p += 1;
+                            }
+                            guard += 1;
+                            if guard > 64 {
+                                break;
+                            }
+                        }
+                        m += 1;
+                    } else if m < close && toks[m].is_punct("{") {
+                        let vclose = matching_brace(toks, m);
+                        let mut p = m + 1;
+                        while p < vclose {
+                            let (vflags, np) = consume_attrs(toks, p);
+                            p = np;
+                            if p + 1 < vclose
+                                && toks[p].kind == TokKind::Ident
+                                && toks[p + 1].is_punct(":")
+                            {
+                                if let Some((ty, np2)) = parse_type(toks, p + 2, aliases) {
+                                    fields.push(FieldDef {
+                                        name: format!("{fname}.{}", toks[p].text),
+                                        line: toks[p].line,
+                                        ty,
+                                        serde_skip: vflags.skip,
+                                        serde_default: vflags.default,
+                                    });
+                                    p = np2;
+                                    continue;
+                                }
+                            }
+                            p += 1;
+                        }
+                        m = vclose + 1;
+                    } else {
+                        // Bare variant or discriminant: skip to `,`.
+                        while m < close && !toks[m].is_punct(",") {
+                            m += 1;
+                        }
+                    }
+                    k = m;
+                    if k < close && toks[k].is_punct(",") {
+                        k += 1;
+                    }
+                    continue;
+                }
+                // Struct field: `name : Type`.
+                if k + 1 < close && toks[k + 1].is_punct(":") && !toks[k + 2].is_punct(":") {
+                    if let Some((ty, nk2)) = parse_type(toks, k + 2, aliases) {
+                        fields.push(FieldDef {
+                            name: fname.to_string(),
+                            line: fline,
+                            ty,
+                            serde_skip: flags.skip,
+                            serde_default: flags.default,
+                        });
+                        k = nk2;
+                        // Skip to the separating comma (parse_type may
+                        // under-consume exotic types).
+                        let mut d = 0isize;
+                        while k < close {
+                            if toks[k].is_punct(",") && d == 0 {
+                                k += 1;
+                                break;
+                            }
+                            if toks[k].is_punct("(") || toks[k].is_punct("[") || toks[k].is_punct("<") {
+                                d += 1;
+                            } else if toks[k].is_punct(")") || toks[k].is_punct("]") || toks[k].is_punct(">") {
+                                d -= 1;
+                            }
+                            k += 1;
+                        }
+                        continue;
+                    }
+                }
+            }
+            k += 1;
+        }
+        out.push(TypeDef {
+            name,
+            file: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            line,
+            is_enum,
+            fields,
+        });
+        i = close + 1;
+    }
+    out
+}
+
+/// Collect `impl` block ranges and hand-written serde impl targets.
+fn collect_impls(
+    toks: &[Tok<'_>],
+    aliases: &BTreeMap<String, String>,
+    impls: &mut Vec<ImplBlock>,
+    manual_serde: &mut Vec<String>,
+) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_punct("<") {
+            j = skip_generics(toks, j);
+        }
+        let Some((first, nj)) = parse_type(toks, j, aliases) else {
+            i = j + 1;
+            continue;
+        };
+        j = nj;
+        let mut target = first.clone();
+        let mut is_trait_impl = false;
+        if j < toks.len() && toks[j].is_ident("for") {
+            is_trait_impl = true;
+            if let Some((t, nj2)) = parse_type(toks, j + 1, aliases) {
+                target = t;
+                j = nj2;
+            }
+        }
+        // Skip a `where` clause to the body.
+        while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].is_punct(";") {
+            i = j + 1;
+            continue;
+        }
+        let close = matching_brace(toks, j);
+        if is_trait_impl && matches!(first.head.as_str(), "Serialize" | "Deserialize") {
+            manual_serde.push(target.head.clone());
+        }
+        impls.push(ImplBlock { target: target.head, start: i, end: close });
+        i = j + 1; // descend into the body (nested impls are rare but legal)
+    }
+}
+
+/// Collect the closure argument of every `par_map`-family call.
+fn collect_par_closures(toks: &[Tok<'_>], out: &mut Vec<ParClosure>) {
+    let n = toks.len();
+    for i in 0..n {
+        if toks[i].kind != TokKind::Ident || !PAR_FNS.contains(&toks[i].text) {
+            continue;
+        }
+        if i + 1 >= n || !toks[i + 1].is_punct("(") {
+            continue;
+        }
+        // Call range.
+        let mut depth = 0usize;
+        let mut close = i + 1;
+        while close < n {
+            if toks[close].is_punct("(") {
+                depth += 1;
+            } else if toks[close].is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        // First `|` inside the call opens the closure's parameter list.
+        let mut p0 = i + 2;
+        while p0 < close && !toks[p0].is_punct("|") {
+            p0 += 1;
+        }
+        if p0 >= close {
+            continue;
+        }
+        let mut p1 = p0 + 1;
+        while p1 < close && !toks[p1].is_punct("|") {
+            p1 += 1;
+        }
+        if p1 >= close {
+            continue;
+        }
+        // Parameter names: first ident of each comma-separated group.
+        let mut params = Vec::new();
+        let mut expect = true;
+        for t in &toks[p0 + 1..p1] {
+            if t.is_punct(",") {
+                expect = true;
+            } else if expect && t.kind == TokKind::Ident && !t.is_ident("mut") {
+                params.push(t.text.to_string());
+                expect = false;
+            }
+        }
+        if p1 + 1 > close {
+            continue;
+        }
+        out.push(ParClosure {
+            callee: toks[i].text.to_string(),
+            line: toks[i].line,
+            params,
+            body: (p1 + 1, close),
+        });
+    }
+}
+
+/// Token ranges covered by `struct`/`enum` bodies — field ascriptions in
+/// there must not masquerade as local variable facts.
+fn typedef_ranges(toks: &[Tok<'_>]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if (toks[i].is_ident("struct") || toks[i].is_ident("enum"))
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+        {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") {
+                let close = matching_brace(toks, j);
+                out.push((i, close));
+                i = close + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collect local name → type facts: ascriptions, init inference,
+/// float-literal lets, and `collect::<T>()` turbofish bindings.
+fn collect_locals(toks: &[Tok<'_>], aliases: &BTreeMap<String, String>, facts: &mut FileFacts) {
+    let n = toks.len();
+    let skip_ranges = typedef_ranges(toks);
+    for i in 0..n {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if skip_ranges.iter().any(|&(s, e)| s <= i && i <= e) {
+            continue;
+        }
+        // `let [mut] name` sites (for closure-locality checks).
+        if toks[i].is_ident("let") {
+            let mut m = i + 1;
+            if m < n && toks[m].is_ident("mut") {
+                m += 1;
+            }
+            if m < n && toks[m].kind == TokKind::Ident {
+                facts.let_sites.push((toks[m].text.to_string(), m));
+            }
+        }
+        // `name : Type` ascription (not `name ::`, not path tail `::name :`).
+        if i + 2 < n
+            && toks[i + 1].is_punct(":")
+            && !toks[i + 2].is_punct(":")
+            && (i == 0 || !toks[i - 1].is_punct(":"))
+        {
+            if let Some((ty, _)) = parse_type(toks, i + 2, aliases) {
+                facts.locals.entry(toks[i].text.to_string()).or_insert(ty);
+            }
+        }
+        // `name = <init>` inference: `Type::new()`-style paths, `Type {`
+        // struct literals, and float literals.
+        if i + 2 < n
+            && toks[i + 1].is_punct("=")
+            && !toks[i + 2].is_punct("=")
+            && (i == 0
+                || !matches!(toks[i - 1].text, "=" | "<" | ">" | "!" | "+" | "-" | "*" | "/" | ":"))
+        {
+            let j = i + 2;
+            if toks[j].kind == TokKind::Literal {
+                if let Some(ty) = float_literal_type(toks[j].text) {
+                    facts.locals.entry(toks[i].text.to_string()).or_insert(ty);
+                }
+            } else if toks[j].kind == TokKind::Ident {
+                // Walk the path after `=`; remember the last
+                // uppercase-initial segment (the type constructor).
+                let mut k = j;
+                let mut ty_head: Option<&str> = None;
+                while k < n && toks[k].kind == TokKind::Ident {
+                    if is_upper_start(toks[k].text) {
+                        ty_head = Some(toks[k].text);
+                    }
+                    if k + 2 < n && toks[k + 1].is_punct(":") && toks[k + 2].is_punct(":") {
+                        k += 3;
+                        // Skip a turbofish between segments.
+                        if k < n && toks[k].is_punct("<") {
+                            k = skip_generics(toks, k);
+                            if k + 1 < n && toks[k].is_punct(":") && toks[k + 1].is_punct(":") {
+                                k += 2;
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(h) = ty_head {
+                    let head = aliases.get(h).cloned().unwrap_or_else(|| h.to_string());
+                    facts
+                        .locals
+                        .entry(toks[i].text.to_string())
+                        .or_insert(TypeRef::leaf(&head));
+                }
+            }
+        }
+        // `.. .collect::<T>()` — back-walk to the `let` this statement binds.
+        if toks[i].is_ident("collect")
+            && i + 4 < n
+            && toks[i + 1].is_punct(":")
+            && toks[i + 2].is_punct(":")
+            && toks[i + 3].is_punct("<")
+        {
+            if let Some((ty, _)) = parse_type(toks, i + 4, aliases) {
+                let lo = i.saturating_sub(64);
+                for k in (lo..i).rev() {
+                    if toks[k].is_punct(";") {
+                        break;
+                    }
+                    if toks[k].is_ident("let") {
+                        let mut m = k + 1;
+                        if m < n && toks[m].is_ident("mut") {
+                            m += 1;
+                        }
+                        if m < n && toks[m].kind == TokKind::Ident {
+                            facts
+                                .locals
+                                .entry(toks[m].text.to_string())
+                                .or_insert(ty);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the full phase-1 collection over one file's token stream.
+pub fn collect(
+    rel: &str,
+    crate_name: &str,
+    toks: &[Tok<'_>],
+) -> (FileFacts, Vec<TypeDef>, Vec<String>) {
+    let mut facts = FileFacts::default();
+    collect_aliases(toks, &mut facts.aliases);
+    let typedefs = collect_typedefs(toks, rel, crate_name, &facts.aliases);
+    let mut manual_serde = Vec::new();
+    let aliases = facts.aliases.clone();
+    collect_impls(toks, &aliases, &mut facts.impls, &mut manual_serde);
+    collect_par_closures(toks, &mut facts.par_closures);
+    collect_locals(toks, &aliases, &mut facts);
+    (facts, typedefs, manual_serde)
+}
+
+// ---------------------------------------------------------------------------
+// Phase-2 resolution
+// ---------------------------------------------------------------------------
+
+/// Phase-2 query interface: one file's facts plus the workspace graph.
+pub struct Resolver<'a> {
+    pub facts: &'a FileFacts,
+    pub ws: &'a Workspace,
+}
+
+impl<'a> Resolver<'a> {
+    /// The innermost `impl` target covering token index `idx`.
+    pub fn impl_target_at(&self, idx: usize) -> Option<&str> {
+        self.facts
+            .impls
+            .iter()
+            .filter(|b| b.start <= idx && idx <= b.end)
+            .min_by_key(|b| b.end - b.start)
+            .map(|b| b.target.as_str())
+    }
+
+    /// Resolve a dotted receiver chain (`[("self", i), ("entries", j)]`)
+    /// to its type. Answers `None` on any unknown step.
+    pub fn chain_type(&self, chain: &[(&str, usize)]) -> Option<TypeRef> {
+        let (first, fidx) = *chain.first()?;
+        let mut ty: TypeRef;
+        let rest: &[(&str, usize)];
+        if first == "self" {
+            ty = TypeRef::leaf(self.impl_target_at(fidx)?);
+            rest = &chain[1..];
+        } else if let Some(t) = self.facts.locals.get(first) {
+            ty = t.clone();
+            rest = &chain[1..];
+        } else if chain.len() >= 2 {
+            // Leading ident unresolvable (pattern binding, shadow, ...):
+            // fall back to a workspace-unique field lookup on the chain's
+            // final element. This is what clears the `snap.known_labels`
+            // false positive — the field resolves to the snapshot's
+            // sorted Vec, not the engine's working map.
+            let (last, _) = *chain.last()?;
+            return self.ws.unique_field_type(last).map(|t| deref(t).clone());
+        } else {
+            return None;
+        }
+        for (f, _) in rest {
+            let head = deref(&ty).head.clone();
+            ty = self.ws.field_type(&head, f)?.clone();
+        }
+        Some(deref(&ty).clone())
+    }
+}
+
+/// Build the dotted receiver chain ending at `toks[last]` (which must be
+/// an ident), walking `a.b.c` leftward. Returns `None` when the chain
+/// extends through a call, an index, or any non-ident step (`foo().x`,
+/// `v[i].x`) — such receivers are unresolvable by design.
+pub fn receiver_chain<'t>(toks: &'t [Tok<'t>], last: usize) -> Option<Vec<(&'t str, usize)>> {
+    if toks[last].kind != TokKind::Ident {
+        return None;
+    }
+    let mut rev = vec![(toks[last].text, last)];
+    let mut k = last;
+    while k >= 2 && toks[k - 1].is_punct(".") && toks[k - 2].kind == TokKind::Ident {
+        k -= 2;
+        rev.push((toks[k].text, k));
+    }
+    if k >= 1 && toks[k - 1].is_punct(".") {
+        return None; // chain continues through a non-ident receiver
+    }
+    rev.reverse();
+    Some(rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ws_of(src: &str) -> (FileFacts, Workspace) {
+        let lexed = lex(src);
+        let (facts, defs, manual) = collect("crates/x/src/lib.rs", "x", &lexed.toks);
+        let mut ws = Workspace::default();
+        ws.add_types(defs);
+        ws.manual_serde.extend(manual);
+        (facts, ws)
+    }
+
+    #[test]
+    fn parses_struct_fields_with_generics_and_serde_attrs() {
+        let src = r#"
+            pub struct Snap<'a> {
+                pub labels: Vec<(usize, bool)>,
+                #[serde(skip)]
+                cache: std::collections::HashMap<u32, f64>,
+                #[serde(default)]
+                pub note: String,
+            }
+        "#;
+        let (_, ws) = ws_of(src);
+        let snap = &ws.types.get("Snap").expect("Snap collected")[0];
+        assert_eq!(snap.fields.len(), 3);
+        assert_eq!(snap.fields[0].ty.head, "Vec");
+        assert_eq!(snap.fields[0].ty.args[0].head, "(tuple)");
+        assert!(snap.fields[1].serde_skip);
+        assert_eq!(snap.fields[1].ty.head, "HashMap");
+        assert!(snap.fields[2].serde_default);
+    }
+
+    #[test]
+    fn aliases_resolve_in_field_types() {
+        let src = "use std::collections::HashMap as Index;\nstruct S { m: Index<u32, f64> }";
+        let (_, ws) = ws_of(src);
+        assert_eq!(ws.field_type("S", "m").expect("field").head, "HashMap");
+    }
+
+    #[test]
+    fn chain_resolution_self_and_locals() {
+        let src = r#"
+            use std::collections::HashMap;
+            struct Cache { entries: HashMap<u32, f64>, count: u64 }
+            impl Cache {
+                fn go(&self, extern_map: &HashMap<u32, u32>) {
+                    let local: Vec<u32> = Vec::new();
+                    self.entries.len();
+                    extern_map.len();
+                    local.len();
+                }
+            }
+        "#;
+        let lexed = lex(src);
+        let (facts, defs, _) = collect("f.rs", "x", &lexed.toks);
+        let mut ws = Workspace::default();
+        ws.add_types(defs);
+        let r = Resolver { facts: &facts, ws: &ws };
+        // Find the `entries` token inside the method body (the one
+        // preceded by `self.`).
+        let idx = lexed
+            .toks
+            .iter()
+            .position(|t| t.is_ident("entries") && t.line > 4)
+            .expect("entries use");
+        let chain = receiver_chain(&lexed.toks, idx).expect("chain");
+        assert_eq!(r.chain_type(&chain).expect("type").head, "HashMap");
+        assert_eq!(r.chain_type(&[("extern_map", 0)]).expect("param").head, "HashMap");
+        assert_eq!(r.chain_type(&[("local", 0)]).expect("local").head, "Vec");
+    }
+
+    #[test]
+    fn unique_field_fallback_prefers_the_field_not_the_name_collision() {
+        // The engine.rs:428 shape: a local `known_labels` map, and a
+        // pattern-bound `snap` whose `known_labels` FIELD is a sorted Vec.
+        let src = r#"
+            use std::collections::HashMap;
+            struct Snap { known_labels: Vec<(usize, bool)> }
+            fn resume(s: i32) {
+                let known_labels: HashMap<usize, bool> = HashMap::new();
+                known_labels.len();
+            }
+        "#;
+        let (facts, ws) = ws_of(src);
+        let r = Resolver { facts: &facts, ws: &ws };
+        // `snap.known_labels` with `snap` unresolvable → the unique FIELD
+        // wins: Vec, not HashMap.
+        let t = r
+            .chain_type(&[("snap", 0), ("known_labels", 2)])
+            .expect("fallback resolves");
+        assert_eq!(t.head, "Vec");
+        // The bare local still resolves to the map.
+        assert_eq!(r.chain_type(&[("known_labels", 0)]).expect("local").head, "HashMap");
+    }
+
+    #[test]
+    fn par_closures_capture_params_and_body() {
+        let src = "fn f(items: &[u32]) { let out = exec::par_map(threads, items, |x| x + 1); }";
+        let lexed = lex(src);
+        let (facts, _, _) = collect("f.rs", "x", &lexed.toks);
+        assert_eq!(facts.par_closures.len(), 1);
+        assert_eq!(facts.par_closures[0].params, vec!["x"]);
+        assert_eq!(facts.par_closures[0].callee, "par_map");
+    }
+
+    #[test]
+    fn manual_serde_impls_are_recorded() {
+        let src = "struct Cell;\nimpl serde::Serialize for Cell { fn to_json_value(&self) {} }";
+        let (_, ws) = ws_of(src);
+        assert!(ws.manual_serde.contains("Cell"));
+    }
+
+    #[test]
+    fn enum_payload_types_reach_the_graph() {
+        let src = "enum E { A, B(Vec<u64>), C { m: std::collections::HashMap<u32, u32> } }";
+        let (_, ws) = ws_of(src);
+        let e = &ws.types.get("E").expect("enum")[0];
+        assert!(e.is_enum);
+        assert!(e.fields.iter().any(|f| f.name == "B" && f.ty.head == "Vec"));
+        assert!(e.fields.iter().any(|f| f.name == "C.m" && f.ty.head == "HashMap"));
+    }
+}

@@ -1,4 +1,4 @@
-//! The determinism & robustness rules (D1–D7) and the `lint:allow`
+//! The determinism & robustness rules (D1–D9) and the `lint:allow`
 //! annotation grammar.
 //!
 //! Each rule encodes a project invariant that an ordinary Rust idiom has
@@ -6,11 +6,28 @@
 //! provenance of each rule. Rules operate on the token stream produced by
 //! [`crate::lexer`], so they never fire inside string literals, raw
 //! strings, char literals, or comments.
+//!
+//! Since PR 10 the type-sensitive rules (D2, D7, D8) resolve receivers
+//! through the workspace symbol graph of [`crate::resolve`]: a dotted
+//! chain like `self.scores` or `snap.known_labels` is resolved to the
+//! *declared type* of the field, across files. When resolution answers
+//! definitively, it overrides the old per-file name table in both
+//! directions — a name collision with a map no longer fires (the
+//! `engine.rs` sorted-`Vec`-named-like-a-map false positive), and a map
+//! field declared in another crate now does. When the resolver cannot
+//! answer (`foo().x`, pattern bindings to unknown types), the rules fall
+//! back to the lexical name table, so the pass never gets *weaker* than
+//! the PR 5 linter. D9 is fully workspace-level: it walks type
+//! reachability from the snapshot roots and never looks at expression
+//! tokens at all.
 
 use crate::lexer::{Comment, Lexed, Tok, TokKind};
+use crate::resolve::{
+    deref, is_float_head, is_map_head, receiver_chain, Resolver, Workspace,
+};
 
 /// All rule codes, in report order.
-pub const RULES: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "D6", "D7"];
+pub const RULES: [&str; 9] = ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9"];
 
 /// Crates where D2 (HashMap/HashSet iteration) and D7 (truncating casts
 /// on u64 counters) are deny-by-default: these are the crates that
@@ -287,8 +304,8 @@ pub fn d1(toks: &[Tok<'_>]) -> Vec<RawFinding> {
 /// file: `name: [&][mut] [path::]HashMap<..>` type ascriptions (lets,
 /// params, struct fields), `name = [path::]HashMap::new()`-style inits, and
 /// `let name = ...collect::<HashMap<..>>()` turbofish collects. The table
-/// is file-scoped and name-based — a deliberate heuristic for a lexical
-/// lint; cross-file field types are out of scope.
+/// is file-scoped and name-based; since PR 10 it is only the *fallback*
+/// for receivers the workspace resolver cannot type.
 fn d2_map_names<'a>(toks: &[Tok<'a>]) -> Vec<&'a str> {
     let mut names: Vec<&str> = Vec::new();
     let is_map = |t: &str| t == "HashMap" || t == "HashSet";
@@ -376,15 +393,86 @@ fn d2_map_names<'a>(toks: &[Tok<'a>]) -> Vec<&'a str> {
     names
 }
 
+/// Is the receiver chain ending at `last` hash-ordered? Resolution order:
+/// the workspace resolver's verdict is final when it has one (this is what
+/// both clears name-collision false positives and catches fields declared
+/// in another crate); only an unresolvable receiver falls back to the
+/// per-file lexical name table.
+fn is_map_receiver(
+    toks: &[Tok<'_>],
+    last: usize,
+    r: &Resolver<'_>,
+    lexical: &dyn Fn(&str) -> bool,
+) -> Option<String> {
+    if let Some(chain) = receiver_chain(toks, last) {
+        if let Some(ty) = r.chain_type(&chain) {
+            if is_map_head(&ty.head) {
+                let name: Vec<&str> = chain.iter().map(|(s, _)| *s).collect();
+                return Some(name.join("."));
+            }
+            return None; // definitively not a map — overrides the name table
+        }
+    }
+    if lexical(toks[last].text) {
+        return Some(toks[last].text.to_string());
+    }
+    None
+}
+
+/// Find the `in`-expression receiver of a `for` loop headed at `toks[i]`:
+/// the token index of the final ident of a `[&][mut] a.b.c` chain whose
+/// next token opens the loop body. Returns `None` for receivers that are
+/// calls, ranges, or other non-chain expressions.
+fn for_loop_receiver(toks: &[Tok<'_>], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    let mut depth = 0usize;
+    // Find the `in` of this for-loop at pattern depth 0.
+    while j < toks.len() {
+        if toks[j].is_punct("(") || toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct(")") || toks[j].is_punct("]") {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && toks[j].is_ident("in") {
+            break;
+        } else if toks[j].is_punct("{") || toks[j].is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let mut k = j + 1;
+    while k < toks.len() && (toks[k].is_punct("&") || toks[k].is_ident("mut")) {
+        k += 1;
+    }
+    // Walk a `a.b.c` dotted chain; keep the final ident.
+    let mut last: Option<usize> = None;
+    while k < toks.len() && toks[k].kind == TokKind::Ident {
+        last = Some(k);
+        if k + 2 < toks.len() && toks[k + 1].is_punct(".") && toks[k + 2].kind == TokKind::Ident {
+            k += 2;
+        } else {
+            k += 1;
+            break;
+        }
+    }
+    let last = last?;
+    // The loop body must open right after the chain — anything else
+    // (`.iter()`, `..n`, a struct literal guard) is not a bare receiver.
+    if k < toks.len() && toks[k].is_punct("{") {
+        Some(last)
+    } else {
+        None
+    }
+}
+
 /// D2: iteration over a HashMap/HashSet in a deny-listed crate. Hash
 /// iteration order is arbitrary and differs across processes; PR 1's TF/IDF
 /// cosine summed floats in that order and produced cross-process divergent
 /// bytes. Iterate a sorted collection instead, or annotate with a reason.
-pub fn d2(toks: &[Tok<'_>], skip: &[(u32, u32)]) -> Vec<RawFinding> {
+pub fn d2(toks: &[Tok<'_>], skip: &[(u32, u32)], r: &Resolver<'_>) -> Vec<RawFinding> {
     let names = d2_map_names(toks);
-    if names.is_empty() {
-        return Vec::new();
-    }
     let known = |t: &str| names.binary_search(&t).is_ok();
     let mut out = Vec::new();
     for i in 0..toks.len() {
@@ -394,77 +482,39 @@ pub fn d2(toks: &[Tok<'_>], skip: &[(u32, u32)]) -> Vec<RawFinding> {
             && i >= 2
             && toks[i - 1].is_punct(".")
             && toks[i - 2].kind == TokKind::Ident
-            && known(toks[i - 2].text)
             && i + 1 < toks.len()
             && toks[i + 1].is_punct("(")
             && !in_ranges(toks[i].line, skip)
         {
-            out.push(RawFinding {
-                rule: "D2",
-                line: toks[i].line,
-                message: format!(
-                    "iteration over hash-ordered `{}` via `.{}()` in a crate that \
-                     serializes or accumulates floats; collect+sort (or use a BTree \
-                     collection), or annotate `// lint:allow(D2): <reason>`",
-                    toks[i - 2].text,
-                    toks[i].text
-                ),
-            });
+            if let Some(name) = is_map_receiver(toks, i - 2, r, &known) {
+                out.push(RawFinding {
+                    rule: "D2",
+                    line: toks[i].line,
+                    message: format!(
+                        "iteration over hash-ordered `{}` via `.{}()` in a crate that \
+                         serializes or accumulates floats; collect+sort (or use a BTree \
+                         collection), or annotate `// lint:allow(D2): <reason>`",
+                        name,
+                        toks[i].text
+                    ),
+                });
+            }
         }
         // `for pat in [&][mut] [self.]name {`.
         if toks[i].is_ident("for") {
-            let mut j = i + 1;
-            let mut depth = 0usize;
-            // Find the `in` of this for-loop at pattern depth 0.
-            while j < toks.len() {
-                if toks[j].is_punct("(") || toks[j].is_punct("[") {
-                    depth += 1;
-                } else if toks[j].is_punct(")") || toks[j].is_punct("]") {
-                    depth = depth.saturating_sub(1);
-                } else if depth == 0 && toks[j].is_ident("in") {
-                    break;
-                } else if toks[j].is_punct("{") || toks[j].is_punct(";") {
-                    j = toks.len();
-                }
-                j += 1;
-            }
-            if j >= toks.len() {
-                continue;
-            }
-            let mut k = j + 1;
-            while k < toks.len() && (toks[k].is_punct("&") || toks[k].is_ident("mut")) {
-                k += 1;
-            }
-            // Walk a `self.name` / `name` dotted chain; keep the final ident.
-            let mut final_ident: Option<&Tok<'_>> = None;
-            while k < toks.len() && toks[k].kind == TokKind::Ident {
-                final_ident = Some(&toks[k]);
-                if k + 2 < toks.len()
-                    && toks[k + 1].is_punct(".")
-                    && toks[k + 2].kind == TokKind::Ident
-                {
-                    k += 2;
-                } else {
-                    k += 1;
-                    break;
-                }
-            }
-            if let Some(t) = final_ident {
-                if known(t.text)
-                    && k < toks.len()
-                    && toks[k].is_punct("{")
-                    && !in_ranges(t.line, skip)
-                {
-                    out.push(RawFinding {
-                        rule: "D2",
-                        line: t.line,
-                        message: format!(
-                            "`for` loop over hash-ordered `{}` in a crate that serializes \
-                             or accumulates floats; collect+sort (or use a BTree \
-                             collection), or annotate `// lint:allow(D2): <reason>`",
-                            t.text
-                        ),
-                    });
+            if let Some(last) = for_loop_receiver(toks, i) {
+                if !in_ranges(toks[last].line, skip) {
+                    if let Some(name) = is_map_receiver(toks, last, r, &known) {
+                        out.push(RawFinding {
+                            rule: "D2",
+                            line: toks[last].line,
+                            message: format!(
+                                "`for` loop over hash-ordered `{name}` in a crate that \
+                                 serializes or accumulates floats; collect+sort (or use a \
+                                 BTree collection), or annotate `// lint:allow(D2): <reason>`"
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -589,8 +639,8 @@ const D7_NARROW_TARGETS: [&str; 2] = ["usize", "u32"];
 
 /// Collect names that are u64-typed in this file, via `name : [&][mut] u64`
 /// type ascriptions (lets, params, struct fields). File-scoped and
-/// name-based, the same deliberate heuristic as [`d2_map_names`];
-/// cross-file field types are out of scope for a lexical lint.
+/// name-based, the same fallback role as [`d2_map_names`]: it answers only
+/// for receivers the workspace resolver cannot type.
 fn d7_u64_names<'a>(toks: &[Tok<'a>]) -> Vec<&'a str> {
     let mut names: Vec<&str> = Vec::new();
     for i in 0..toks.len() {
@@ -623,21 +673,31 @@ fn d7_u64_names<'a>(toks: &[Tok<'a>]) -> Vec<&'a str> {
 /// determinism contract silently becomes platform-conditional. Use
 /// `usize::try_from(count)` with a typed error (or keep the arithmetic in
 /// u64), or annotate `// lint:allow(D7): <reason>`.
-pub fn d7(toks: &[Tok<'_>], skip: &[(u32, u32)]) -> Vec<RawFinding> {
+pub fn d7(toks: &[Tok<'_>], skip: &[(u32, u32)], r: &Resolver<'_>) -> Vec<RawFinding> {
     let names = d7_u64_names(toks);
-    if names.is_empty() {
-        return Vec::new();
-    }
     let known = |t: &str| names.binary_search(&t).is_ok();
     let mut out = Vec::new();
     for i in 0..toks.len().saturating_sub(2) {
-        if toks[i].kind == TokKind::Ident
-            && known(toks[i].text)
-            && toks[i + 1].is_ident("as")
-            && toks[i + 2].kind == TokKind::Ident
-            && D7_NARROW_TARGETS.contains(&toks[i + 2].text)
-            && !in_ranges(toks[i].line, skip)
+        if toks[i].kind != TokKind::Ident
+            || !toks[i + 1].is_ident("as")
+            || toks[i + 2].kind != TokKind::Ident
+            || !D7_NARROW_TARGETS.contains(&toks[i + 2].text)
+            || in_ranges(toks[i].line, skip)
         {
+            continue;
+        }
+        // Resolver verdict first (covers `p.ticks as usize` via the field's
+        // declared type, and clears non-u64 names); lexical table fallback.
+        let chain = receiver_chain(toks, i);
+        let display = chain
+            .as_ref()
+            .map(|c| c.iter().map(|(s, _)| *s).collect::<Vec<_>>().join("."))
+            .unwrap_or_else(|| toks[i].text.to_string());
+        let fires = match chain.as_ref().and_then(|c| r.chain_type(c)) {
+            Some(ty) => ty.head == "u64",
+            None => known(toks[i].text),
+        };
+        if fires {
             out.push(RawFinding {
                 rule: "D7",
                 line: toks[i].line,
@@ -646,13 +706,371 @@ pub fn d7(toks: &[Tok<'_>], skip: &[(u32, u32)]) -> Vec<RawFinding> {
                      truncating on 32-bit targets, so serialized bytes become \
                      platform-conditional; use `{}::try_from` (typed error) or keep the \
                      arithmetic in u64, or annotate `// lint:allow(D7): <reason>`",
-                    toks[i].text,
+                    display,
                     toks[i + 2].text,
                     toks[i + 2].text
                 ),
             });
         }
     }
+    out
+}
+
+/// The compound-assignment operators D8 treats as accumulation. The lexer
+/// emits multi-char operators as adjacent single-char puncts, so `+=` is
+/// the token pair `+`, `=`.
+const D8_ACCUM_OPS: [&str; 4] = ["+", "-", "*", "/"];
+
+/// Is `toks[i]` the final ident of a float compound-assignment
+/// (`chain op= ...`)? Returns the resolved chain display name when the
+/// left-hand side resolves to f32/f64.
+fn d8_float_compound_assign<'t>(
+    toks: &'t [Tok<'t>],
+    i: usize,
+    r: &Resolver<'_>,
+) -> Option<(Vec<(&'t str, usize)>, String)> {
+    if toks[i].kind != TokKind::Ident
+        || i + 2 >= toks.len()
+        || toks[i + 1].kind != TokKind::Punct
+        || !D8_ACCUM_OPS.contains(&toks[i + 1].text)
+        || !toks[i + 2].is_punct("=")
+        || (i + 3 < toks.len() && toks[i + 3].is_punct("="))
+    {
+        return None;
+    }
+    let chain = receiver_chain(toks, i)?;
+    let ty = r.chain_type(&chain)?;
+    if !is_float_head(&ty.head) {
+        return None;
+    }
+    let name = chain.iter().map(|(s, _)| *s).collect::<Vec<_>>().join(".");
+    Some((chain, name))
+}
+
+/// Scan forward from a map-iteration site for an order-dependent float
+/// reduction in the same statement: `.sum::<f64>()`, `.product::<f32>()`,
+/// `.fold(0.0, ..)` (or fold seeded with a float-typed name), or a bare
+/// `.sum()` whose binding `let` carries a float ascription. Returns the
+/// reduction's line and method name.
+fn d8_float_reduction_after(
+    toks: &[Tok<'_>],
+    site: usize,
+    r: &Resolver<'_>,
+) -> Option<(u32, &'static str)> {
+    let n = toks.len();
+    let limit = (site + 256).min(n);
+    let mut depth = 0isize;
+    let mut j = site;
+    while j < limit {
+        if toks[j].is_punct("(") || toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct(")") || toks[j].is_punct("]") {
+            depth -= 1;
+            if depth < 0 {
+                return None; // left the enclosing expression
+            }
+        } else if toks[j].is_punct(";") && depth == 0 {
+            return None; // statement ended without a reduction
+        } else if toks[j].kind == TokKind::Ident
+            && j >= 1
+            && toks[j - 1].is_punct(".")
+            && matches!(toks[j].text, "sum" | "product" | "fold")
+        {
+            let line = toks[j].line;
+            match toks[j].text {
+                "sum" | "product" => {
+                    let m = if toks[j].text == "sum" { "sum" } else { "product" };
+                    // Turbofish `::<f64>` / `::<f32>`.
+                    if j + 4 < n
+                        && toks[j + 1].is_punct(":")
+                        && toks[j + 2].is_punct(":")
+                        && toks[j + 3].is_punct("<")
+                        && is_float_head(toks[j + 4].text)
+                    {
+                        return Some((line, m));
+                    }
+                    // Bare call: the binding's ascription decides.
+                    if j + 1 < n && toks[j + 1].is_punct("(") {
+                        let lo = site.saturating_sub(64);
+                        for k in (lo..site).rev() {
+                            if toks[k].is_punct(";") {
+                                break;
+                            }
+                            if toks[k].is_ident("let") {
+                                let mut b = k + 1;
+                                if b < n && toks[b].is_ident("mut") {
+                                    b += 1;
+                                }
+                                if b < n
+                                    && toks[b].kind == TokKind::Ident
+                                    && r.chain_type(&[(toks[b].text, b)])
+                                        .is_some_and(|t| is_float_head(&t.head))
+                                {
+                                    return Some((line, m));
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+                "fold" if j + 2 < n && toks[j + 1].is_punct("(") => {
+                    let a = &toks[j + 2];
+                    let seed_is_float = match a.kind {
+                        TokKind::Literal => {
+                            a.text.as_bytes().first().is_some_and(u8::is_ascii_digit)
+                                && (a.text.contains('.')
+                                    || a.text.ends_with("f32")
+                                    || a.text.ends_with("f64"))
+                        }
+                        TokKind::Ident => r
+                            .chain_type(&[(a.text, j + 2)])
+                            .is_some_and(|t| is_float_head(&t.head)),
+                        _ => false,
+                    };
+                    if seed_is_float {
+                        return Some((line, "fold"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// D8: order-dependent float accumulation. IEEE addition is not
+/// associative, so the *order* of a float reduction is part of the
+/// output bytes. Three shapes are flagged:
+///
+/// 1. a compound assignment (`+=`, `-=`, `*=`, `/=`) on f32/f64 state
+///    *captured* by an `exec::par_map`-family closure — the accumulation
+///    order then depends on thread interleaving (PR 1's TF/IDF incident,
+///    one layer up);
+/// 2. a float `sum()`/`product()`/`fold(..)` reduction chained onto a
+///    hash-ordered iteration (`map.values().sum::<f64>()`) — the order
+///    depends on the hasher;
+/// 3. a float compound assignment inside the body of a `for` loop over a
+///    hash-ordered collection.
+///
+/// Sequential folds over `Vec`s/slices and sorted-then-reduce pipelines
+/// resolve to non-map, non-captured state and stay silent. The fix is a
+/// sorted or indexed merge reduction (collect into a `Vec`, sort by a
+/// total order, then fold), or `// lint:allow(D8): <reason>`.
+pub fn d8(toks: &[Tok<'_>], skip: &[(u32, u32)], r: &Resolver<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    // Shape 1: captured float accumulation inside a parallel closure.
+    for pc in &r.facts.par_closures {
+        let (b0, b1) = pc.body;
+        for i in b0..b1.min(toks.len()) {
+            if in_ranges(toks[i].line, skip) {
+                continue;
+            }
+            let Some((chain, name)) = d8_float_compound_assign(toks, i, r) else {
+                continue;
+            };
+            let lead = chain[0].0;
+            let is_local = lead != "self"
+                && (pc.params.iter().any(|p| p == lead)
+                    || r.facts
+                        .let_sites
+                        .iter()
+                        .any(|(n, idx)| n == lead && b0 <= *idx && *idx <= b1));
+            if is_local {
+                continue; // per-item state, deterministic
+            }
+            out.push(RawFinding {
+                rule: "D8",
+                line: toks[i].line,
+                message: format!(
+                    "float accumulation `{name} {}=` on state captured by a `{}` closure: \
+                     IEEE addition is order-dependent and the parallel boundary makes the \
+                     order thread-interleaving-dependent; return per-item values and reduce \
+                     them in index order, or annotate `// lint:allow(D8): <reason>`",
+                    toks[i + 1].text,
+                    pc.callee
+                ),
+            });
+        }
+    }
+    // Shapes 2 and 3: float reduction over hash-ordered iteration.
+    let names = d2_map_names(toks);
+    let known = |t: &str| names.binary_search(&t).is_ok();
+    for i in 0..toks.len() {
+        // `map.values().sum::<f64>()` etc.
+        if toks[i].kind == TokKind::Ident
+            && D2_ITER_METHODS.contains(&toks[i].text)
+            && i >= 2
+            && toks[i - 1].is_punct(".")
+            && toks[i - 2].kind == TokKind::Ident
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(")
+            && !in_ranges(toks[i].line, skip)
+        {
+            if let Some(name) = is_map_receiver(toks, i - 2, r, &known) {
+                if let Some((line, method)) = d8_float_reduction_after(toks, i, r) {
+                    out.push(RawFinding {
+                        rule: "D8",
+                        line,
+                        message: format!(
+                            "float `{method}` over hash-ordered `{name}`: IEEE addition is \
+                             order-dependent and hash order varies across processes; sort \
+                             the keys (or collect+sort) before reducing, or annotate \
+                             `// lint:allow(D8): <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+        // `for .. in map { total += v; }`.
+        if toks[i].is_ident("for") {
+            let Some(last) = for_loop_receiver(toks, i) else { continue };
+            if in_ranges(toks[last].line, skip) {
+                continue;
+            }
+            if is_map_receiver(toks, last, r, &known).is_none() {
+                continue;
+            }
+            // Scan the loop body for float compound assignments.
+            let mut k = last;
+            while k < toks.len() && !toks[k].is_punct("{") {
+                k += 1;
+            }
+            let mut depth = 0usize;
+            let mut j = k;
+            while j < toks.len() {
+                if toks[j].is_punct("{") {
+                    depth += 1;
+                } else if toks[j].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if !in_ranges(toks[j].line, skip) {
+                    if let Some((_, name)) = d8_float_compound_assign(toks, j, r) {
+                        out.push(RawFinding {
+                            rule: "D8",
+                            line: toks[j].line,
+                            message: format!(
+                                "float accumulation `{name} {}=` inside a `for` loop over a \
+                                 hash-ordered collection: the reduction order follows hash \
+                                 order and varies across processes; iterate sorted keys, or \
+                                 annotate `// lint:allow(D8): <reason>`",
+                                toks[j + 1].text
+                            ),
+                        });
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// The snapshot roots D9 walks reachability from: the full iteration
+/// state closure and the per-task record embedded in it.
+pub const D9_ROOTS: [&str; 2] = ["RunSnapshot", "MatchTask"];
+
+/// Type heads whose value is process-local (lazily initialized, interior-
+/// mutable, or wall-clock) and therefore cannot round-trip through a
+/// snapshot byte-for-byte.
+fn is_volatile_head(h: &str) -> bool {
+    matches!(
+        h,
+        "OnceLock" | "OnceCell" | "LazyLock" | "Cell" | "RefCell" | "Mutex" | "RwLock"
+            | "Instant" | "SystemTime"
+    ) || h.starts_with("Atomic")
+}
+
+/// D9: snapshot-closure completeness. Every type reachable from the
+/// [`D9_ROOTS`] is part of the kill-and-resume contract: if a field is
+/// dropped from the wire (`#[serde(skip)]`), silently defaulted on read
+/// (`#[serde(default)]`), process-local (`OnceLock`, atomics, ...), or
+/// serialized by a hand-written impl the lint cannot inspect, a resumed
+/// run may diverge from an uninterrupted one. Each such field gets one
+/// finding at its declaration; waiving it (`// lint:allow(D9): <reason>`)
+/// is the documented claim that the field is recomputable from the rest
+/// of the closure — `AnalysisCell` is the canonical exemplar. Flagged
+/// fields are not recursed into, so a waived cache type is not re-flagged
+/// member by member.
+pub fn d9(ws: &Workspace) -> Vec<(String, RawFinding)> {
+    use std::collections::BTreeSet;
+    let mut out: Vec<(String, RawFinding)> = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: Vec<(&str, &str)> = Vec::new(); // (type, root provenance)
+    for root in D9_ROOTS {
+        if ws.types.contains_key(root) && seen.insert(root) {
+            queue.push((root, root));
+        }
+    }
+    while let Some((name, root)) = queue.pop() {
+        let Some(defs) = ws.types.get(name) else { continue };
+        for def in defs {
+            for f in &def.fields {
+                let fty = deref(&f.ty);
+                let reason = if f.serde_skip {
+                    Some(
+                        "is `#[serde(skip)]`: dropped from the snapshot wire format, so a \
+                         resumed run rebuilds it from scratch"
+                            .to_string(),
+                    )
+                } else if f.serde_default {
+                    Some(
+                        "is `#[serde(default)]`: silently defaulted when absent from the \
+                         wire, masking an incomplete snapshot"
+                            .to_string(),
+                    )
+                } else if ws.manual_serde.contains(&fty.head) {
+                    Some(format!(
+                        "has a hand-written serde impl (`{}`) the lint cannot verify for \
+                         completeness",
+                        fty.head
+                    ))
+                } else if f.ty.contains_head(&is_volatile_head) {
+                    Some(format!(
+                        "holds process-local state (`{}`) that cannot round-trip through \
+                         snapshot bytes",
+                        f.ty.head
+                    ))
+                } else {
+                    None
+                };
+                if let Some(why) = reason {
+                    out.push((
+                        def.file.clone(),
+                        RawFinding {
+                            rule: "D9",
+                            line: f.line,
+                            message: format!(
+                                "snapshot closure: field `{}.{}` (reachable from `{root}`) \
+                                 {why}; prove it is recomputable and annotate \
+                                 `// lint:allow(D9): <reason>`, or serialize it",
+                                def.name, f.name
+                            ),
+                        },
+                    ));
+                    continue; // do not recurse into flagged fields
+                }
+                // Recurse into every named type this field mentions, except
+                // manually-serialized ones (their internals are the impl's
+                // business, and the field above already vouched for them).
+                f.ty.walk(&mut |t| {
+                    if ws.types.contains_key(t.head.as_str())
+                        && !ws.manual_serde.contains(&t.head)
+                    {
+                        if let Some((k, _)) = ws.types.get_key_value(t.head.as_str()) {
+                            if seen.insert(k.as_str()) {
+                                queue.push((k.as_str(), root));
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.0.as_str(), a.1.line).cmp(&(b.0.as_str(), b.1.line)));
     out
 }
 

@@ -9,7 +9,7 @@ pub fn empty_reason(v: &[u32]) -> u32 {
 }
 
 pub fn unknown_rule(v: &[u32]) -> u32 {
-    *v.first().unwrap() // lint:allow(D9): no such rule
+    *v.first().unwrap() // lint:allow(D99): no such rule
 }
 
 // Doc comments never carry annotations, even when they quote the grammar:

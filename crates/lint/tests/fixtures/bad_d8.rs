@@ -1,0 +1,87 @@
+// D8 fixture: order-dependent float accumulation. Three seeded shapes —
+// captured float state mutated inside an exec::par_map-family closure,
+// float reductions chained onto hash-ordered iteration, and a float
+// compound assignment inside a `for` over a hash map — plus decoys that
+// must stay silent: sequential folds, sorted-then-reduce, closure-local
+// accumulators, and integer accumulation across the parallel boundary.
+use std::collections::HashMap;
+
+pub struct Acc {
+    pub total: f64,
+}
+
+impl Acc {
+    pub fn par_capture(&mut self, items: &[f64], threads: usize) {
+        let scale: f64 = 2.0;
+        let _ = exec::par_map(threads, items, |x| {
+            self.total += x * scale;
+            x + 1.0
+        });
+    }
+}
+
+pub fn par_captured_let(items: &[f64], threads: usize) -> f64 {
+    let mut sum = 0.0;
+    let _ = exec::indexed_par_map(threads, items, |_, x| {
+        sum -= x;
+        x
+    });
+    sum
+}
+
+pub fn hash_sum(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+pub fn hash_fold(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().fold(0.0, |a, b| a + b)
+}
+
+pub fn hash_for(weights: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in weights {
+        total += v;
+    }
+    total
+}
+
+// ---- decoys: none of these may fire D8 ----
+
+pub fn seq_fold(xs: &[f64]) -> f64 {
+    // Sequential slice fold: order is the slice order, deterministic.
+    xs.iter().fold(0.0, |a, b| a + b)
+}
+
+pub fn sorted_reduce(weights: &HashMap<u32, f64>) -> f64 {
+    // The sanctioned shape: collect, sort by a total order, then reduce.
+    let mut vals: Vec<f64> = weights.values().copied().collect();
+    vals.sort_by(f64::total_cmp);
+    vals.iter().sum::<f64>()
+}
+
+pub fn par_local_accumulator(items: &[f64], threads: usize) -> Vec<f64> {
+    exec::par_map(threads, items, |x| {
+        // Closure-local state: rebuilt per item, order-free.
+        let mut acc = 0.0;
+        acc += x;
+        acc
+    })
+}
+
+pub fn par_integer_count(items: &[u32], threads: usize) -> u64 {
+    // Integer accumulation is associative; only floats are order-bound.
+    let mut count: u64 = 0;
+    let _ = exec::par_map(threads, items, |x| {
+        count += 1;
+        x + 1
+    });
+    count
+}
+
+pub fn par_param_mutation(items: &[f64], threads: usize) -> Vec<f64> {
+    exec::par_map_seeded(threads, items, 7, |mut x| {
+        // Mutating the per-item parameter is per-item state, order-free.
+        x *= 2.0;
+        x
+    })
+}

@@ -1,0 +1,44 @@
+// D9 fixture: snapshot-closure completeness. Defines its own
+// `RunSnapshot` root so the reachability walk runs inside one file:
+// fields dropped from the wire, silently defaulted, process-local, or
+// hidden behind a hand-written serde impl must each get one finding at
+// their declaration — and nothing inside a manually-serialized type or
+// an unreachable type may fire.
+use std::sync::atomic::AtomicU64;
+use std::sync::OnceLock;
+
+pub struct RunSnapshot {
+    pub cursor: u64,
+    pub ledger: Ledger,
+    #[serde(skip)]
+    pub scratch: Vec<u32>,
+    pub cache: CacheCell,
+}
+
+pub struct Ledger {
+    pub charged: u64,
+    #[serde(default)]
+    pub memo: String,
+    pub warm: OnceLock<u32>,
+}
+
+pub struct CacheCell {
+    // NOT flagged: `CacheCell` is manually serialized, so its internals
+    // are the impl's responsibility — the `cache` field above carries
+    // the single finding.
+    pub hits: AtomicU64,
+}
+
+impl serde::Serialize for CacheCell {
+    fn to_json_value(&self) -> u32 {
+        0
+    }
+}
+
+// Decoy: skip/default/volatile fields on a type that is NOT reachable
+// from a snapshot root must stay silent.
+pub struct Unrelated {
+    #[serde(skip)]
+    pub tmp: Vec<u8>,
+    pub started: OnceLock<bool>,
+}

@@ -31,3 +31,25 @@ pub fn escaped_quotes() -> &'static str {
 pub fn char_literals() -> (char, char) {
     ('"', '\'') // quote chars must not open a string
 }
+
+/* nested /* block /* comments */ stay */ opaque:
+   map.values().sum::<f64>() and total += v inside par_map(|x| ..)
+   #[serde(skip)] on RunSnapshot, OnceLock fields, cfg.t_b as usize */
+
+// D8/D9 trigger text in comments: weights.values().fold(0.0, |a, b| a + b);
+// struct RunSnapshot { cache: OnceLock<u32> } — none of it is in token position.
+
+pub fn d8_d9_strings() -> Vec<String> {
+    vec![
+        "weights.values().sum::<f64>()".to_string(),
+        "exec::par_map(threads, items, |x| { total += x; x })".to_string(),
+        "#[serde(skip)] pub scratch: Vec<u32>, inside RunSnapshot".to_string(),
+        r###"three-hash raw: "##" still inside, sum::<f64>() too "###.to_string(),
+    ]
+}
+
+pub fn raw_identifiers(r#unsafe: u32, r#struct: u32) -> u32 {
+    // `r#unsafe` / `r#struct` are single raw-identifier tokens; they must
+    // not leak bare `unsafe` / `struct` keywords into rule position.
+    r#unsafe + r#struct
+}

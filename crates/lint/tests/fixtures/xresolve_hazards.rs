@@ -1,0 +1,28 @@
+// Cross-file resolution fixture, part B: hazards whose receiver types
+// are declared in part A. Linted together (lint_source_set) the D2/D7
+// sites fire; linted alone they cannot resolve and stay silent — the
+// selftests assert both directions. The name-collision function shows
+// the suppression side: a field that merely *shares its name* with a
+// local map resolves to its declared Vec type and stays silent.
+use std::collections::HashMap;
+
+pub fn iter_remote(idx: &RemoteIndex) -> Vec<u32> {
+    let mut out: Vec<u32> = idx.postings.keys().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn cast_remote(idx: &RemoteIndex) -> usize {
+    idx.doc_count as usize
+}
+
+pub fn resume_known(snap: SnapshotPart) -> HashMap<usize, bool> {
+    let mut known_labels: HashMap<usize, bool> = HashMap::new();
+    // No finding on the next line: `snap.known_labels` resolves to
+    // `SnapshotPart`'s sorted `Vec` field across files, not to the local
+    // map sharing its name — the engine.rs:428 false-positive shape.
+    for (idx, label) in snap.known_labels.into_iter() {
+        known_labels.insert(idx, label);
+    }
+    known_labels
+}

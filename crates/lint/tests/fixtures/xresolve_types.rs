@@ -1,0 +1,14 @@
+// Cross-file resolution fixture, part A: type definitions only. This
+// file plays a non-deny crate (datagen); the hazards live in part B
+// (a deny crate) and can only fire if the field types declared here
+// resolve across the file boundary.
+use std::collections::HashMap;
+
+pub struct RemoteIndex {
+    pub postings: HashMap<u32, Vec<u32>>,
+    pub doc_count: u64,
+}
+
+pub struct SnapshotPart {
+    pub known_labels: Vec<(usize, bool)>,
+}

@@ -106,6 +106,115 @@ fn d7_is_scoped_to_deny_crates() {
 }
 
 #[test]
+fn d8_bad_fixture_exact_lines() {
+    let out = lint_fixture("bad_d8.rs", "core");
+    assert_eq!(lines_for(&out, "D8"), vec![17, 26, 33, 37, 43]);
+}
+
+#[test]
+fn d8_decoys_stay_silent() {
+    // The seeded lines are the ONLY D8 findings: sequential folds,
+    // sorted-reduce, closure-local accumulators, integer accumulation,
+    // and per-item parameter mutation are all listed after line 45.
+    let out = lint_fixture("bad_d8.rs", "core");
+    assert!(
+        lines_for(&out, "D8").iter().all(|&l| l < 46),
+        "a D8 decoy fired: {:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn d8_is_allowed_in_bench() {
+    let out = lint::lint_file("crates/bench/src/bad_d8.rs", "bench", &fixture("bad_d8.rs"));
+    assert_eq!(lines_for(&out, "D8"), Vec::<u32>::new());
+}
+
+#[test]
+fn d9_bad_fixture_exact_lines() {
+    // scratch (serde_skip), cache (hand-written serde), memo
+    // (serde_default), warm (OnceLock) — and nothing inside the
+    // manually-serialized CacheCell or the unreachable Unrelated.
+    let out = lint_fixture("bad_d9.rs", "core");
+    assert_eq!(lines_for(&out, "D9"), vec![14, 15, 21, 22]);
+}
+
+#[test]
+fn cross_file_types_resolve_hazards_in_other_crates() {
+    // Type declared in a non-deny crate (part A), hazard in a deny crate
+    // (part B): the D2/D7 sites fire only because the field types
+    // resolve across the file boundary.
+    let files = vec![
+        lint::SourceFile {
+            rel: "crates/datagen/src/xresolve_types.rs".to_string(),
+            crate_name: "datagen".to_string(),
+            src: fixture("xresolve_types.rs"),
+        },
+        lint::SourceFile {
+            rel: "crates/core/src/xresolve_hazards.rs".to_string(),
+            crate_name: "core".to_string(),
+            src: fixture("xresolve_hazards.rs"),
+        },
+    ];
+    let outcomes = lint::lint_source_set(&files);
+    assert!(outcomes[0].findings.is_empty(), "{:?}", outcomes[0].findings);
+    assert_eq!(lines_for(&outcomes[1], "D2"), vec![10]);
+    assert_eq!(lines_for(&outcomes[1], "D7"), vec![16]);
+}
+
+#[test]
+fn cross_file_resolution_also_suppresses_name_collisions() {
+    // Linted TOGETHER, `snap.known_labels` (line 24) resolves to the
+    // sorted Vec field of part A and stays silent despite sharing its
+    // name with a local HashMap. Linted ALONE, resolution fails, the
+    // lexical fallback matches the name, and the old false positive
+    // resurfaces — proving the suppression comes from the type graph.
+    let together = lint::lint_source_set(&[
+        lint::SourceFile {
+            rel: "crates/datagen/src/xresolve_types.rs".to_string(),
+            crate_name: "datagen".to_string(),
+            src: fixture("xresolve_types.rs"),
+        },
+        lint::SourceFile {
+            rel: "crates/core/src/xresolve_hazards.rs".to_string(),
+            crate_name: "core".to_string(),
+            src: fixture("xresolve_hazards.rs"),
+        },
+    ]);
+    assert!(!lines_for(&together[1], "D2").contains(&24));
+
+    let alone = lint::lint_file(
+        "crates/core/src/xresolve_hazards.rs",
+        "core",
+        &fixture("xresolve_hazards.rs"),
+    );
+    assert!(lines_for(&alone, "D2").contains(&24), "{:?}", alone.findings);
+}
+
+#[test]
+fn d9_findings_route_to_the_defining_file() {
+    // The snapshot root lives in file A; the hazardous field lives in a
+    // type declared in file B. The finding must land in B, where the
+    // waiver would have to be written.
+    let files = vec![
+        lint::SourceFile {
+            rel: "crates/core/src/root.rs".to_string(),
+            crate_name: "core".to_string(),
+            src: "pub struct RunSnapshot { pub inner: Part }\n".to_string(),
+        },
+        lint::SourceFile {
+            rel: "crates/crowd/src/part.rs".to_string(),
+            crate_name: "crowd".to_string(),
+            src: "use std::sync::OnceLock;\npub struct Part { pub warm: OnceLock<u32> }\n"
+                .to_string(),
+        },
+    ];
+    let outcomes = lint::lint_source_set(&files);
+    assert!(outcomes[0].findings.is_empty(), "{:?}", outcomes[0].findings);
+    assert_eq!(lines_for(&outcomes[1], "D9"), vec![2]);
+}
+
+#[test]
 fn decoys_yield_nothing() {
     // Rule text inside strings, raw strings, and comments must not fire —
     // in the strictest crate configuration (a D2 deny crate).
@@ -196,9 +305,72 @@ fn workspace_json_report_is_wellformed_and_deterministic() {
     assert!(a.contains("\"files_scanned\""));
     assert!(a.contains("\"stats\""));
     // Counters present for every rule code.
-    for code in ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "A0"] {
+    for code in ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "A0"] {
         assert!(a.contains(&format!("\"{code}\"")), "missing counter for {code}");
     }
+}
+
+#[test]
+fn ratchet_holds_against_the_committed_baseline() {
+    // The committed budget must cover the live workspace exactly: clean
+    // findings, no unused allows, and no rule over its ceiling. This is
+    // the same check `scripts/ci.sh` greps as `lint_ratchet=ok`.
+    let root = workspace_root();
+    let report = lint::lint_workspace(&root).expect("workspace scan");
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-baseline.json")).expect("lint-baseline.json");
+    let baseline = lint::parse_baseline(&baseline_text).expect("baseline parses");
+    let violations = lint::ratchet_violations(&report, &baseline);
+    assert!(violations.is_empty(), "ratchet violations:\n{}", violations.join("\n"));
+}
+
+#[test]
+fn ratchet_fails_on_budget_excess_and_unused_allows() {
+    let baseline = lint::parse_baseline(r#"{"schema_version": 1, "allow_budget": {"D2": 0}}"#)
+        .expect("baseline parses");
+
+    // One used D2 allow: over the zero budget.
+    let over = lint::lint_file(
+        "crates/core/src/x.rs",
+        "core",
+        "use std::collections::HashMap;\n\
+         fn f(m: &HashMap<u32, u32>) -> usize {\n\
+             m.keys().count() // lint:allow(D2): order-free count\n\
+         }\n",
+    );
+    let mut report = lint::Report::default();
+    report.allows.extend(over.allows);
+    assert!(
+        lint::ratchet_violations(&report, &baseline)
+            .iter()
+            .any(|v| v.contains("budget")),
+        "budget excess must be a violation"
+    );
+
+    // One unused allow: dead waivers fail the ratchet even under budget.
+    let unused = lint::lint_file(
+        "crates/core/src/x.rs",
+        "core",
+        "fn f() {} // lint:allow(D4): nothing to waive\n",
+    );
+    let mut report = lint::Report::default();
+    report.unused_allows.extend(unused.unused_allows);
+    assert!(
+        lint::ratchet_violations(&report, &baseline)
+            .iter()
+            .any(|v| v.contains("unused allow")),
+        "unused allows must be a violation"
+    );
+}
+
+#[test]
+fn baseline_parser_rejects_garbage() {
+    assert!(lint::parse_baseline("{}").is_err());
+    assert!(lint::parse_baseline(r#"{"allow_budget": {"D42": 1}}"#).is_err());
+    assert!(lint::parse_baseline(r#"{"allow_budget": {"D2": -3}}"#).is_err());
+    let ok = lint::parse_baseline(r#"{"schema_version": 1, "allow_budget": {"D2": 13, "D3": 1}}"#)
+        .expect("well-formed baseline");
+    assert_eq!(ok.allow_budget.get("D2"), Some(&13));
 }
 
 #[test]

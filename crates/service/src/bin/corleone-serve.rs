@@ -170,7 +170,7 @@ fn main() -> ExitCode {
             ds.seeds.positive,
             ds.seeds.negative,
         );
-        let gold = GoldOracle::from_pairs(ds.gold.iter().copied());
+        let gold = GoldOracle::from_pairs(ds.gold.iter().copied()); // lint:allow(D2): order-free set-to-set projection; the oracle stores membership only and never iterates in hash order
         let platform = make_platform(&ds, opts.error_rate, opts.seed + k as u64);
         let matches = gold.matches().clone();
         let spec = TenantSpec {
